@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for Exp-2 (Fig. 13): pushing selections into
+//! the LFP operator, varying the number of qualified nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use x2s_bench::harness::measure_with_options;
+use x2s_bench::dataset;
+use x2s_core::SqlOptions;
+use x2s_dtd::samples;
+use x2s_shred::edge_database;
+use x2s_xml::generator::mark_values;
+
+const ELEMENTS: usize = 50_000;
+
+fn bench_fig13(c: &mut Criterion) {
+    let dtd = samples::cross();
+    let mut group = c.benchmark_group("fig13/Qe_selection_on_a");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for marked in [100usize, 1_000, 10_000] {
+        let mut ds = dataset(&dtd, 12, 8, Some(ELEMENTS), 77);
+        let a = dtd.elem("a").unwrap();
+        mark_values(&mut ds.tree, a, marked, "sel", 99);
+        let db = edge_database(&ds.tree, &dtd);
+        for (label, push) in [("push", true), ("plain", false)] {
+            let opts = SqlOptions {
+                push_selections: push,
+                root_filter_pushdown: push,
+            };
+            group.bench_with_input(BenchmarkId::new(label, marked), &db, |b, db| {
+                b.iter(|| {
+                    measure_with_options(&dtd, "a[text()='sel']/b//c/d", db, opts, 1).answers
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks for Exp-3 (Fig. 14): scalability of `a//d`
+//! on Cross with growing dataset sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use x2s_bench::{dataset, measure, Approach};
+use x2s_dtd::samples;
+
+fn bench_fig14(c: &mut Criterion) {
+    let dtd = samples::cross();
+    let mut group = c.benchmark_group("fig14/a_desc_d");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for elements in [15_000usize, 30_000, 60_000, 120_000] {
+        let ds = dataset(&dtd, 16, 4, Some(elements), 7);
+        group.throughput(Throughput::Elements(elements as u64));
+        for approach in Approach::all() {
+            group.bench_with_input(
+                BenchmarkId::new(approach.label(), elements),
+                &ds,
+                |b, ds| b.iter(|| measure(approach, &dtd, "a//d", &ds.db, 1).answers),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks for Exp-4 / Table 4 / Fig. 16: BIOML subgraph
+//! cases over one dataset generated from the full 4-cycle graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use x2s_bench::{dataset, measure, Approach};
+use x2s_dtd::samples;
+
+const ELEMENTS: usize = 100_000;
+
+fn bench_fig16(c: &mut Criterion) {
+    let full = samples::bioml_d();
+    let ds = dataset(&full, 16, 6, Some(ELEMENTS), 3);
+    let cases = [
+        ("2a", "gene//locus", samples::bioml_a()),
+        ("2c", "gene//dna", samples::bioml_b()),
+        ("3a", "gene//locus", samples::bioml_c()),
+        ("4a", "gene//locus", samples::bioml_d()),
+        ("4b", "gene//dna", samples::bioml_d()),
+    ];
+    let mut group = c.benchmark_group("fig16/bioml");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (case, query, dtd) in cases {
+        for approach in Approach::all() {
+            group.bench_with_input(
+                BenchmarkId::new(approach.label(), case),
+                &ds,
+                |b, ds| b.iter(|| measure(approach, &dtd, query, &ds.db, 1).answers),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig16);
+criterion_main!(benches);

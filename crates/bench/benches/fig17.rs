@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks for Exp-4 / Fig. 17: `Even//Data` on the
+//! 9-cycle GedML graph under varying tree shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use x2s_bench::{dataset, measure, Approach};
+use x2s_dtd::samples;
+
+fn bench_fig17(c: &mut Criterion) {
+    let dtd = samples::gedml();
+    let mut group = c.benchmark_group("fig17/Even_desc_Data");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    // (a) vary X_L at X_R = 6 (sizes scaled from the paper's)
+    for (xl, elements) in [(13usize, 30_000usize), (14, 60_000), (15, 90_000)] {
+        let ds = dataset(&dtd, xl, 6, Some(elements), 13);
+        for approach in Approach::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("XL/{}", approach.label()), xl),
+                &ds,
+                |b, ds| b.iter(|| measure(approach, &dtd, "Even//Data", &ds.db, 1).answers),
+            );
+        }
+    }
+    // (b) vary X_R at X_L = 16
+    for (xr, elements) in [(6usize, 30_000usize), (7, 60_000), (8, 120_000)] {
+        let ds = dataset(&dtd, 16, xr, Some(elements), 17);
+        for approach in Approach::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("XR/{}", approach.label()), xr),
+                &ds,
+                |b, ds| b.iter(|| measure(approach, &dtd, "Even//Data", &ds.db, 1).answers),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig17);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [all|exp1|exp2|exp3|exp4|exp5|table5|tables123] [--scale F] [--reps N]
+//! ```
+//!
+//! `--scale 1.0` uses the paper's element counts (minutes of runtime);
+//! the default 0.25 preserves every qualitative shape at laptop scale.
+
+use std::env;
+use x2s_bench::{exp1, exp2, exp3, exp4, exp5, table5, tables123, Table};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = 0.25f64;
+    let mut reps = 3usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a number"));
+            }
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--reps needs an integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other => which.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+
+    println!("# xpath2sql — regenerated evaluation artifacts");
+    println!("scale = {scale}, reps = {reps} (fastest of N timings per cell)\n");
+
+    let run_all = which.iter().any(|w| w == "all");
+    let wants = |name: &str| run_all || which.iter().any(|w| w == name);
+
+    if wants("tables123") {
+        emit("Tables 1–3 (running example)", tables123());
+    }
+    if wants("table5") {
+        emit("Table 5 (operator counts)", table5());
+    }
+    if wants("exp1") {
+        emit("Exp-1 (Fig. 12)", exp1(scale, reps));
+    }
+    if wants("exp2") {
+        emit("Exp-2 (Fig. 13)", exp2(scale, reps));
+    }
+    if wants("exp3") {
+        emit("Exp-3 (Fig. 14)", exp3(scale, reps));
+    }
+    if wants("exp4") {
+        emit("Exp-4 (Table 4 / Fig. 16)", exp4(scale, reps));
+    }
+    if wants("exp5") {
+        emit("Exp-4 (Fig. 17)", exp5(scale, reps));
+    }
+}
+
+fn emit(section: &str, tables: Vec<Table>) {
+    println!("\n## {section}");
+    for t in tables {
+        print!("{t}");
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: repro [all|exp1|exp2|exp3|exp4|exp5|table5|tables123]… [--scale F] [--reps N]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

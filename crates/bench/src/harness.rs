@@ -1,0 +1,225 @@
+//! Approaches, datasets, and measurement.
+
+use std::time::{Duration, Instant};
+use x2s_core::pipeline::{RecStrategy, TranslateError, Translation, Translator};
+use x2s_core::SqlOptions;
+use x2s_dtd::Dtd;
+use x2s_rel::{Database, ExecOptions, Stats};
+use x2s_shred::edge_database;
+use x2s_sqlgenr::SqlGenR;
+use x2s_xml::{Generator, GeneratorConfig, Tree};
+use x2s_xpath::{parse_xpath, Path};
+
+/// The three compared approaches, labelled as in the paper's figures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Approach {
+    /// `R` — SQLGen-R [39]: SQL'99 multi-relation recursion.
+    SqlGenR,
+    /// `E` — our framework with Tarjan's CycleE for `rec(A,B)`.
+    CycleE,
+    /// `X` — our framework with CycleEX (the paper's proposal).
+    CycleEx,
+}
+
+impl Approach {
+    /// All three, in the paper's R/E/X order.
+    pub fn all() -> [Approach; 3] {
+        [Approach::SqlGenR, Approach::CycleE, Approach::CycleEx]
+    }
+
+    /// One-letter figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Approach::SqlGenR => "R",
+            Approach::CycleE => "E",
+            Approach::CycleEx => "X",
+        }
+    }
+}
+
+/// Cap for CycleE intermediate expressions in benchmarks: large enough for
+/// every evaluation DTD, small enough to fail fast on adversarial inputs.
+pub const CYCLEE_CAP: usize = 4_000_000;
+
+/// Translate a query with one of the approaches.
+pub fn translate_with(
+    approach: Approach,
+    dtd: &Dtd,
+    path: &Path,
+) -> Result<Translation, TranslateError> {
+    match approach {
+        Approach::SqlGenR => SqlGenR::new(dtd).translate(path),
+        Approach::CycleE => Translator::new(dtd)
+            .with_strategy(RecStrategy::CycleE { cap: CYCLEE_CAP })
+            .translate(path),
+        Approach::CycleEx => Translator::new(dtd)
+            .with_strategy(RecStrategy::CycleEx)
+            .translate(path),
+    }
+}
+
+/// Translate with explicit SQL options (Exp-2's push-selection toggle);
+/// only meaningful for the CycleEX approach.
+pub fn translate_cycleex_with_options(
+    dtd: &Dtd,
+    path: &Path,
+    opts: SqlOptions,
+) -> Result<Translation, TranslateError> {
+    Translator::new(dtd).with_sql_options(opts).translate(path)
+}
+
+/// A generated dataset: the XML tree and its edge-shredded database.
+pub struct Dataset {
+    /// The document.
+    pub tree: Tree,
+    /// Its shredded relational store.
+    pub db: Database,
+}
+
+/// Generate a dataset following the paper's protocol: IBM-generator
+/// semantics with `X_L`/`X_R`, trimmed/budgeted to `target` elements.
+pub fn dataset(dtd: &Dtd, xl: usize, xr: usize, target: Option<usize>, seed: u64) -> Dataset {
+    let cfg = GeneratorConfig::shaped(xl, xr, target).with_seed(seed);
+    let tree = Generator::new(dtd, cfg).generate();
+    let db = edge_database(&tree, dtd);
+    Dataset { tree, db }
+}
+
+/// One measured run.
+#[derive(Clone, Debug)]
+pub struct Measured {
+    /// Wall-clock time of translate + execute.
+    pub elapsed: Duration,
+    /// Engine statistics of the run.
+    pub stats: Stats,
+    /// Number of answer nodes.
+    pub answers: usize,
+}
+
+impl Measured {
+    /// Milliseconds, for table rendering.
+    pub fn ms(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3
+    }
+}
+
+/// Execution options per approach: SQLGen-R's `WITH…RECURSIVE` is the
+/// paper's Eq. (1) *black box* — "the relation in the center keeps growing,
+/// but one can do little to optimize the operations inside" (§3.1) — so its
+/// fixpoint re-joins the accumulated center relation each round (naive
+/// iteration). The simple LFP approaches model `CONNECT BY`-style
+/// hierarchical operators, which are delta-driven by construction.
+pub fn exec_options_for(approach: Approach) -> ExecOptions {
+    ExecOptions {
+        naive_fixpoint: approach == Approach::SqlGenR,
+        lazy: true,
+    }
+}
+
+/// Measure translate+execute `reps` times, returning the fastest run (the
+/// standard way to suppress scheduler noise in single-shot timings).
+pub fn measure(approach: Approach, dtd: &Dtd, query: &str, db: &Database, reps: usize) -> Measured {
+    let path = parse_xpath(query).expect("benchmark queries parse");
+    let mut best: Option<Measured> = None;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let tr = translate_with(approach, dtd, &path).expect("benchmark translations succeed");
+        let mut stats = Stats::default();
+        let answers = tr.run(db, exec_options_for(approach), &mut stats).len();
+        let elapsed = started.elapsed();
+        let m = Measured {
+            elapsed,
+            stats,
+            answers,
+        };
+        if best.as_ref().is_none_or(|b| m.elapsed < b.elapsed) {
+            best = Some(m);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Measure the CycleEX approach with explicit SQL options (Exp-2).
+pub fn measure_with_options(
+    dtd: &Dtd,
+    query: &str,
+    db: &Database,
+    opts: SqlOptions,
+    reps: usize,
+) -> Measured {
+    let path = parse_xpath(query).expect("benchmark queries parse");
+    let mut best: Option<Measured> = None;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let tr = translate_cycleex_with_options(dtd, &path, opts).expect("translates");
+        let mut stats = Stats::default();
+        let answers = tr.run(db, ExecOptions::default(), &mut stats).len();
+        let elapsed = started.elapsed();
+        let m = Measured {
+            elapsed,
+            stats,
+            answers,
+        };
+        if best.as_ref().is_none_or(|b| m.elapsed < b.elapsed) {
+            best = Some(m);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2s_dtd::samples;
+
+    #[test]
+    fn three_approaches_agree_on_cross() {
+        let d = samples::cross();
+        let ds = dataset(&d, 8, 3, Some(3_000), 11);
+        let mut answers = Vec::new();
+        for a in Approach::all() {
+            let m = measure(a, &d, "a//d", &ds.db, 1);
+            answers.push(m.answers);
+        }
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[1], answers[2]);
+        assert!(answers[0] > 0, "a//d finds something on a 3k-node tree");
+    }
+
+    #[test]
+    fn dataset_is_deterministic_and_sized() {
+        let d = samples::cross();
+        let a = dataset(&d, 10, 4, Some(2_000), 5);
+        let b = dataset(&d, 10, 4, Some(2_000), 5);
+        assert_eq!(a.tree.len(), 2_000);
+        assert_eq!(a.tree.len(), b.tree.len());
+        assert_eq!(a.db.total_tuples(), b.db.total_tuples());
+    }
+
+    #[test]
+    fn push_options_agree_with_plain() {
+        let d = samples::cross();
+        let ds = dataset(&d, 10, 4, Some(4_000), 7);
+        let push = measure_with_options(
+            &d,
+            "a/b//c/d",
+            &ds.db,
+            SqlOptions {
+                push_selections: true,
+                root_filter_pushdown: true,
+            },
+            1,
+        );
+        let plain = measure_with_options(
+            &d,
+            "a/b//c/d",
+            &ds.db,
+            SqlOptions {
+                push_selections: false,
+                root_filter_pushdown: false,
+            },
+            1,
+        );
+        assert_eq!(push.answers, plain.answers);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§6).
+//!
+//! Structure:
+//!
+//! * [`harness`] — the three approaches (R = SQLGen-R, E = CycleE,
+//!   X = CycleEX) behind one interface, dataset construction following the
+//!   paper's generator protocol, and wall-clock + operator-count
+//!   measurement;
+//! * [`workloads`] — one function per experiment (Exp-1 … Exp-5 / Table 5)
+//!   returning printable series tables;
+//! * `src/bin/repro.rs` — the command-line runner that prints the
+//!   regenerated rows for every artifact;
+//! * `benches/` — Criterion micro-benchmarks of representative points of
+//!   each figure (smaller datasets, statistically sampled).
+//!
+//! Absolute numbers are not comparable to the paper's 2005 DB2 testbed;
+//! EXPERIMENTS.md records the *shape* comparisons (who wins, by what
+//! factor, where behaviour crosses over).
+
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{dataset, measure, translate_with, Approach, Dataset, Measured};
+pub use workloads::{exp1, exp2, exp3, exp4, exp5, table5, tables123, Table};

@@ -1,0 +1,167 @@
+//! The translation graph: the DTD graph plus a virtual document node.
+//!
+//! Shredding gives the root element the parent id `'_'` (§2.3); queries are
+//! evaluated from the document. Adding a `#doc` node with the single edge
+//! `#doc → root` lets the dynamic programming of `XPathToEXp` treat the
+//! document context uniformly — including DTDs whose *root type recurs*
+//! (e.g. GedML's `Even`), where "elements of the root type" and "the root
+//! element" differ.
+
+use x2s_dtd::{Dtd, DtdGraph, ElemId};
+
+/// Translation-graph nodes are dense indexes: `0..n` are the element types
+/// (by `ElemId`), index `n` is the virtual document node [`TransGraph::doc`].
+pub type TNode = usize;
+
+/// Convenience constant name for documentation; the document node's index
+/// is [`TransGraph::doc`], not a fixed number.
+pub const DOC: &str = "#doc";
+
+/// The DTD graph extended with the virtual document node.
+pub struct TransGraph<'a> {
+    /// The DTD.
+    pub dtd: &'a Dtd,
+    /// Its graph.
+    pub graph: DtdGraph,
+    n: usize,
+}
+
+impl<'a> TransGraph<'a> {
+    /// Build from a DTD.
+    pub fn new(dtd: &'a Dtd) -> Self {
+        let graph = DtdGraph::of(dtd);
+        TransGraph {
+            dtd,
+            graph,
+            n: dtd.len(),
+        }
+    }
+
+    /// Total node count (element types + document).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n + 1
+    }
+
+    /// Never empty (there is always a document node).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The document node.
+    #[inline]
+    pub fn doc(&self) -> TNode {
+        self.n
+    }
+
+    /// The node of an element type.
+    #[inline]
+    pub fn node(&self, id: ElemId) -> TNode {
+        id.index()
+    }
+
+    /// The element type of a node (None for the document).
+    #[inline]
+    pub fn elem(&self, t: TNode) -> Option<ElemId> {
+        (t < self.n).then_some(ElemId(t as u32))
+    }
+
+    /// Display name of a node.
+    pub fn name(&self, t: TNode) -> &str {
+        match self.elem(t) {
+            Some(id) => self.dtd.name(id),
+            None => DOC,
+        }
+    }
+
+    /// Children of a node (the document's only child is the root type).
+    pub fn children(&self, t: TNode) -> Vec<TNode> {
+        match self.elem(t) {
+            Some(id) => self
+                .graph
+                .children(id)
+                .iter()
+                .map(|&(c, _)| c.index())
+                .collect(),
+            None => vec![self.dtd.root().index()],
+        }
+    }
+
+    /// Whether the edge `a → b` exists.
+    pub fn has_edge(&self, a: TNode, b: TNode) -> bool {
+        match (self.elem(a), self.elem(b)) {
+            (Some(ea), Some(eb)) => self.graph.has_edge(ea, eb),
+            (None, Some(eb)) => eb == self.dtd.root(),
+            _ => false,
+        }
+    }
+
+    /// Descendant-or-self reachability.
+    pub fn reaches_or_self(&self, a: TNode, b: TNode) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.elem(a), self.elem(b)) {
+            (Some(ea), Some(eb)) => self.graph.reach_strict(ea).contains(eb),
+            (None, Some(eb)) => {
+                eb == self.dtd.root() || self.graph.reach_strict(self.dtd.root()).contains(eb)
+            }
+            // nothing reaches the document node
+            (_, None) => false,
+        }
+    }
+
+    /// All nodes reachable from `a` including `a` itself (the `//` targets).
+    pub fn reach_or_self_set(&self, a: TNode) -> Vec<TNode> {
+        (0..self.len()).filter(|&b| self.reaches_or_self(a, b)).collect()
+    }
+
+    /// Nodes lying on some path `a →* x →* b` (used by the SQLGen-R
+    /// baseline's query-graph construction).
+    pub fn nodes_on_paths(&self, a: TNode, b: TNode) -> Vec<TNode> {
+        (0..self.len())
+            .filter(|&x| self.reaches_or_self(a, x) && self.reaches_or_self(x, b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2s_dtd::samples;
+
+    #[test]
+    fn doc_node_is_added() {
+        let d = samples::dept_simplified();
+        let g = TransGraph::new(&d);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.name(g.doc()), DOC);
+        assert_eq!(g.children(g.doc()), vec![d.root().index()]);
+        assert!(g.has_edge(g.doc(), d.root().index()));
+    }
+
+    #[test]
+    fn reachability_through_doc() {
+        let d = samples::gedml();
+        let g = TransGraph::new(&d);
+        let data = g.node(d.elem("Data").unwrap());
+        assert!(g.reaches_or_self(g.doc(), data));
+        assert!(!g.reaches_or_self(data, g.doc()));
+        // the root type recurs in GedML: Even reaches Even strictly
+        let even = g.node(d.elem("Even").unwrap());
+        assert!(g.reaches_or_self(even, even));
+    }
+
+    #[test]
+    fn nodes_on_paths_includes_endpoints() {
+        let d = samples::dept_simplified();
+        let g = TransGraph::new(&d);
+        let dept = g.node(d.elem("dept").unwrap());
+        let project = g.node(d.elem("project").unwrap());
+        let on = g.nodes_on_paths(dept, project);
+        assert!(on.contains(&dept) && on.contains(&project));
+        // doc is not between dept and project
+        assert!(!on.contains(&g.doc()));
+    }
+}

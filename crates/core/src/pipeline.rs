@@ -1,0 +1,240 @@
+//! The end-to-end translator (paper Fig. 5): XPath → extended XPath → SQL.
+
+use crate::e2sql::{exp_to_sql, SqlOptions};
+use crate::x2e::{xpath_to_exp, RecMode};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use x2s_dtd::Dtd;
+use x2s_exp::ExtendedQuery;
+use x2s_rel::{Database, ExecOptions, Program, Stats};
+use x2s_xpath::Path;
+
+/// Which algorithm instantiates `rec(A, B)` for the descendant axis.
+#[derive(Clone, Debug, Default)]
+pub enum RecStrategy {
+    /// CycleEX (the paper's contribution; default).
+    #[default]
+    CycleEx,
+    /// CycleE (Tarjan's exponential expansion) with a size cap.
+    CycleE {
+        /// AST-node cap for intermediate regular expressions.
+        cap: usize,
+    },
+}
+
+/// Translation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// CycleE exceeded its size cap (the expected exponential blowup).
+    RecBlowup {
+        /// the cap
+        cap: usize,
+        /// the size reached
+        reached: usize,
+    },
+    /// An expression referenced a variable with no defining equation.
+    UnboundVariable(u32),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::RecBlowup { cap, reached } => {
+                write!(f, "rec(A,B) expression blew past the cap: {reached} > {cap}")
+            }
+            TranslateError::UnboundVariable(v) => write!(f, "unbound variable X{v}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// A completed translation: the intermediate extended XPath query and the
+/// final SQL program.
+#[derive(Debug)]
+pub struct Translation {
+    /// Pruned extended XPath query (step 1, Theorem 4.2).
+    pub extended: ExtendedQuery,
+    /// The SQL statement program (step 2, Corollary 5.1).
+    pub program: Program,
+}
+
+impl Translation {
+    /// Execute against an edge-shredded database; returns answer node ids.
+    pub fn run(&self, db: &Database, opts: ExecOptions, stats: &mut Stats) -> BTreeSet<u32> {
+        let rel = self
+            .program
+            .execute(db, opts, stats)
+            .expect("translated programs execute on edge-shredded stores");
+        rel.tuples()
+            .iter()
+            .filter_map(|t| t[0].as_id())
+            .collect()
+    }
+}
+
+/// The translator: fixes a DTD, a rec strategy, and SQL options.
+pub struct Translator<'a> {
+    dtd: &'a Dtd,
+    strategy: RecStrategy,
+    sql_options: SqlOptions,
+}
+
+impl<'a> Translator<'a> {
+    /// Default translator (CycleEX + all optimizations).
+    pub fn new(dtd: &'a Dtd) -> Self {
+        Translator {
+            dtd,
+            strategy: RecStrategy::CycleEx,
+            sql_options: SqlOptions::default(),
+        }
+    }
+
+    /// Select the rec strategy.
+    pub fn with_strategy(mut self, strategy: RecStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Select SQL options.
+    pub fn with_sql_options(mut self, opts: SqlOptions) -> Self {
+        self.sql_options = opts;
+        self
+    }
+
+    /// Step 1 only: XPath → pruned extended XPath (also the view-rewriting
+    /// entry point, §3.4).
+    pub fn to_extended(&self, path: &Path) -> Result<ExtendedQuery, TranslateError> {
+        let mode = match &self.strategy {
+            RecStrategy::CycleEx => RecMode::CycleEx,
+            RecStrategy::CycleE { cap } => RecMode::CycleE { cap: *cap },
+        };
+        let tr = xpath_to_exp(path, self.dtd, &mode)?;
+        Ok(tr.query.pruned())
+    }
+
+    /// Full pipeline: XPath → extended XPath → SQL program.
+    pub fn translate(&self, path: &Path) -> Result<Translation, TranslateError> {
+        let extended = self.to_extended(path)?;
+        let program = exp_to_sql(&extended, &self.sql_options, &HashMap::new())?;
+        Ok(Translation { extended, program })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2s_dtd::samples;
+    use x2s_shred::edge_database;
+    use x2s_xml::parse_xml;
+    use x2s_xpath::{eval_from_document, parse_xpath};
+
+    /// End-to-end: SQL result == native XPath oracle (Corollary 5.1).
+    fn check_sql_equiv(dtd: &x2s_dtd::Dtd, xml: &str, queries: &[&str]) {
+        let tree = parse_xml(dtd, xml).unwrap();
+        let db = edge_database(&tree, dtd);
+        for q in queries {
+            let path = parse_xpath(q).unwrap();
+            let native: BTreeSet<u32> = eval_from_document(&path, &tree, dtd)
+                .into_iter()
+                .map(|n| n.0)
+                .collect();
+            for strategy in [RecStrategy::CycleEx, RecStrategy::CycleE { cap: 1_000_000 }] {
+                for push in [true, false] {
+                    let tr = Translator::new(dtd)
+                        .with_strategy(strategy.clone())
+                        .with_sql_options(SqlOptions {
+                            push_selections: push,
+                            root_filter_pushdown: push,
+                        })
+                        .translate(&path)
+                        .unwrap();
+                    let mut stats = Stats::default();
+                    let got = tr.run(&db, ExecOptions::default(), &mut stats);
+                    assert_eq!(got, native, "query {q}, {strategy:?}, push={push}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dept_queries_end_to_end() {
+        let d = samples::dept_simplified();
+        check_sql_equiv(
+            &d,
+            "<dept><course><course><course/><project><course><project/></course></project></course><student/><student><course/></student></course></dept>",
+            &[
+                "dept//project",
+                "dept/course",
+                "dept//course",
+                "dept/course/student[course]",
+                "dept//course[not //project]",
+                "dept//course[project or student]",
+                "dept/course/(student | project)",
+            ],
+        );
+    }
+
+    #[test]
+    fn cross_queries_end_to_end() {
+        let d = samples::cross();
+        check_sql_equiv(
+            &d,
+            "<a><b><a><c><d/><a/></c></a></b><c><d/></c></a>",
+            &["a/b//c/d", "a[//c]//d", "a[not //c]", "a[not //c or (b and //d)]", "a//d", "a//a"],
+        );
+    }
+
+    #[test]
+    fn gedml_recursive_root_end_to_end() {
+        let d = samples::gedml();
+        check_sql_equiv(
+            &d,
+            "<Even><Sour><Data><Even><Sour/></Even></Data><Note><Obje/></Note></Sour><Obje><Sour><Data/></Sour></Obje></Even>",
+            &["Even//Data", "//Even", "Even//Even", "Even/Sour/Data", "Even//Obje[Sour]"],
+        );
+    }
+
+    #[test]
+    fn lazy_program_skips_unused_statements() {
+        let d = samples::dept_simplified();
+        let tree = parse_xml(&d, "<dept><course><project/></course></dept>").unwrap();
+        let db = edge_database(&tree, &d);
+        let path = parse_xpath("dept//project").unwrap();
+        let tr = Translator::new(&d).translate(&path).unwrap();
+        let mut lazy_stats = Stats::default();
+        tr.run(&db, ExecOptions::default(), &mut lazy_stats);
+        let mut eager_stats = Stats::default();
+        tr.run(
+            &db,
+            ExecOptions {
+                lazy: false,
+                ..Default::default()
+            },
+            &mut eager_stats,
+        );
+        assert!(lazy_stats.stmts_evaluated <= eager_stats.stmts_evaluated);
+    }
+
+    #[test]
+    fn translation_exposes_extended_query() {
+        let d = samples::dept_simplified();
+        let path = parse_xpath("dept//project").unwrap();
+        let tr = Translator::new(&d).translate(&path).unwrap();
+        assert!(!tr.extended.result.is_empty_set());
+        assert!(!tr.program.is_empty());
+        let counts = tr.program.op_counts();
+        assert!(counts.lfp >= 1, "descendant axis needs at least one LFP");
+    }
+
+    #[test]
+    fn cyclee_strategy_errors_on_blowup() {
+        let d = samples::complete_dag(14);
+        let path = parse_xpath("//A14").unwrap();
+        let err = Translator::new(&d)
+            .with_strategy(RecStrategy::CycleE { cap: 500 })
+            .translate(&path)
+            .unwrap_err();
+        assert!(matches!(err, TranslateError::RecBlowup { .. }));
+    }
+}

@@ -1,0 +1,173 @@
+//! Query answering over virtual XML views of XML data (paper §3.4).
+//!
+//! Setting: a GAV mapping σ : D₁ → D₂ between a *view* DTD D₁ and a
+//! *source* DTD D₂ that **contains** it. Given a source document T ⊨ D₂,
+//! σ extracts the sub-structure V ⊨ D₁ (same root, same paths). An XPath
+//! query Q on the virtual view V must be answered on T directly — but
+//! XPath is not closed under this rewriting, and regular XPath pays an
+//! exponential price (Examples 3.2/3.3, [22]).
+//!
+//! The paper's observation: `XPathToEXp` already produces an extended XPath
+//! query equivalent to Q over *all* DTDs containing D₁ (Theorem 4.2) — in
+//! polynomial time. So view answering is: rewrite over D₁, evaluate over T.
+
+use crate::pipeline::{RecStrategy, TranslateError, Translator};
+use std::collections::BTreeSet;
+use x2s_dtd::Dtd;
+use x2s_exp::ExtendedQuery;
+use x2s_xml::{NodeId, Tree};
+use x2s_xpath::Path;
+
+/// Rewrite an XPath query posed on a view DTD into an extended XPath query
+/// that answers it over any source whose DTD contains the view DTD.
+pub fn rewrite_for_view(query: &Path, view_dtd: &Dtd) -> Result<ExtendedQuery, TranslateError> {
+    Translator::new(view_dtd)
+        .with_strategy(RecStrategy::CycleEx)
+        .to_extended(query)
+}
+
+/// Answer a view query directly on the source document (no view
+/// materialization): rewrite over the view DTD, evaluate natively over the
+/// source tree.
+pub fn answer_on_source(
+    query: &Path,
+    view_dtd: &Dtd,
+    source_tree: &Tree,
+    source_dtd: &Dtd,
+) -> Result<BTreeSet<NodeId>, TranslateError> {
+    let rewritten = rewrite_for_view(query, view_dtd)?;
+    Ok(rewritten.eval_from_document(source_tree, source_dtd))
+}
+
+/// Materialize the view sub-tree of a source document: keep exactly the
+/// nodes whose root-to-node path exists in the view DTD (the σ mapping of
+/// §3.4, restated over paths). Returns the view tree and, for each view
+/// node, the source node it came from.
+pub fn extract_view(source: &Tree, source_dtd: &Dtd, view_dtd: &Dtd) -> (Tree, Vec<NodeId>) {
+    let root_label = view_dtd.root();
+    assert_eq!(
+        view_dtd.name(root_label),
+        source_dtd.name(source.label(source.root())),
+        "σ maps the view root to the source root"
+    );
+    let graph = x2s_dtd::DtdGraph::of(view_dtd);
+    let mut view = Tree::with_root(root_label);
+    view.set_value(view.root(), source.value(source.root()));
+    let mut origin = vec![source.root()];
+    // walk the source top-down, keeping children whose (parent,child) edge
+    // exists in the view DTD
+    let mut stack: Vec<(NodeId, NodeId)> = vec![(source.root(), view.root())];
+    while let Some((s, v)) = stack.pop() {
+        let v_label = view.label(v);
+        for &c in source.children(s) {
+            let c_name = source_dtd.name(source.label(c));
+            if let Some(c_view_label) = view_dtd.elem(c_name) {
+                if graph.has_edge(v_label, c_view_label) {
+                    let nv = view.add_child(v, c_view_label);
+                    view.set_value(nv, source.value(c));
+                    origin.push(c);
+                    stack.push((c, nv));
+                }
+            }
+        }
+    }
+    (view, origin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2s_dtd::{is_contained_in, samples};
+    use x2s_xml::{parse_xml, GeneratorConfig};
+    use x2s_xpath::{eval_from_document, parse_xpath};
+
+    /// The §3.4 equivalence: Q(V) == Q′(T), where Q′ = rewrite_for_view(Q).
+    fn check_view_equiv(view_dtd: &Dtd, source_dtd: &Dtd, source: &Tree, queries: &[&str]) {
+        assert!(is_contained_in(view_dtd, source_dtd));
+        let (view, origin) = extract_view(source, source_dtd, view_dtd);
+        for q in queries {
+            let path = parse_xpath(q).unwrap();
+            // ground truth: evaluate on the materialized view, map back
+            let on_view: BTreeSet<NodeId> = eval_from_document(&path, &view, view_dtd)
+                .into_iter()
+                .map(|n| origin[n.index()])
+                .collect();
+            // the paper's way: rewrite, evaluate on the source
+            let on_source = answer_on_source(&path, view_dtd, source, source_dtd).unwrap();
+            assert_eq!(on_source, on_view, "view query {q}");
+        }
+    }
+
+    #[test]
+    fn example_3_2_all_nodes_query() {
+        // D: A→(B,C), B→A ; D′ adds (B,C). Q = // on the view must not
+        // return C children of B nodes.
+        let view_dtd = samples::example_3_2_view();
+        let source_dtd = samples::example_3_2_source();
+        let source = parse_xml(
+            &source_dtd,
+            "<A><B><A><C/></A><C/></B><C/></A>",
+        )
+        .unwrap();
+        // B's C child exists only in the source
+        check_view_equiv(&view_dtd, &source_dtd, &source, &["//.", "//C", "//A", "A/B/A/C"]);
+        // explicit: the C under B is excluded
+        let path = parse_xpath("//C").unwrap();
+        let ans = answer_on_source(&path, &view_dtd, &source, &source_dtd).unwrap();
+        let all_c: Vec<NodeId> = source
+            .node_ids()
+            .filter(|&n| source_dtd.name(source.label(n)) == "C")
+            .collect();
+        assert_eq!(all_c.len(), 3);
+        assert_eq!(ans.len(), 2, "the C under B is not part of the view");
+    }
+
+    #[test]
+    fn example_3_3_complete_dag() {
+        // D1 = complete DAG on A1..A4; D2 adds B with (Ai,B), (B,A4).
+        // Q = //A4 on the view: A4 nodes not reached through B.
+        let view_dtd = samples::complete_dag(4);
+        let source_dtd = samples::complete_dag_with_b(4);
+        let source = parse_xml(
+            &source_dtd,
+            "<A1><A2><A4/><B><A4/></B></A2><A4/><B><A4/></B></A1>",
+        )
+        .unwrap();
+        check_view_equiv(&view_dtd, &source_dtd, &source, &["//A4", "//A2", "//."]);
+        let path = parse_xpath("//A4").unwrap();
+        let ans = answer_on_source(&path, &view_dtd, &source, &source_dtd).unwrap();
+        assert_eq!(ans.len(), 2, "A4 nodes under B are excluded");
+    }
+
+    #[test]
+    fn bioml_subgraph_views() {
+        // BIOML a ⊂ BIOML d: query the small view over full-data documents.
+        let view_dtd = samples::bioml_a();
+        let source_dtd = samples::bioml_d();
+        let gen = x2s_xml::Generator::new(
+            &source_dtd,
+            GeneratorConfig::shaped(6, 3, Some(400)),
+        );
+        let source = gen.generate();
+        check_view_equiv(
+            &view_dtd,
+            &source_dtd,
+            &source,
+            &["gene//locus", "gene//dna", "//clone", "gene/dna[clone]"],
+        );
+    }
+
+    #[test]
+    fn identity_view_is_identity() {
+        let d = samples::dept_simplified();
+        let t = parse_xml(
+            &d,
+            "<dept><course><student/><project/></course></dept>",
+        )
+        .unwrap();
+        let (view, origin) = extract_view(&t, &d, &d);
+        assert_eq!(view.len(), t.len());
+        assert_eq!(origin.len(), t.len());
+        check_view_equiv(&d, &d, &t, &["dept//project", "//student"]);
+    }
+}

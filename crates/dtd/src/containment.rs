@@ -1,0 +1,113 @@
+//! DTD containment (paper §2.1): "a dtd D is contained in another dtd D'
+//! if the dtd graph of D is a sub-graph of D', i.e. there is a homomorphism
+//! mapping from D to D' such that the root of D is mapped to the root of D'".
+//!
+//! Because DTD-graph nodes are labelled with element-type names, the
+//! homomorphism is forced to be name-preserving; containment therefore
+//! reduces to: every type of `D` occurs in `D'`, every edge of `D` occurs in
+//! `D'`, and the roots carry the same name. This is the premise of the view
+//! query-answering results (§3.4): a query rewritten by `XPathToEXp` over a
+//! view DTD `D` is equivalent over *all* DTDs containing `D`.
+
+use crate::graph::DtdGraph;
+use crate::model::{Dtd, ElemId};
+use std::collections::HashMap;
+
+/// Compute the containment mapping from `d` into `d2`, if any: a map from
+/// each element id of `d` to the same-named element id of `d2`.
+pub fn containment_of(d: &Dtd, d2: &Dtd) -> Option<HashMap<ElemId, ElemId>> {
+    if d.name(d.root()) != d2.name(d2.root()) {
+        return None;
+    }
+    let mut map = HashMap::with_capacity(d.len());
+    for a in d.ids() {
+        let b = d2.elem(d.name(a))?;
+        map.insert(a, b);
+    }
+    let (g, g2) = (DtdGraph::of(d), DtdGraph::of(d2));
+    for e in g.edges() {
+        if !g2.has_edge(map[&e.from], map[&e.to]) {
+            return None;
+        }
+    }
+    Some(map)
+}
+
+/// True when `d` is contained in `d2`.
+pub fn is_contained_in(d: &Dtd, d2: &Dtd) -> bool {
+    containment_of(d, d2).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DtdBuilder;
+
+    fn view() -> Dtd {
+        // Example 3.2's D: A → B*, A → C ; B → A (recursive)
+        DtdBuilder::new("A")
+            .elem_star_children("A", &["B", "C"])
+            .elem_star_children("B", &["A"])
+            .elem_star_children("C", &[])
+            .build()
+            .unwrap()
+    }
+
+    fn source() -> Dtd {
+        // Example 3.2's D': D plus an extra edge (B, C)
+        DtdBuilder::new("A")
+            .elem_star_children("A", &["B", "C"])
+            .elem_star_children("B", &["A", "C"])
+            .elem_star_children("C", &[])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_dtd_contains_itself() {
+        let d = view();
+        assert!(is_contained_in(&d, &d));
+    }
+
+    #[test]
+    fn example_3_2_containment() {
+        assert!(is_contained_in(&view(), &source()));
+        assert!(
+            !is_contained_in(&source(), &view()),
+            "extra (B,C) edge is not in the view DTD"
+        );
+    }
+
+    #[test]
+    fn root_name_must_match() {
+        let other = DtdBuilder::new("B")
+            .elem_star_children("B", &["A", "C"])
+            .elem_star_children("A", &["B", "C"])
+            .elem_star_children("C", &[])
+            .build()
+            .unwrap();
+        assert!(!is_contained_in(&view(), &other));
+    }
+
+    #[test]
+    fn missing_type_fails() {
+        let small = DtdBuilder::new("A")
+            .elem_star_children("A", &["B"])
+            .elem_star_children("B", &["A"])
+            .build()
+            .unwrap();
+        // view() has type C which `small` lacks
+        assert!(!is_contained_in(&view(), &small));
+        // but small is contained in view
+        assert!(is_contained_in(&small, &view()));
+    }
+
+    #[test]
+    fn mapping_is_name_preserving() {
+        let (d, d2) = (view(), source());
+        let map = containment_of(&d, &d2).unwrap();
+        for a in d.ids() {
+            assert_eq!(d.name(a), d2.name(map[&a]));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Simple-cycle enumeration (Johnson's algorithm).
+//!
+//! The paper classifies evaluation DTDs as *n-cycle graphs*: "a dtd graph
+//! G_D is called an n-cycle graph if G_D consists of n simple cycles, where a
+//! simple cycle refers to a cycle in which no node appears more than once"
+//! (§2.1). Table 5 reports the number of simple cycles `c` per DTD; we verify
+//! our reconstructed sample DTDs against those counts.
+
+use crate::graph::DtdGraph;
+use crate::model::ElemId;
+use std::collections::HashSet;
+
+/// Enumerate all simple cycles of the DTD graph, each returned as the list of
+/// node ids along the cycle starting from its smallest node id (the canonical
+/// rotation). Cycles are returned sorted for deterministic output.
+pub fn simple_cycles(graph: &DtdGraph) -> Vec<Vec<ElemId>> {
+    let n = graph.node_count();
+    let mut cycles = Vec::new();
+
+    // Johnson's algorithm, specialised to small graphs: iterate start nodes s
+    // in increasing order and search only within nodes ≥ s.
+    for s in 0..n {
+        let start = ElemId(s as u32);
+        let mut blocked = vec![false; n];
+        let mut block_map: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        let mut stack: Vec<ElemId> = Vec::new();
+        circuit(
+            graph,
+            start,
+            start,
+            s,
+            &mut blocked,
+            &mut block_map,
+            &mut stack,
+            &mut cycles,
+        );
+    }
+    cycles.sort();
+    cycles
+}
+
+#[allow(clippy::too_many_arguments)]
+fn circuit(
+    graph: &DtdGraph,
+    v: ElemId,
+    start: ElemId,
+    min: usize,
+    blocked: &mut Vec<bool>,
+    block_map: &mut Vec<HashSet<usize>>,
+    stack: &mut Vec<ElemId>,
+    cycles: &mut Vec<Vec<ElemId>>,
+) -> bool {
+    let mut found = false;
+    stack.push(v);
+    blocked[v.index()] = true;
+    for &(w, _) in graph.children(v) {
+        if w.index() < min {
+            continue;
+        }
+        if w == start {
+            cycles.push(stack.clone());
+            found = true;
+        } else if !blocked[w.index()]
+            && circuit(graph, w, start, min, blocked, block_map, stack, cycles)
+        {
+            found = true;
+        }
+    }
+    if found {
+        unblock(v.index(), blocked, block_map);
+    } else {
+        for &(w, _) in graph.children(v) {
+            if w.index() >= min {
+                block_map[w.index()].insert(v.index());
+            }
+        }
+    }
+    stack.pop();
+    found
+}
+
+fn unblock(v: usize, blocked: &mut Vec<bool>, block_map: &mut Vec<HashSet<usize>>) {
+    blocked[v] = false;
+    let dependents: Vec<usize> = block_map[v].drain().collect();
+    for w in dependents {
+        if blocked[w] {
+            unblock(w, blocked, block_map);
+        }
+    }
+}
+
+/// Number of simple cycles (the `c` column of Table 5).
+pub fn cycle_count(graph: &DtdGraph) -> usize {
+    simple_cycles(graph).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Dtd, DtdBuilder};
+
+    fn graph_of(edges: &[(&str, &str)], root: &str, nodes: &[&str]) -> (Dtd, DtdGraph) {
+        let mut b = DtdBuilder::new(root);
+        for &node in nodes {
+            let kids: Vec<&str> = edges
+                .iter()
+                .filter(|(f, _)| *f == node)
+                .map(|(_, t)| *t)
+                .collect();
+            b = b.elem_star_children(node, &kids);
+        }
+        let d = b.build().unwrap();
+        let g = DtdGraph::of(&d);
+        (d, g)
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let (_, g) = graph_of(&[("a", "b"), ("b", "c")], "a", &["a", "b", "c"]);
+        assert_eq!(simple_cycles(&g).len(), 0);
+    }
+
+    #[test]
+    fn self_loop_is_one_cycle() {
+        let (_, g) = graph_of(&[("a", "a")], "a", &["a"]);
+        let cycles = simple_cycles(&g);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 1);
+    }
+
+    #[test]
+    fn two_cycle_figure_eight() {
+        // b↔c and c↔d share node c: exactly 2 simple cycles.
+        let (_, g) = graph_of(
+            &[("a", "b"), ("b", "c"), ("c", "b"), ("c", "d"), ("d", "c")],
+            "a",
+            &["a", "b", "c", "d"],
+        );
+        assert_eq!(cycle_count(&g), 2);
+    }
+
+    #[test]
+    fn triangle_with_back_edges() {
+        // a→b, b→a, b→c, c→b, a→c, c→a: 3 two-cycles + 2 three-cycles.
+        let (_, g) = graph_of(
+            &[
+                ("a", "b"),
+                ("b", "a"),
+                ("b", "c"),
+                ("c", "b"),
+                ("a", "c"),
+                ("c", "a"),
+            ],
+            "a",
+            &["a", "b", "c"],
+        );
+        assert_eq!(cycle_count(&g), 5);
+    }
+
+    #[test]
+    fn cycles_are_simple_and_canonical() {
+        let (_, g) = graph_of(
+            &[("a", "b"), ("b", "c"), ("c", "a")],
+            "a",
+            &["a", "b", "c"],
+        );
+        let cycles = simple_cycles(&g);
+        assert_eq!(cycles.len(), 1);
+        let c = &cycles[0];
+        assert_eq!(c.len(), 3);
+        // starts at the smallest node id of the cycle
+        assert!(c[0] <= c[1] && c[0] <= c[2]);
+        // no repeated nodes
+        let set: std::collections::HashSet<_> = c.iter().collect();
+        assert_eq!(set.len(), c.len());
+    }
+}

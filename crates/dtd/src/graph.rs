@@ -1,0 +1,343 @@
+//! The DTD graph `G_D` (paper §2.1): one node per element type, an edge
+//! `A → B` for every sub-element type `B` in `Rg(A)`, labelled `*` when `B`
+//! is enclosed in a starred sub-expression.
+
+use crate::model::{Dtd, ElemId};
+use std::collections::HashSet;
+
+/// One parent/child edge of the DTD graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Parent type.
+    pub from: ElemId,
+    /// Child type.
+    pub to: ElemId,
+    /// Whether the child occurrence is enclosed in `*`/`+` (may repeat).
+    pub starred: bool,
+}
+
+/// A compact bitset over element ids (the graphs here have ≤ a few hundred
+/// nodes, so `Vec<u64>` words are plenty).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdSet {
+    words: Vec<u64>,
+}
+
+impl IdSet {
+    /// Empty set sized for `n` ids.
+    pub fn new(n: usize) -> Self {
+        IdSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Insert; returns true when newly inserted.
+    #[inline]
+    pub fn insert(&mut self, id: ElemId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let had = self.words[w] >> b & 1 == 1;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: ElemId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words.get(w).is_some_and(|word| word >> b & 1 == 1)
+    }
+
+    /// In-place union; returns true when `self` changed.
+    pub fn union_with(&mut self, other: &IdSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// Iterate members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = ElemId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w >> b & 1 == 1)
+                .map(move |b| ElemId((wi * 64 + b) as u32))
+        })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no member is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// The DTD graph with derived reachability information.
+///
+/// `reach_strict(a)` is the set of types reachable from `a` via **one or
+/// more** edges (used for `//`); `reaches(a, b)` additionally treats every
+/// node as reaching itself (descendant-*or-self*).
+#[derive(Clone, Debug)]
+pub struct DtdGraph {
+    n: usize,
+    children: Vec<Vec<(ElemId, bool)>>,
+    parents: Vec<Vec<ElemId>>,
+    edges: Vec<Edge>,
+    edge_set: HashSet<(ElemId, ElemId)>,
+    /// reach_plus[a] = types reachable from a via ≥1 edges.
+    reach_plus: Vec<IdSet>,
+}
+
+impl DtdGraph {
+    /// Build the graph of a DTD.
+    pub fn of(dtd: &Dtd) -> Self {
+        let n = dtd.len();
+        let mut children: Vec<Vec<(ElemId, bool)>> = vec![Vec::new(); n];
+        let mut parents: Vec<Vec<ElemId>> = vec![Vec::new(); n];
+        let mut edges = Vec::new();
+        let mut edge_set = HashSet::new();
+        for a in dtd.ids() {
+            let mut seen_here: HashSet<ElemId> = HashSet::new();
+            for (b, starred) in dtd.content(a).child_occurrences() {
+                // The DTD graph has at most one A→B edge; if any occurrence is
+                // starred the edge is starred (it may repeat).
+                if seen_here.insert(b) {
+                    children[a.index()].push((b, starred));
+                    parents[b.index()].push(a);
+                    edges.push(Edge {
+                        from: a,
+                        to: b,
+                        starred,
+                    });
+                    edge_set.insert((a, b));
+                } else if starred {
+                    for (c, s) in children[a.index()].iter_mut() {
+                        if *c == b {
+                            *s = true;
+                        }
+                    }
+                    for e in edges.iter_mut() {
+                        if e.from == a && e.to == b {
+                            e.starred = true;
+                        }
+                    }
+                }
+            }
+        }
+        let reach_plus = compute_reach_plus(n, &children);
+        DtdGraph {
+            n,
+            children,
+            parents,
+            edges,
+            edge_set,
+            reach_plus,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Out-neighbours of `a` with their `*` labels.
+    #[inline]
+    pub fn children(&self, a: ElemId) -> &[(ElemId, bool)] {
+        &self.children[a.index()]
+    }
+
+    /// In-neighbours of `b`.
+    #[inline]
+    pub fn parents(&self, b: ElemId) -> &[ElemId] {
+        &self.parents[b.index()]
+    }
+
+    /// Whether the edge `a → b` exists.
+    #[inline]
+    pub fn has_edge(&self, a: ElemId, b: ElemId) -> bool {
+        self.edge_set.contains(&(a, b))
+    }
+
+    /// Types reachable from `a` via one or more edges.
+    #[inline]
+    pub fn reach_strict(&self, a: ElemId) -> &IdSet {
+        &self.reach_plus[a.index()]
+    }
+
+    /// Descendant-or-self reachability: `a == b` or `a` reaches `b`.
+    #[inline]
+    pub fn reaches_or_self(&self, a: ElemId, b: ElemId) -> bool {
+        a == b || self.reach_plus[a.index()].contains(b)
+    }
+
+    /// Whether the graph has a cycle (i.e. the DTD is recursive).
+    pub fn is_cyclic(&self) -> bool {
+        (0..self.n).any(|i| self.reach_plus[i].contains(ElemId(i as u32)))
+    }
+
+    /// Nodes lying on some path from `a` to `b` (both endpoints included when
+    /// they participate). Used by SQLGen-R's query graph construction.
+    pub fn nodes_on_paths(&self, a: ElemId, b: ElemId) -> Vec<ElemId> {
+        let mut out = Vec::new();
+        for c in (0..self.n as u32).map(ElemId) {
+            let from_a = a == c || self.reach_plus[a.index()].contains(c);
+            let to_b = c == b || self.reach_plus[c.index()].contains(b);
+            if from_a && to_b {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+fn compute_reach_plus(n: usize, children: &[Vec<(ElemId, bool)>]) -> Vec<IdSet> {
+    // Semi-naive closure: start from direct edges, propagate until fixpoint.
+    let mut reach: Vec<IdSet> = (0..n).map(|_| IdSet::new(n)).collect();
+    for (a, kids) in children.iter().enumerate() {
+        for (b, _) in kids {
+            reach[a].insert(*b);
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for a in 0..n {
+            // reach[a] |= union of reach[b] for direct children b
+            let mut acc = reach[a].clone();
+            for (b, _) in &children[a] {
+                let rb = reach[b.index()].clone();
+                acc.union_with(&rb);
+            }
+            if acc != reach[a] {
+                reach[a] = acc;
+                changed = true;
+            }
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DtdBuilder, ModelSpec};
+
+    fn chain() -> Dtd {
+        DtdBuilder::new("a")
+            .elem("a", ModelSpec::star_of("b"))
+            .elem("b", ModelSpec::star_of("c"))
+            .elem("c", ModelSpec::Empty)
+            .build()
+            .unwrap()
+    }
+
+    fn cyclic() -> Dtd {
+        DtdBuilder::new("a")
+            .elem_star_children("a", &["b"])
+            .elem_star_children("b", &["c"])
+            .elem_star_children("c", &["b", "d"])
+            .elem_star_children("d", &[])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn edges_and_star_labels() {
+        let d = chain();
+        let g = DtdGraph::of(&d);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let (a, b) = (d.elem("a").unwrap(), d.elem("b").unwrap());
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        assert!(g.children(a)[0].1, "a→b must be starred");
+    }
+
+    #[test]
+    fn duplicate_occurrence_merges_to_one_edge() {
+        // a → (b, b*) : single edge, starred because one occurrence repeats.
+        let d = DtdBuilder::new("a")
+            .elem(
+                "a",
+                ModelSpec::Seq(vec![ModelSpec::elem("b"), ModelSpec::star_of("b")]),
+            )
+            .elem("b", ModelSpec::Empty)
+            .build()
+            .unwrap();
+        let g = DtdGraph::of(&d);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.edges()[0].starred);
+    }
+
+    #[test]
+    fn reachability_strict_vs_or_self() {
+        let d = chain();
+        let g = DtdGraph::of(&d);
+        let (a, c) = (d.elem("a").unwrap(), d.elem("c").unwrap());
+        assert!(g.reach_strict(a).contains(c));
+        assert!(!g.reach_strict(c).contains(c));
+        assert!(g.reaches_or_self(c, c));
+        assert!(!g.is_cyclic());
+    }
+
+    #[test]
+    fn cyclic_reachability() {
+        let d = cyclic();
+        let g = DtdGraph::of(&d);
+        let b = d.elem("b").unwrap();
+        assert!(g.is_cyclic());
+        assert!(g.reach_strict(b).contains(b), "b→c→b loop");
+    }
+
+    #[test]
+    fn nodes_on_paths() {
+        let d = cyclic();
+        let g = DtdGraph::of(&d);
+        let (a, dd) = (d.elem("a").unwrap(), d.elem("d").unwrap());
+        let nodes = g.nodes_on_paths(a, dd);
+        // every node lies on some a→…→d path here
+        assert_eq!(nodes.len(), 4);
+    }
+
+    #[test]
+    fn idset_basics() {
+        let mut s = IdSet::new(130);
+        assert!(s.insert(ElemId(0)));
+        assert!(s.insert(ElemId(129)));
+        assert!(!s.insert(ElemId(0)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(ElemId(129)));
+        assert!(!s.contains(ElemId(64)));
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![ElemId(0), ElemId(129)]);
+    }
+
+    #[test]
+    fn idset_union() {
+        let mut a = IdSet::new(10);
+        let mut b = IdSet::new(10);
+        a.insert(ElemId(1));
+        b.insert(ElemId(2));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,415 @@
+//! AST for extended XPath expressions.
+
+use std::fmt;
+
+/// A variable `X` in an extended XPath query: an index into the equation
+/// list of an [`crate::ExtendedQuery`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An extended XPath expression `E` (paper §3.2).
+///
+/// Labels are element-type *names* (not DTD-local ids) so that an expression
+/// rewritten over a view DTD `D₁` can be evaluated over documents of any
+/// containing DTD `D₂` (§3.4).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Exp {
+    /// ε — the empty path.
+    Epsilon,
+    /// ∅ — the empty language.
+    EmptySet,
+    /// A label step.
+    Label(String),
+    /// A variable reference.
+    Var(VarId),
+    /// Concatenation `E₁/E₂/…` (n-ary for flattening).
+    Seq(Vec<Exp>),
+    /// Union `E₁ ∪ E₂ ∪ …` (n-ary for flattening).
+    Union(Vec<Exp>),
+    /// Kleene closure `E*`.
+    Star(Box<Exp>),
+    /// Qualified expression `E[q]`.
+    Qualified(Box<Exp>, EQual),
+}
+
+/// A qualifier in extended XPath. `True`/`False` arise when `RewQual`
+/// statically decides a qualifier from the DTD structure (paper Fig. 9).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum EQual {
+    /// Statically true (dropped by simplification).
+    True,
+    /// Statically false (collapses the expression to ∅).
+    False,
+    /// Existential sub-expression test.
+    Exp(Box<Exp>),
+    /// `text() = c`.
+    TextEq(String),
+    /// Negation.
+    Not(Box<EQual>),
+    /// Conjunction.
+    And(Box<EQual>, Box<EQual>),
+    /// Disjunction.
+    Or(Box<EQual>, Box<EQual>),
+}
+
+/// Operator counts of an expression or query — the accounting used in
+/// Examples 4.1/4.2 ("3 ∪-operators and 6 /-operators") and Table 5.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExpOpCounts {
+    /// Kleene stars (each becomes one LFP operator in SQL).
+    pub stars: usize,
+    /// `/`-operators (an n-ary Seq contributes n−1).
+    pub seqs: usize,
+    /// `∪`-operators (an n-ary Union contributes n−1).
+    pub unions: usize,
+    /// Qualifier operators (`[q]`, ¬, ∧, ∨, text()=c).
+    pub quals: usize,
+}
+
+impl ExpOpCounts {
+    /// Sum of all counted operators.
+    pub fn total(&self) -> usize {
+        self.stars + self.seqs + self.unions + self.quals
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: ExpOpCounts) {
+        self.stars += other.stars;
+        self.seqs += other.seqs;
+        self.unions += other.unions;
+        self.quals += other.quals;
+    }
+}
+
+impl Exp {
+    /// A label step.
+    pub fn label(name: &str) -> Exp {
+        Exp::Label(name.to_string())
+    }
+
+    /// Binary concatenation with light normalization.
+    pub fn then(self, next: Exp) -> Exp {
+        match (self, next) {
+            (Exp::Epsilon, e) | (e, Exp::Epsilon) => e,
+            (Exp::EmptySet, _) | (_, Exp::EmptySet) => Exp::EmptySet,
+            (Exp::Seq(mut a), Exp::Seq(b)) => {
+                a.extend(b);
+                Exp::Seq(a)
+            }
+            (Exp::Seq(mut a), e) => {
+                a.push(e);
+                Exp::Seq(a)
+            }
+            (e, Exp::Seq(mut b)) => {
+                b.insert(0, e);
+                Exp::Seq(b)
+            }
+            (a, b) => Exp::Seq(vec![a, b]),
+        }
+    }
+
+    /// Binary union with light normalization.
+    pub fn or(self, other: Exp) -> Exp {
+        match (self, other) {
+            (Exp::EmptySet, e) | (e, Exp::EmptySet) => e,
+            (Exp::Union(mut a), Exp::Union(b)) => {
+                a.extend(b);
+                Exp::Union(a)
+            }
+            (Exp::Union(mut a), e) => {
+                a.push(e);
+                Exp::Union(a)
+            }
+            (e, Exp::Union(mut b)) => {
+                b.insert(0, e);
+                Exp::Union(b)
+            }
+            (a, b) if a == b => a,
+            (a, b) => Exp::Union(vec![a, b]),
+        }
+    }
+
+    /// Kleene closure with `∅* = ε* = ε`, `(E*)* = E*` and
+    /// `(ε ∪ E)* = E*` collapsing.
+    pub fn star(self) -> Exp {
+        match self {
+            Exp::EmptySet | Exp::Epsilon => Exp::Epsilon,
+            Exp::Star(inner) => Exp::Star(inner),
+            Exp::Union(parts) if parts.contains(&Exp::Epsilon) => {
+                let rest: Vec<Exp> = parts.into_iter().filter(|p| *p != Exp::Epsilon).collect();
+                match rest.len() {
+                    0 => Exp::Epsilon,
+                    1 => rest.into_iter().next().unwrap().star(),
+                    _ => Exp::Star(Box::new(Exp::Union(rest))),
+                }
+            }
+            e => Exp::Star(Box::new(e)),
+        }
+    }
+
+    /// Attach a qualifier (True drops, False empties).
+    pub fn qualified(self, q: EQual) -> Exp {
+        match q {
+            EQual::True => self,
+            EQual::False => Exp::EmptySet,
+            q => Exp::Qualified(Box::new(self), q),
+        }
+    }
+
+    /// Whether the expression is the empty language.
+    pub fn is_empty_set(&self) -> bool {
+        matches!(self, Exp::EmptySet)
+    }
+
+    /// AST size (nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Exp::Epsilon | Exp::EmptySet | Exp::Label(_) | Exp::Var(_) => 1,
+            Exp::Seq(parts) | Exp::Union(parts) => {
+                1 + parts.iter().map(Exp::size).sum::<usize>()
+            }
+            Exp::Star(e) => 1 + e.size(),
+            Exp::Qualified(e, q) => 1 + e.size() + q.size(),
+        }
+    }
+
+    /// Operator counts of this expression alone (variables count 0; use
+    /// [`crate::ExtendedQuery::op_counts`] for whole queries).
+    pub fn op_counts(&self) -> ExpOpCounts {
+        let mut c = ExpOpCounts::default();
+        self.count_into(&mut c);
+        c
+    }
+
+    fn count_into(&self, c: &mut ExpOpCounts) {
+        match self {
+            Exp::Epsilon | Exp::EmptySet | Exp::Label(_) | Exp::Var(_) => {}
+            Exp::Seq(parts) => {
+                c.seqs += parts.len().saturating_sub(1);
+                for p in parts {
+                    p.count_into(c);
+                }
+            }
+            Exp::Union(parts) => {
+                c.unions += parts.len().saturating_sub(1);
+                for p in parts {
+                    p.count_into(c);
+                }
+            }
+            Exp::Star(e) => {
+                c.stars += 1;
+                e.count_into(c);
+            }
+            Exp::Qualified(e, q) => {
+                c.quals += 1;
+                e.count_into(c);
+                q.count_into(c);
+            }
+        }
+    }
+
+    /// Variables referenced by this expression.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Exp::Var(v) => out.push(*v),
+            Exp::Epsilon | Exp::EmptySet | Exp::Label(_) => {}
+            Exp::Seq(parts) | Exp::Union(parts) => {
+                for p in parts {
+                    p.collect_vars(out);
+                }
+            }
+            Exp::Star(e) => e.collect_vars(out),
+            Exp::Qualified(e, q) => {
+                e.collect_vars(out);
+                q.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl EQual {
+    /// Existential test helper.
+    pub fn exp(e: Exp) -> EQual {
+        EQual::Exp(Box::new(e))
+    }
+
+    /// AST size.
+    pub fn size(&self) -> usize {
+        match self {
+            EQual::True | EQual::False | EQual::TextEq(_) => 1,
+            EQual::Exp(e) => e.size(),
+            EQual::Not(q) => 1 + q.size(),
+            EQual::And(a, b) | EQual::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    fn count_into(&self, c: &mut ExpOpCounts) {
+        match self {
+            EQual::True | EQual::False => {}
+            EQual::TextEq(_) => c.quals += 1,
+            EQual::Exp(e) => e.count_into(c),
+            EQual::Not(q) => {
+                c.quals += 1;
+                q.count_into(c);
+            }
+            EQual::And(a, b) | EQual::Or(a, b) => {
+                c.quals += 1;
+                a.count_into(c);
+                b.count_into(c);
+            }
+        }
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            EQual::True | EQual::False | EQual::TextEq(_) => {}
+            EQual::Exp(e) => e.collect_vars(out),
+            EQual::Not(q) => q.collect_vars(out),
+            EQual::And(a, b) | EQual::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Variables referenced by this qualifier.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for Exp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exp::Epsilon => write!(f, "ε"),
+            Exp::EmptySet => write!(f, "∅"),
+            Exp::Label(a) => write!(f, "{a}"),
+            Exp::Var(v) => write!(f, "X{}", v.0),
+            Exp::Seq(parts) => {
+                let rendered: Vec<String> = parts
+                    .iter()
+                    .map(|p| match p {
+                        Exp::Union(_) => format!("({p})"),
+                        _ => p.to_string(),
+                    })
+                    .collect();
+                write!(f, "{}", rendered.join("/"))
+            }
+            Exp::Union(parts) => {
+                let rendered: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+                write!(f, "{}", rendered.join(" ∪ "))
+            }
+            Exp::Star(e) => match **e {
+                Exp::Label(_) | Exp::Var(_) => write!(f, "{e}*"),
+                _ => write!(f, "({e})*"),
+            },
+            Exp::Qualified(e, q) => write!(f, "{e}[{q}]"),
+        }
+    }
+}
+
+impl fmt::Display for EQual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EQual::True => write!(f, "true"),
+            EQual::False => write!(f, "false"),
+            EQual::Exp(e) => write!(f, "{e}"),
+            EQual::TextEq(c) => write!(f, "text()=\"{c}\""),
+            EQual::Not(q) => write!(f, "¬({q})"),
+            EQual::And(a, b) => write!(f, "({a} ∧ {b})"),
+            EQual::Or(a, b) => write!(f, "({a} ∨ {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn then_normalizes_epsilon_and_empty() {
+        assert_eq!(Exp::Epsilon.then(Exp::label("a")), Exp::label("a"));
+        assert_eq!(Exp::label("a").then(Exp::Epsilon), Exp::label("a"));
+        assert!(Exp::label("a").then(Exp::EmptySet).is_empty_set());
+        let abc = Exp::label("a").then(Exp::label("b")).then(Exp::label("c"));
+        assert_eq!(abc.to_string(), "a/b/c");
+        assert_eq!(abc.op_counts().seqs, 2);
+    }
+
+    #[test]
+    fn or_normalizes() {
+        assert_eq!(Exp::EmptySet.or(Exp::label("a")), Exp::label("a"));
+        assert_eq!(Exp::label("a").or(Exp::label("a")), Exp::label("a"));
+        let u = Exp::label("a").or(Exp::label("b")).or(Exp::label("c"));
+        assert_eq!(u.to_string(), "a ∪ b ∪ c");
+        assert_eq!(u.op_counts().unions, 2);
+    }
+
+    #[test]
+    fn star_collapses_degenerates() {
+        assert_eq!(Exp::EmptySet.star(), Exp::Epsilon);
+        assert_eq!(Exp::Epsilon.star(), Exp::Epsilon);
+        let s = Exp::label("a").star();
+        assert_eq!(s.to_string(), "a*");
+        assert_eq!(s.clone().star(), s, "(a*)* = a*");
+    }
+
+    #[test]
+    fn qualified_constant_folding() {
+        assert_eq!(Exp::label("a").qualified(EQual::True), Exp::label("a"));
+        assert!(Exp::label("a").qualified(EQual::False).is_empty_set());
+        let q = Exp::label("a").qualified(EQual::TextEq("c".into()));
+        assert_eq!(q.to_string(), "a[text()=\"c\"]");
+    }
+
+    #[test]
+    fn var_collection() {
+        let e = Exp::Var(VarId(1))
+            .then(Exp::label("a"))
+            .or(Exp::Var(VarId(2)).star())
+            .qualified(EQual::exp(Exp::Var(VarId(3))));
+        let mut vars = e.vars();
+        vars.sort();
+        assert_eq!(vars, vec![VarId(1), VarId(2), VarId(3)]);
+    }
+
+    #[test]
+    fn display_parenthesization() {
+        let e = Exp::label("a").or(Exp::label("b")).then(Exp::label("c"));
+        // (a ∪ b)/c
+        assert_eq!(e.to_string(), "(a ∪ b)/c");
+        let s = Exp::label("a").then(Exp::label("b")).star();
+        assert_eq!(s.to_string(), "(a/b)*");
+    }
+
+    #[test]
+    fn op_counts_totals() {
+        // (a/b ∪ c)* has 1 star, 1 seq, 1 union
+        let e = Exp::label("a").then(Exp::label("b")).or(Exp::label("c")).star();
+        let c = e.op_counts();
+        assert_eq!((c.stars, c.seqs, c.unions), (1, 1, 1));
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Exp::Epsilon.size(), 1);
+        assert_eq!(Exp::label("a").then(Exp::label("b")).size(), 3);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! **Extended XPath expressions** — the paper's central notion (§3.2):
+//!
+//! ```text
+//! E ::= ε | A | X | E/E | E ∪ E | E* | E[q]
+//! q ::= E | text() = c | ¬q | q ∧ q | q ∨ q
+//! ```
+//!
+//! where `X` is a *variable* and `E*` is the general Kleene closure. An
+//! *extended XPath query* is a sequence of equations `Xᵢ = Eᵢ` (a DAG of
+//! bindings) plus a result expression; variables let common sub-queries be
+//! shared, which is what makes the CycleEX translation polynomial where
+//! regular XPath incurs an exponential blowup (Examples 3.3/3.4).
+//!
+//! The crate provides:
+//!
+//! * the AST ([`Exp`], [`EQual`]) with structural helpers and display;
+//! * [`ExtendedQuery`] — equation systems in dependency order, with an
+//!   evaluator over XML trees (binary-relation semantics) used both for
+//!   testing (Theorem 4.2's equivalence) and for answering queries on
+//!   virtual XML views natively (§3.4);
+//! * [`simplify`] — ε/∅ rewriting, flattening, operand deduplication;
+//! * [`regular`] — variable elimination into regular XPath (size-capped, to
+//!   demonstrate the exponential lower bound the paper cites from [18]);
+//! * operator counting ([`Exp::op_counts`]) matching the accounting of
+//!   Examples 4.1–4.2 and Table 5.
+
+pub mod ast;
+pub mod query;
+pub mod regular;
+pub mod simplify;
+
+pub use ast::{EQual, Exp, ExpOpCounts, VarId};
+pub use query::{Equation, ExtendedQuery, NodePair};
+pub use regular::{to_regular, RegularityError};
+pub use simplify::simplify;

@@ -1,0 +1,585 @@
+//! Extended XPath *queries*: equation systems `Xᵢ = Eᵢ` plus a result
+//! expression, with an evaluator over XML trees.
+//!
+//! Equations are stored in dependency order: `equations[i].rhs` may
+//! reference only variables `X_j` with `j < i` (the paper's condition that a
+//! query "is equivalent to a sequence of equations … evaluate Eᵢ and
+//! substitute", §3.2). The evaluator interprets every expression as a
+//! *binary relation* over contexts (the virtual document node plus all
+//! elements); it is intended for moderate trees — it is the semantic ground
+//! truth for tests and the native evaluation path for XML views (§3.4), not
+//! the high-throughput path (that is the SQL translation).
+
+use crate::ast::{EQual, Exp, ExpOpCounts, VarId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+use x2s_dtd::Dtd;
+use x2s_xml::{NodeId, Tree};
+
+/// One equation `X = E`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Equation {
+    /// The bound variable.
+    pub var: VarId,
+    /// Its defining expression.
+    pub rhs: Exp,
+    /// Provenance note (e.g. `X[i,j,k]` from CycleEX, or the sub-query).
+    pub note: String,
+}
+
+/// An evaluation context: the virtual document node or an element.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Ctx {
+    /// The virtual document node.
+    Doc,
+    /// An element.
+    Node(NodeId),
+}
+
+/// A pair of contexts — one tuple of an expression's binary relation.
+pub type NodePair = (Ctx, Ctx);
+
+/// An extended XPath query.
+#[derive(Clone, Debug)]
+pub struct ExtendedQuery {
+    /// Equations in dependency order.
+    pub equations: Vec<Equation>,
+    /// The result expression (may reference any equation variable).
+    pub result: Exp,
+}
+
+impl Default for ExtendedQuery {
+    fn default() -> Self {
+        ExtendedQuery {
+            equations: Vec::new(),
+            result: Exp::EmptySet,
+        }
+    }
+}
+
+impl ExtendedQuery {
+    /// A query with no equations.
+    pub fn of(result: Exp) -> Self {
+        ExtendedQuery {
+            equations: Vec::new(),
+            result,
+        }
+    }
+
+    /// Bind a new variable to `rhs`; returns the variable.
+    pub fn push_equation(&mut self, rhs: Exp, note: impl Into<String>) -> VarId {
+        let var = VarId(self.equations.len() as u32);
+        self.equations.push(Equation {
+            var,
+            rhs,
+            note: note.into(),
+        });
+        var
+    }
+
+    /// Append another query's equations, remapping its variables; returns
+    /// the other query's result expression rewritten into this id space.
+    pub fn import(&mut self, other: &ExtendedQuery) -> Exp {
+        let offset = self.equations.len() as u32;
+        for eq in &other.equations {
+            self.equations.push(Equation {
+                var: VarId(eq.var.0 + offset),
+                rhs: shift_vars(&eq.rhs, offset),
+                note: eq.note.clone(),
+            });
+        }
+        shift_vars(&other.result, offset)
+    }
+
+    /// Total operator counts across equations and result (Table 5's
+    /// extended-XPath accounting).
+    pub fn op_counts(&self) -> ExpOpCounts {
+        let mut c = self.result.op_counts();
+        for eq in &self.equations {
+            c.add(eq.rhs.op_counts());
+        }
+        c
+    }
+
+    /// Total AST size.
+    pub fn size(&self) -> usize {
+        self.result.size() + self.equations.iter().map(|e| e.rhs.size()).sum::<usize>()
+    }
+
+    /// Prune per CycleEX line 15: (1) propagate `∅` equations, (2) inline
+    /// trivial alias equations (a bare variable, label, ε or ∅), (3) drop
+    /// equations the result does not transitively use. Variables are
+    /// re-numbered densely.
+    pub fn pruned(&self) -> ExtendedQuery {
+        let mut equations = self.equations.clone();
+        let mut result = self.result.clone();
+
+        // (1) + (2): repeatedly substitute trivial equations into later ones.
+        // The map is built in dependency order and applied to each candidate
+        // before insertion, so alias chains (X₂ = X₁, X₁ = a) resolve fully.
+        loop {
+            let mut subst: HashMap<VarId, Exp> = HashMap::new();
+            for eq in &equations {
+                let rhs = crate::simplify::simplify(&substitute(&eq.rhs, &subst));
+                match rhs {
+                    Exp::EmptySet | Exp::Epsilon | Exp::Label(_) | Exp::Var(_) => {
+                        subst.insert(eq.var, rhs);
+                    }
+                    _ => {}
+                }
+            }
+            if subst.is_empty() {
+                break;
+            }
+            let mut changed = false;
+            for eq in &mut equations {
+                if subst.contains_key(&eq.var) {
+                    continue;
+                }
+                let new_rhs = crate::simplify::simplify(&substitute(&eq.rhs, &subst));
+                if new_rhs != eq.rhs {
+                    eq.rhs = new_rhs;
+                    changed = true;
+                }
+            }
+            let new_result = crate::simplify::simplify(&substitute(&result, &subst));
+            if new_result != result {
+                result = new_result;
+                changed = true;
+            }
+            // drop the substituted equations
+            let before = equations.len();
+            equations.retain(|eq| !subst.contains_key(&eq.var));
+            if equations.len() != before {
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // (3): keep only equations reachable from the result.
+        let mut used: HashSet<VarId> = result.vars().into_iter().collect();
+        loop {
+            let mut grew = false;
+            for eq in &equations {
+                if used.contains(&eq.var) {
+                    for v in eq.rhs.vars() {
+                        grew |= used.insert(v);
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        equations.retain(|eq| used.contains(&eq.var));
+
+        // Re-number densely, preserving order.
+        let mut remap: HashMap<VarId, Exp> = HashMap::new();
+        for (i, eq) in equations.iter().enumerate() {
+            remap.insert(eq.var, Exp::Var(VarId(i as u32)));
+        }
+        let equations = equations
+            .iter()
+            .enumerate()
+            .map(|(i, eq)| Equation {
+                var: VarId(i as u32),
+                rhs: substitute(&eq.rhs, &remap),
+                note: eq.note.clone(),
+            })
+            .collect();
+        ExtendedQuery {
+            equations,
+            result: substitute(&result, &remap),
+        }
+    }
+
+    /// Evaluate from the virtual document node; returns element nodes.
+    pub fn eval_from_document(&self, tree: &Tree, dtd: &Dtd) -> BTreeSet<NodeId> {
+        let mut ev = Evaluator::new(tree, dtd, self);
+        let rel = ev.rel_of(&self.result);
+        rel.iter()
+            .filter_map(|(s, t)| match (s, t) {
+                (Ctx::Doc, Ctx::Node(n)) => Some(*n),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Evaluate at an element context.
+    pub fn eval_at(&self, tree: &Tree, dtd: &Dtd, context: NodeId) -> BTreeSet<NodeId> {
+        let mut ev = Evaluator::new(tree, dtd, self);
+        let rel = ev.rel_of(&self.result);
+        rel.iter()
+            .filter_map(|(s, t)| match (s, t) {
+                (Ctx::Node(c), Ctx::Node(n)) if *c == context => Some(*n),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ExtendedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for eq in &self.equations {
+            writeln!(f, "X{} = {}    -- {}", eq.var.0, eq.rhs, eq.note)?;
+        }
+        write!(f, "result: {}", self.result)
+    }
+}
+
+/// Substitute variables by expressions.
+pub fn substitute(exp: &Exp, map: &HashMap<VarId, Exp>) -> Exp {
+    match exp {
+        Exp::Var(v) => map.get(v).cloned().unwrap_or_else(|| exp.clone()),
+        Exp::Epsilon | Exp::EmptySet | Exp::Label(_) => exp.clone(),
+        Exp::Seq(parts) => Exp::Seq(parts.iter().map(|p| substitute(p, map)).collect()),
+        Exp::Union(parts) => Exp::Union(parts.iter().map(|p| substitute(p, map)).collect()),
+        Exp::Star(e) => Exp::Star(Box::new(substitute(e, map))),
+        Exp::Qualified(e, q) => {
+            Exp::Qualified(Box::new(substitute(e, map)), substitute_qual(q, map))
+        }
+    }
+}
+
+fn substitute_qual(q: &EQual, map: &HashMap<VarId, Exp>) -> EQual {
+    match q {
+        EQual::True | EQual::False | EQual::TextEq(_) => q.clone(),
+        EQual::Exp(e) => EQual::Exp(Box::new(substitute(e, map))),
+        EQual::Not(inner) => EQual::Not(Box::new(substitute_qual(inner, map))),
+        EQual::And(a, b) => EQual::And(
+            Box::new(substitute_qual(a, map)),
+            Box::new(substitute_qual(b, map)),
+        ),
+        EQual::Or(a, b) => EQual::Or(
+            Box::new(substitute_qual(a, map)),
+            Box::new(substitute_qual(b, map)),
+        ),
+    }
+}
+
+/// Shift every variable id by an offset (for [`ExtendedQuery::import`]).
+pub fn shift_vars(exp: &Exp, offset: u32) -> Exp {
+    match exp {
+        Exp::Var(v) => Exp::Var(VarId(v.0 + offset)),
+        Exp::Epsilon | Exp::EmptySet | Exp::Label(_) => exp.clone(),
+        Exp::Seq(parts) => Exp::Seq(parts.iter().map(|p| shift_vars(p, offset)).collect()),
+        Exp::Union(parts) => Exp::Union(parts.iter().map(|p| shift_vars(p, offset)).collect()),
+        Exp::Star(e) => Exp::Star(Box::new(shift_vars(e, offset))),
+        Exp::Qualified(e, q) => {
+            Exp::Qualified(Box::new(shift_vars(e, offset)), shift_qual(q, offset))
+        }
+    }
+}
+
+fn shift_qual(q: &EQual, offset: u32) -> EQual {
+    match q {
+        EQual::True | EQual::False | EQual::TextEq(_) => q.clone(),
+        EQual::Exp(e) => EQual::Exp(Box::new(shift_vars(e, offset))),
+        EQual::Not(inner) => EQual::Not(Box::new(shift_qual(inner, offset))),
+        EQual::And(a, b) => EQual::And(
+            Box::new(shift_qual(a, offset)),
+            Box::new(shift_qual(b, offset)),
+        ),
+        EQual::Or(a, b) => EQual::Or(
+            Box::new(shift_qual(a, offset)),
+            Box::new(shift_qual(b, offset)),
+        ),
+    }
+}
+
+/// Binary-relation evaluator.
+struct Evaluator<'a> {
+    tree: &'a Tree,
+    dtd: &'a Dtd,
+    var_rels: Vec<HashSet<NodePair>>,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(tree: &'a Tree, dtd: &'a Dtd, query: &ExtendedQuery) -> Self {
+        let mut ev = Evaluator {
+            tree,
+            dtd,
+            var_rels: Vec::with_capacity(query.equations.len()),
+        };
+        for eq in &query.equations {
+            let rel = ev.rel_of(&eq.rhs);
+            ev.var_rels.push(rel);
+        }
+        ev
+    }
+
+    fn all_contexts(&self) -> Vec<Ctx> {
+        let mut v = Vec::with_capacity(self.tree.len() + 1);
+        v.push(Ctx::Doc);
+        v.extend(self.tree.node_ids().map(Ctx::Node));
+        v
+    }
+
+    fn rel_of(&mut self, e: &Exp) -> HashSet<NodePair> {
+        match e {
+            Exp::Epsilon => self.all_contexts().into_iter().map(|c| (c, c)).collect(),
+            Exp::EmptySet => HashSet::new(),
+            Exp::Label(name) => {
+                let mut out = HashSet::new();
+                if let Some(label) = self.dtd.elem(name) {
+                    for n in self.tree.node_ids() {
+                        if self.tree.label(n) == label {
+                            let parent = match self.tree.parent(n) {
+                                Some(p) => Ctx::Node(p),
+                                None => Ctx::Doc,
+                            };
+                            out.insert((parent, Ctx::Node(n)));
+                        }
+                    }
+                }
+                out
+            }
+            Exp::Var(v) => self.var_rels[v.index()].clone(),
+            Exp::Seq(parts) => {
+                let mut acc: Option<HashSet<NodePair>> = None;
+                for p in parts {
+                    let r = self.rel_of(p);
+                    acc = Some(match acc {
+                        None => r,
+                        Some(prev) => compose(&prev, &r),
+                    });
+                }
+                acc.unwrap_or_else(|| self.rel_of(&Exp::Epsilon))
+            }
+            Exp::Union(parts) => {
+                let mut out = HashSet::new();
+                for p in parts {
+                    out.extend(self.rel_of(p));
+                }
+                out
+            }
+            Exp::Star(inner) => {
+                let base = self.rel_of(inner);
+                let mut closure = base.clone();
+                let mut frontier: Vec<NodePair> = base.into_iter().collect();
+                let mut index: HashMap<Ctx, Vec<Ctx>> = HashMap::new();
+                for (s, t) in &closure {
+                    index.entry(*s).or_default().push(*t);
+                }
+                while let Some((s, t)) = frontier.pop() {
+                    if let Some(nexts) = index.get(&t) {
+                        let nexts = nexts.clone();
+                        for u in nexts {
+                            if closure.insert((s, u)) {
+                                frontier.push((s, u));
+                            }
+                        }
+                    }
+                }
+                for c in self.all_contexts() {
+                    closure.insert((c, c));
+                }
+                closure
+            }
+            Exp::Qualified(inner, q) => {
+                let base = self.rel_of(inner);
+                base.into_iter()
+                    .filter(|(_, t)| self.qual_holds(q, *t))
+                    .collect()
+            }
+        }
+    }
+
+    fn qual_holds(&mut self, q: &EQual, ctx: Ctx) -> bool {
+        match q {
+            EQual::True => true,
+            EQual::False => false,
+            EQual::Exp(e) => {
+                let rel = self.rel_of(e);
+                rel.iter().any(|(s, _)| *s == ctx)
+            }
+            EQual::TextEq(c) => match ctx {
+                Ctx::Doc => false,
+                Ctx::Node(n) => self.tree.value(n) == Some(c.as_str()),
+            },
+            EQual::Not(inner) => !self.qual_holds(inner, ctx),
+            EQual::And(a, b) => self.qual_holds(a, ctx) && self.qual_holds(b, ctx),
+            EQual::Or(a, b) => self.qual_holds(a, ctx) || self.qual_holds(b, ctx),
+        }
+    }
+}
+
+fn compose(left: &HashSet<NodePair>, right: &HashSet<NodePair>) -> HashSet<NodePair> {
+    let mut index: HashMap<Ctx, Vec<Ctx>> = HashMap::new();
+    for (s, t) in right {
+        index.entry(*s).or_default().push(*t);
+    }
+    let mut out = HashSet::new();
+    for (s, t) in left {
+        if let Some(nexts) = index.get(t) {
+            for u in nexts {
+                out.insert((*s, *u));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2s_dtd::samples;
+    use x2s_xml::parse_xml;
+
+    fn doc() -> (Dtd, Tree) {
+        let d = samples::dept_simplified();
+        let t = parse_xml(
+            &d,
+            "<dept><course><course><course/><project><course><project/></course></project></course><student/><student><course/></student></course></dept>",
+        )
+        .unwrap();
+        (d, t)
+    }
+
+    fn label_counts(
+        tree: &Tree,
+        dtd: &Dtd,
+        set: &BTreeSet<NodeId>,
+    ) -> HashMap<String, usize> {
+        let mut m = HashMap::new();
+        for &n in set {
+            *m.entry(dtd.name(tree.label(n)).to_string()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn label_and_seq_evaluation() {
+        let (d, t) = doc();
+        let q = ExtendedQuery::of(Exp::label("dept").then(Exp::label("course")));
+        let res = q.eval_from_document(&t, &d);
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn star_matches_descendants() {
+        let (d, t) = doc();
+        // dept/course/(course ∪ student/course ∪ project/course)*/project
+        let step = Exp::label("course")
+            .or(Exp::label("student").then(Exp::label("course")))
+            .or(Exp::label("project").then(Exp::label("course")));
+        let q = ExtendedQuery::of(
+            Exp::label("dept")
+                .then(Exp::label("course"))
+                .then(step.star())
+                .then(Exp::label("project")),
+        );
+        let res = q.eval_from_document(&t, &d);
+        let counts = label_counts(&t, &d, &res);
+        assert_eq!(counts.get("project"), Some(&2), "p1 and p2 (Example 3.5)");
+    }
+
+    #[test]
+    fn variables_bind_subqueries() {
+        let (d, t) = doc();
+        let mut q = ExtendedQuery::default();
+        let x = q.push_equation(
+            Exp::label("course")
+                .or(Exp::label("student").then(Exp::label("course")))
+                .or(Exp::label("project").then(Exp::label("course")))
+                .star(),
+            "cycle closure",
+        );
+        q.result = Exp::label("dept")
+            .then(Exp::label("course"))
+            .then(Exp::Var(x))
+            .then(Exp::label("project"));
+        let res = q.eval_from_document(&t, &d);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn qualifiers_filter_targets() {
+        let (d, t) = doc();
+        // students with a course child
+        let q = ExtendedQuery::of(
+            Exp::label("dept")
+                .then(Exp::label("course"))
+                .then(Exp::label("student").qualified(EQual::exp(Exp::label("course")))),
+        );
+        assert_eq!(q.eval_from_document(&t, &d).len(), 1);
+        // negation
+        let q = ExtendedQuery::of(
+            Exp::label("dept").then(Exp::label("course")).then(
+                Exp::label("student")
+                    .qualified(EQual::Not(Box::new(EQual::exp(Exp::label("course"))))),
+            ),
+        );
+        assert_eq!(q.eval_from_document(&t, &d).len(), 1);
+    }
+
+    #[test]
+    fn eval_at_inner_node() {
+        let (d, t) = doc();
+        let c1 = t.children(t.root())[0];
+        let q = ExtendedQuery::of(Exp::label("student"));
+        assert_eq!(q.eval_at(&t, &d, c1).len(), 2);
+    }
+
+    #[test]
+    fn import_remaps_variables() {
+        let mut a = ExtendedQuery::default();
+        let xa = a.push_equation(Exp::label("p"), "p");
+        a.result = Exp::Var(xa);
+        let mut b = ExtendedQuery::default();
+        let xb = b.push_equation(Exp::label("q"), "q");
+        b.result = Exp::Var(xb);
+        let imported = a.import(&b);
+        assert_eq!(a.equations.len(), 2);
+        assert_eq!(imported, Exp::Var(VarId(1)));
+        assert_eq!(a.equations[1].rhs, Exp::label("q"));
+    }
+
+    #[test]
+    fn pruning_drops_dead_and_inlines_aliases() {
+        let mut q = ExtendedQuery::default();
+        let dead = q.push_equation(Exp::label("dead"), "unused");
+        let alias_target = q.push_equation(Exp::label("a"), "a");
+        let alias = q.push_equation(Exp::Var(alias_target), "alias");
+        let real = q.push_equation(
+            Exp::Var(alias).then(Exp::label("b")).or(Exp::EmptySet),
+            "real",
+        );
+        let _ = dead;
+        q.result = Exp::Var(real);
+        let pruned = q.pruned();
+        // everything inlines down to a/b as the only content
+        assert!(pruned.size() <= q.size());
+        let rendered = format!("{pruned}");
+        assert!(!rendered.contains("dead"), "{rendered}");
+        // semantics preserved on a sample tree
+        let (d, t) = doc();
+        assert_eq!(
+            q.eval_from_document(&t, &d),
+            pruned.eval_from_document(&t, &d)
+        );
+    }
+
+    #[test]
+    fn empty_set_propagates_through_pruning() {
+        let mut q = ExtendedQuery::default();
+        let e = q.push_equation(Exp::EmptySet, "empty");
+        let u = q.push_equation(Exp::Var(e).then(Exp::label("x")), "uses empty");
+        q.result = Exp::Var(u).or(Exp::label("dept"));
+        let pruned = q.pruned();
+        assert_eq!(pruned.equations.len(), 0);
+        assert_eq!(pruned.result, Exp::label("dept"));
+    }
+
+    #[test]
+    fn display_shows_equations() {
+        let mut q = ExtendedQuery::default();
+        let x = q.push_equation(Exp::label("a").star(), "loop");
+        q.result = Exp::Var(x).then(Exp::label("b"));
+        let s = q.to_string();
+        assert!(s.contains("X0 = a*"));
+        assert!(s.contains("result: X0/b"));
+    }
+}

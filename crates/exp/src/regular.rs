@@ -1,0 +1,117 @@
+//! Variable elimination: extended XPath → regular XPath.
+//!
+//! "It can be easily verified that Q is equivalent to a sequence of
+//! equations of the form Xᵢ = E'ᵢ where E'ᵢ is a regular xpath query, i.e.,
+//! an extended xpath expression without variables" (§3.2). The elimination
+//! is exactly where the exponential blowup of Examples 3.3/4.2 happens, so
+//! it is *size-capped*: exceeding the cap returns an error rather than
+//! exhausting memory. The benchmark for Table 5 uses this to contrast
+//! CycleE (which effectively works on eliminated forms) with CycleEX.
+
+use crate::ast::{Exp, VarId};
+use crate::query::{substitute, ExtendedQuery};
+use crate::simplify::simplify;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why elimination failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegularityError {
+    /// The eliminated expression exceeded the size cap (exponential blowup).
+    TooLarge {
+        /// The cap that was exceeded.
+        cap: usize,
+        /// The size reached before giving up.
+        reached: usize,
+    },
+}
+
+impl fmt::Display for RegularityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegularityError::TooLarge { cap, reached } => write!(
+                f,
+                "variable elimination exceeded the size cap ({reached} > {cap} AST nodes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegularityError {}
+
+/// Eliminate all variables, producing a regular XPath expression, as long
+/// as the intermediate size stays within `cap` AST nodes.
+pub fn to_regular(query: &ExtendedQuery, cap: usize) -> Result<Exp, RegularityError> {
+    let mut env: HashMap<VarId, Exp> = HashMap::new();
+    for eq in &query.equations {
+        let flat = simplify(&substitute(&eq.rhs, &env));
+        let size = flat.size();
+        if size > cap {
+            return Err(RegularityError::TooLarge { cap, reached: size });
+        }
+        env.insert(eq.var, flat);
+    }
+    let result = simplify(&substitute(&query.result, &env));
+    if result.size() > cap {
+        return Err(RegularityError::TooLarge {
+            cap,
+            reached: result.size(),
+        });
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eliminates_chain_of_variables() {
+        let mut q = ExtendedQuery::default();
+        let x0 = q.push_equation(Exp::label("a").then(Exp::label("b")), "ab");
+        let x1 = q.push_equation(Exp::Var(x0).star(), "(ab)*");
+        q.result = Exp::Var(x1).then(Exp::label("c"));
+        let r = to_regular(&q, 1000).unwrap();
+        assert_eq!(r.to_string(), "(a/b)*/c");
+        assert!(r.vars().is_empty());
+    }
+
+    #[test]
+    fn cap_triggers_on_duplication() {
+        // X0 = a ∪ b; X_{i+1} = X_i/X_i : doubling each level
+        let mut q = ExtendedQuery::default();
+        let mut v = q.push_equation(Exp::label("a").or(Exp::label("b")), "base");
+        for i in 0..20 {
+            v = q.push_equation(Exp::Var(v).then(Exp::Var(v)), format!("sq{i}"));
+        }
+        q.result = Exp::Var(v);
+        let err = to_regular(&q, 10_000).unwrap_err();
+        assert!(matches!(err, RegularityError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn equivalence_preserved_on_tree() {
+        use x2s_dtd::samples;
+        use x2s_xml::parse_xml;
+        let d = samples::dept_simplified();
+        let t = parse_xml(
+            &d,
+            "<dept><course><course><project/></course><student><course/></student></course></dept>",
+        )
+        .unwrap();
+        let mut q = ExtendedQuery::default();
+        let x = q.push_equation(
+            Exp::label("course")
+                .or(Exp::label("student").then(Exp::label("course")))
+                .star(),
+            "closure",
+        );
+        q.result = Exp::label("dept").then(Exp::label("course")).then(Exp::Var(x));
+        let r = to_regular(&q, 10_000).unwrap();
+        let q2 = ExtendedQuery::of(r);
+        assert_eq!(
+            q.eval_from_document(&t, &d),
+            q2.eval_from_document(&t, &d)
+        );
+    }
+}

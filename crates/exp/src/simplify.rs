@@ -1,0 +1,182 @@
+//! Deep simplification of extended XPath expressions.
+//!
+//! Applies, bottom-up: `∅ ∪ E = E`, `E/∅ = ∅/E = ∅`, `ε/E = E/ε = E`,
+//! `∅* = ε* = ε`, `(E*)* = E*`, union flattening + operand deduplication,
+//! sequence flattening, and qualifier constant folding (`[true]` drops,
+//! `[false]` collapses to ∅, `¬true = false`, etc.). These are the
+//! rewritings the paper applies when assembling `x2e` results ("each
+//! x2e(p, A, B) is optimized by removing ∅" — §4.2) plus standard regular-
+//! expression identities.
+
+use crate::ast::{EQual, Exp};
+
+/// Simplify an expression (pure; returns a new tree).
+pub fn simplify(exp: &Exp) -> Exp {
+    match exp {
+        Exp::Epsilon | Exp::EmptySet | Exp::Label(_) | Exp::Var(_) => exp.clone(),
+        Exp::Seq(parts) => {
+            let mut out: Vec<Exp> = Vec::with_capacity(parts.len());
+            for p in parts {
+                let s = simplify(p);
+                match s {
+                    Exp::EmptySet => return Exp::EmptySet,
+                    Exp::Epsilon => {}
+                    Exp::Seq(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Exp::Epsilon,
+                1 => out.pop().unwrap(),
+                _ => Exp::Seq(out),
+            }
+        }
+        Exp::Union(parts) => {
+            let mut out: Vec<Exp> = Vec::with_capacity(parts.len());
+            for p in parts {
+                let s = simplify(p);
+                match s {
+                    Exp::EmptySet => {}
+                    Exp::Union(inner) => {
+                        for e in inner {
+                            if !out.contains(&e) {
+                                out.push(e);
+                            }
+                        }
+                    }
+                    other => {
+                        if !out.contains(&other) {
+                            out.push(other);
+                        }
+                    }
+                }
+            }
+            match out.len() {
+                0 => Exp::EmptySet,
+                1 => out.pop().unwrap(),
+                _ => Exp::Union(out),
+            }
+        }
+        Exp::Star(inner) => simplify(inner).star(),
+        Exp::Qualified(e, q) => {
+            let base = simplify(e);
+            if base.is_empty_set() {
+                return Exp::EmptySet;
+            }
+            base.qualified(simplify_qual(q))
+        }
+    }
+}
+
+/// Simplify a qualifier with constant folding.
+pub fn simplify_qual(q: &EQual) -> EQual {
+    match q {
+        EQual::True | EQual::False | EQual::TextEq(_) => q.clone(),
+        EQual::Exp(e) => {
+            let s = simplify(e);
+            match s {
+                Exp::EmptySet => EQual::False,
+                // [ε] is trivially true: the context node exists
+                Exp::Epsilon => EQual::True,
+                other => EQual::Exp(Box::new(other)),
+            }
+        }
+        EQual::Not(inner) => match simplify_qual(inner) {
+            EQual::True => EQual::False,
+            EQual::False => EQual::True,
+            EQual::Not(inner2) => *inner2,
+            other => EQual::Not(Box::new(other)),
+        },
+        EQual::And(a, b) => match (simplify_qual(a), simplify_qual(b)) {
+            (EQual::False, _) | (_, EQual::False) => EQual::False,
+            (EQual::True, x) | (x, EQual::True) => x,
+            (x, y) => EQual::And(Box::new(x), Box::new(y)),
+        },
+        EQual::Or(a, b) => match (simplify_qual(a), simplify_qual(b)) {
+            (EQual::True, _) | (_, EQual::True) => EQual::True,
+            (EQual::False, x) | (x, EQual::False) => x,
+            (x, y) => EQual::Or(Box::new(x), Box::new(y)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::VarId;
+
+    #[test]
+    fn seq_rules() {
+        let e = Exp::Seq(vec![
+            Exp::Epsilon,
+            Exp::label("a"),
+            Exp::Seq(vec![Exp::label("b"), Exp::Epsilon]),
+        ]);
+        assert_eq!(simplify(&e).to_string(), "a/b");
+        let dead = Exp::Seq(vec![Exp::label("a"), Exp::EmptySet, Exp::label("b")]);
+        assert_eq!(simplify(&dead), Exp::EmptySet);
+        assert_eq!(simplify(&Exp::Seq(vec![])), Exp::Epsilon);
+    }
+
+    #[test]
+    fn union_rules() {
+        let e = Exp::Union(vec![
+            Exp::EmptySet,
+            Exp::label("a"),
+            Exp::Union(vec![Exp::label("b"), Exp::label("a")]),
+        ]);
+        assert_eq!(simplify(&e).to_string(), "a ∪ b");
+        assert_eq!(simplify(&Exp::Union(vec![])), Exp::EmptySet);
+        assert_eq!(
+            simplify(&Exp::Union(vec![Exp::EmptySet, Exp::EmptySet])),
+            Exp::EmptySet
+        );
+    }
+
+    #[test]
+    fn star_rules() {
+        assert_eq!(simplify(&Exp::Star(Box::new(Exp::EmptySet))), Exp::Epsilon);
+        let nested = Exp::Star(Box::new(Exp::Star(Box::new(Exp::label("a")))));
+        assert_eq!(simplify(&nested).to_string(), "a*");
+    }
+
+    #[test]
+    fn qualifier_folding() {
+        let t = Exp::label("a").qualified(EQual::exp(Exp::Epsilon));
+        // [ε] is always satisfied
+        assert_eq!(simplify(&Exp::Qualified(Box::new(Exp::label("a")), EQual::exp(Exp::Epsilon))), Exp::label("a"));
+        let _ = t;
+        let f = Exp::Qualified(Box::new(Exp::label("a")), EQual::exp(Exp::EmptySet));
+        assert_eq!(simplify(&f), Exp::EmptySet);
+        let nn = EQual::Not(Box::new(EQual::Not(Box::new(EQual::TextEq("c".into())))));
+        assert_eq!(simplify_qual(&nn), EQual::TextEq("c".into()));
+    }
+
+    #[test]
+    fn boolean_folding() {
+        let and = EQual::And(Box::new(EQual::True), Box::new(EQual::TextEq("c".into())));
+        assert_eq!(simplify_qual(&and), EQual::TextEq("c".into()));
+        let or = EQual::Or(Box::new(EQual::True), Box::new(EQual::TextEq("c".into())));
+        assert_eq!(simplify_qual(&or), EQual::True);
+        let and_f = EQual::And(Box::new(EQual::False), Box::new(EQual::TextEq("c".into())));
+        assert_eq!(simplify_qual(&and_f), EQual::False);
+    }
+
+    #[test]
+    fn vars_survive() {
+        let e = Exp::Var(VarId(3)).then(Exp::Epsilon).or(Exp::EmptySet);
+        assert_eq!(simplify(&e), Exp::Var(VarId(3)));
+    }
+
+    #[test]
+    fn idempotent() {
+        let e = Exp::Union(vec![
+            Exp::Seq(vec![Exp::label("a"), Exp::Epsilon, Exp::label("b")]),
+            Exp::EmptySet,
+            Exp::Star(Box::new(Exp::EmptySet)),
+        ]);
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,446 @@
+//! Plan execution: databases, the evaluator, and execution options.
+
+use crate::lfp::eval_lfp;
+use crate::multilfp::eval_multilfp;
+use crate::plan::{JoinKind, Plan};
+use crate::program::TempId;
+use crate::relation::{Relation, Tuple};
+use crate::stats::Stats;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A database: named base relations (the shredded store).
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register a base relation.
+    pub fn insert(&mut self, name: &str, rel: Relation) {
+        self.relations.insert(name.to_string(), rel);
+    }
+
+    /// Look up a base relation.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Names of all base relations, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.relations.keys().map(|s| s.as_str()).collect();
+        v.sort();
+        v
+    }
+
+    /// Total number of tuples across base relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+}
+
+/// Execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Use naive (full re-join) instead of semi-naive (delta) fixpoint
+    /// iteration. Default false: semi-naive, which is what production
+    /// engines implement for recursive queries.
+    pub naive_fixpoint: bool,
+    /// Lazily evaluate statement programs top-down from the result (§5.2);
+    /// when false, statements run eagerly in order. Default true.
+    pub lazy: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            naive_fixpoint: false,
+            lazy: true,
+        }
+    }
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A scan referenced an unknown base relation.
+    UnknownRelation(String),
+    /// A plan referenced a temporary that has not been produced.
+    UnknownTemp(TempId),
+    /// Schema mismatch in a set operation.
+    SchemaMismatch(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownRelation(n) => write!(f, "unknown base relation {n}"),
+            ExecError::UnknownTemp(t) => write!(f, "unknown temporary {t:?}"),
+            ExecError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Mutable execution context threaded through evaluation.
+pub struct ExecCtx<'a> {
+    /// The database of base relations.
+    pub db: &'a Database,
+    /// Materialized temporaries.
+    pub env: &'a HashMap<TempId, Relation>,
+    /// Options.
+    pub opts: ExecOptions,
+    /// Statistics accumulator.
+    pub stats: &'a mut Stats,
+}
+
+/// Evaluate one plan to a relation.
+pub fn eval_plan(plan: &Plan, ctx: &mut ExecCtx<'_>) -> Result<Relation, ExecError> {
+    match plan {
+        Plan::Scan(name) => ctx
+            .db
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ExecError::UnknownRelation(name.clone())),
+        Plan::Temp(t) => ctx.env.get(t).cloned().ok_or(ExecError::UnknownTemp(*t)),
+        Plan::Values(rel) => Ok(rel.clone()),
+        Plan::Select { input, pred } => {
+            let rel = eval_plan(input, ctx)?;
+            ctx.stats.selects += 1;
+            let mut out = Relation::new(rel.columns().to_vec());
+            for t in rel.tuples() {
+                if pred.eval(t) {
+                    out.push(t.clone());
+                }
+            }
+            ctx.stats.tuples_emitted += out.len() as u64;
+            Ok(out)
+        }
+        Plan::Project { input, cols } => {
+            let rel = eval_plan(input, ctx)?;
+            ctx.stats.projects += 1;
+            let names: Vec<String> = cols.iter().map(|(_, n)| n.clone()).collect();
+            let mut out = Relation::new(names);
+            for t in rel.tuples() {
+                out.push(cols.iter().map(|(i, _)| t[*i].clone()).collect());
+            }
+            ctx.stats.tuples_emitted += out.len() as u64;
+            Ok(out)
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            kind,
+        } => {
+            let l = eval_plan(left, ctx)?;
+            let r = eval_plan(right, ctx)?;
+            Ok(hash_join(&l, &r, on, *kind, ctx.stats))
+        }
+        Plan::Union { inputs, distinct } => {
+            let mut rels = Vec::with_capacity(inputs.len());
+            for p in inputs {
+                rels.push(eval_plan(p, ctx)?);
+            }
+            let arity = rels.first().map(|r| r.arity()).unwrap_or(0);
+            if rels.iter().any(|r| r.arity() != arity) {
+                return Err(ExecError::SchemaMismatch("union arity".into()));
+            }
+            ctx.stats.unions += rels.len().saturating_sub(1);
+            let cols = rels
+                .first()
+                .map(|r| r.columns().to_vec())
+                .unwrap_or_default();
+            let mut out = Relation::new(cols);
+            for r in rels {
+                out.tuples_mut().extend(r.tuples().iter().cloned());
+            }
+            if *distinct {
+                out.dedup();
+            }
+            ctx.stats.tuples_emitted += out.len() as u64;
+            Ok(out)
+        }
+        Plan::Diff { left, right } => {
+            let l = eval_plan(left, ctx)?;
+            let r = eval_plan(right, ctx)?;
+            if l.arity() != r.arity() {
+                return Err(ExecError::SchemaMismatch("difference arity".into()));
+            }
+            ctx.stats.set_ops += 1;
+            let rset: HashSet<&Tuple> = r.tuples().iter().collect();
+            let mut out = Relation::new(l.columns().to_vec());
+            for t in l.tuples() {
+                if !rset.contains(t) {
+                    out.push(t.clone());
+                }
+            }
+            ctx.stats.tuples_emitted += out.len() as u64;
+            Ok(out)
+        }
+        Plan::Intersect { left, right } => {
+            let l = eval_plan(left, ctx)?;
+            let r = eval_plan(right, ctx)?;
+            if l.arity() != r.arity() {
+                return Err(ExecError::SchemaMismatch("intersection arity".into()));
+            }
+            ctx.stats.set_ops += 1;
+            let rset: HashSet<&Tuple> = r.tuples().iter().collect();
+            let mut out = Relation::new(l.columns().to_vec());
+            for t in l.tuples() {
+                if rset.contains(t) {
+                    out.push(t.clone());
+                }
+            }
+            ctx.stats.tuples_emitted += out.len() as u64;
+            Ok(out)
+        }
+        Plan::Distinct(input) => {
+            let mut rel = eval_plan(input, ctx)?;
+            rel.dedup();
+            ctx.stats.tuples_emitted += rel.len() as u64;
+            Ok(rel)
+        }
+        Plan::Lfp(spec) => eval_lfp(spec, ctx),
+        Plan::MultiLfp(spec) => eval_multilfp(spec, ctx),
+    }
+}
+
+/// Hash join. Builds on the right input, probes with the left. The common
+/// single-column equijoin path avoids per-row key allocation.
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    on: &[(usize, usize)],
+    kind: JoinKind,
+    stats: &mut Stats,
+) -> Relation {
+    stats.joins += 1;
+    let columns = match kind {
+        JoinKind::Inner => {
+            let mut c = left.columns().to_vec();
+            c.extend(right.columns().iter().cloned());
+            c
+        }
+        JoinKind::Semi | JoinKind::Anti => left.columns().to_vec(),
+    };
+    let mut out = Relation::new(columns);
+    if let [(lcol, rcol)] = *on {
+        // fast path: borrowed single-column key
+        let mut table: HashMap<&Value, Vec<u32>> = HashMap::with_capacity(right.len());
+        for (i, t) in right.tuples().iter().enumerate() {
+            table.entry(&t[rcol]).or_default().push(i as u32);
+        }
+        for t in left.tuples() {
+            match (kind, table.get(&t[lcol])) {
+                (JoinKind::Inner, Some(matches)) => {
+                    for &ri in matches {
+                        let mut row = t.clone();
+                        row.extend(right.tuples()[ri as usize].iter().cloned());
+                        out.push(row);
+                    }
+                }
+                (JoinKind::Semi, Some(_)) => out.push(t.clone()),
+                (JoinKind::Anti, None) => out.push(t.clone()),
+                _ => {}
+            }
+        }
+        stats.tuples_emitted += out.len() as u64;
+        return out;
+    }
+    let key_of = |t: &Tuple, cols: &[usize]| -> Vec<Value> {
+        cols.iter().map(|&c| t[c].clone()).collect()
+    };
+    let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(right.len());
+    for (i, t) in right.tuples().iter().enumerate() {
+        table
+            .entry(key_of(t, &rcols))
+            .or_default()
+            .push(i as u32);
+    }
+    for t in left.tuples() {
+        let key = key_of(t, &lcols);
+        match (kind, table.get(&key)) {
+            (JoinKind::Inner, Some(matches)) => {
+                for &ri in matches {
+                    let mut row = t.clone();
+                    row.extend(right.tuples()[ri as usize].iter().cloned());
+                    out.push(row);
+                }
+            }
+            (JoinKind::Semi, Some(_)) => out.push(t.clone()),
+            (JoinKind::Anti, None) => out.push(t.clone()),
+            _ => {}
+        }
+    }
+    stats.tuples_emitted += out.len() as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Pred;
+
+    fn rel2(cols: [&str; 2], rows: &[(u32, u32)]) -> Relation {
+        let mut r = Relation::new(vec![cols[0].into(), cols[1].into()]);
+        for &(a, b) in rows {
+            r.push(vec![Value::Id(a), Value::Id(b)]);
+        }
+        r
+    }
+
+    fn run(plan: &Plan, db: &Database) -> Relation {
+        let env = HashMap::new();
+        let mut stats = Stats::default();
+        let mut ctx = ExecCtx {
+            db,
+            env: &env,
+            opts: ExecOptions::default(),
+            stats: &mut stats,
+        };
+        eval_plan(plan, &mut ctx).unwrap()
+    }
+
+    fn db_with(name: &str, rel: Relation) -> Database {
+        let mut db = Database::new();
+        db.insert(name, rel);
+        db
+    }
+
+    #[test]
+    fn scan_and_select() {
+        let db = db_with("R", rel2(["F", "T"], &[(1, 2), (2, 3)]));
+        let p = Plan::Scan("R".into()).select(Pred::ColEqValue(0, Value::Id(1)));
+        let out = run(&p, &db);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0], vec![Value::Id(1), Value::Id(2)]);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let db = Database::new();
+        let env = HashMap::new();
+        let mut stats = Stats::default();
+        let mut ctx = ExecCtx {
+            db: &db,
+            env: &env,
+            opts: ExecOptions::default(),
+            stats: &mut stats,
+        };
+        let err = eval_plan(&Plan::Scan("missing".into()), &mut ctx).unwrap_err();
+        assert_eq!(err, ExecError::UnknownRelation("missing".into()));
+    }
+
+    #[test]
+    fn project_renames() {
+        let db = db_with("R", rel2(["F", "T"], &[(1, 2)]));
+        let p = Plan::Scan("R".into()).project(vec![(1, "X")]);
+        let out = run(&p, &db);
+        assert_eq!(out.columns(), &["X".to_string()]);
+        assert_eq!(out.tuples()[0], vec![Value::Id(2)]);
+    }
+
+    #[test]
+    fn inner_join_concatenates() {
+        let mut db = Database::new();
+        db.insert("A", rel2(["F", "T"], &[(1, 2), (1, 3)]));
+        db.insert("B", rel2(["F", "T"], &[(2, 9), (3, 8), (4, 7)]));
+        // A.T = B.F
+        let p = Plan::Scan("A".into()).join_on(Plan::Scan("B".into()), 1, 0);
+        let out = run(&p, &db);
+        assert_eq!(out.arity(), 4);
+        let sorted = out.sorted_tuples();
+        assert_eq!(sorted.len(), 2);
+        assert_eq!(
+            sorted[0],
+            vec![Value::Id(1), Value::Id(2), Value::Id(2), Value::Id(9)]
+        );
+    }
+
+    #[test]
+    fn semi_and_anti_join() {
+        let mut db = Database::new();
+        db.insert("A", rel2(["F", "T"], &[(1, 2), (1, 3), (1, 4)]));
+        db.insert("B", rel2(["F", "T"], &[(2, 0), (4, 0)]));
+        let semi = Plan::Scan("A".into()).semi_join(Plan::Scan("B".into()), 1, 0);
+        let out = run(&semi, &db);
+        assert_eq!(out.len(), 2);
+        let anti = Plan::Scan("A".into()).anti_join(Plan::Scan("B".into()), 1, 0);
+        let out = run(&anti, &db);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0][1], Value::Id(3));
+    }
+
+    #[test]
+    fn union_distinct_and_bag() {
+        let mut db = Database::new();
+        db.insert("A", rel2(["F", "T"], &[(1, 2)]));
+        db.insert("B", rel2(["F", "T"], &[(1, 2), (3, 4)]));
+        let bag = Plan::Union {
+            inputs: vec![Plan::Scan("A".into()), Plan::Scan("B".into())],
+            distinct: false,
+        };
+        assert_eq!(run(&bag, &db).len(), 3);
+        let set = Plan::Union {
+            inputs: vec![Plan::Scan("A".into()), Plan::Scan("B".into())],
+            distinct: true,
+        };
+        assert_eq!(run(&set, &db).len(), 2);
+    }
+
+    #[test]
+    fn diff_and_intersect() {
+        let mut db = Database::new();
+        db.insert("A", rel2(["F", "T"], &[(1, 2), (3, 4)]));
+        db.insert("B", rel2(["F", "T"], &[(3, 4)]));
+        let diff = Plan::Diff {
+            left: Box::new(Plan::Scan("A".into())),
+            right: Box::new(Plan::Scan("B".into())),
+        };
+        let out = run(&diff, &db);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0][0], Value::Id(1));
+        let inter = Plan::Intersect {
+            left: Box::new(Plan::Scan("A".into())),
+            right: Box::new(Plan::Scan("B".into())),
+        };
+        let out = run(&inter, &db);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0][0], Value::Id(3));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let db = db_with("A", rel2(["F", "T"], &[(1, 2), (1, 2)]));
+        let p = Plan::Distinct(Box::new(Plan::Scan("A".into())));
+        assert_eq!(run(&p, &db).len(), 1);
+    }
+
+    #[test]
+    fn stats_count_joins() {
+        let mut db = Database::new();
+        db.insert("A", rel2(["F", "T"], &[(1, 2)]));
+        db.insert("B", rel2(["F", "T"], &[(2, 3)]));
+        let p = Plan::Scan("A".into()).join_on(Plan::Scan("B".into()), 1, 0);
+        let env = HashMap::new();
+        let mut stats = Stats::default();
+        let mut ctx = ExecCtx {
+            db: &db,
+            env: &env,
+            opts: ExecOptions::default(),
+            stats: &mut stats,
+        };
+        eval_plan(&p, &mut ctx).unwrap();
+        assert_eq!(stats.joins, 1);
+    }
+}

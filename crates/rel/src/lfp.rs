@@ -1,0 +1,384 @@
+//! The simple LFP operator `Φ(R)` (paper §3.3, Eq. 2):
+//!
+//! ```text
+//! R0 ← R
+//! Ri ← R(i−1) ∪ (R(i−1) ⋈C R0)
+//! ```
+//!
+//! i.e. the transitive closure (paths of length ≥ 1) of a single edge
+//! relation — the "low-end" recursion that Oracle's `CONNECT BY`, DB2's
+//! `WITH…RECURSIVE` over one table, and SQL Server common table expressions
+//! all provide (Fig. 4).
+//!
+//! Two refinements from §5.2 are implemented here:
+//!
+//! * **semi-naive iteration** — each round extends only the previous
+//!   round's *delta* (what real engines do); the paper's literal Eq. 2
+//!   (re-joining the whole accumulated relation) is available as
+//!   [`crate::ExecOptions::naive_fixpoint`] for ablation;
+//! * **pushed selections** — `push(R1, R0)` restricts the closure to pairs
+//!   whose source is in a seed set (forward) or whose target is in a target
+//!   set (backward), so the fixpoint "only traverses paths starting from
+//!   [the selected] children" instead of the whole graph.
+//!
+//! The iteration itself runs over interned `u32` node codes with packed
+//! `u64` pair keys (see [`crate::intern`]) — the counterpart of the
+//! integer-keyed indexes the paper's DB2 setup would use.
+
+use crate::exec::{eval_plan, ExecCtx};
+use crate::intern::{pack, unpack, Interner};
+use crate::plan::{LfpSpec, PushSpec};
+use crate::relation::Relation;
+use std::collections::HashSet;
+
+/// Evaluate `Φ(R)`: closure pairs `(F, T)` over the edge set produced by
+/// `spec.input`, possibly seed-/target-restricted.
+pub fn eval_lfp(spec: &LfpSpec, ctx: &mut ExecCtx<'_>) -> Result<Relation, crate::ExecError> {
+    let edges = eval_plan(&spec.input, ctx)?;
+    ctx.stats.lfp_invocations += 1;
+
+    let mut interner = Interner::new();
+    let backward = matches!(spec.push, Some(PushSpec::Backward { .. }));
+
+    // Restriction set (interned codes); None = unrestricted.
+    let restrict: Option<HashSet<u32>> = match &spec.push {
+        None => None,
+        Some(PushSpec::Forward { seeds, col }) => {
+            let rel = eval_plan(seeds, ctx)?;
+            Some(
+                rel.tuples()
+                    .iter()
+                    .map(|t| interner.intern(&t[*col]))
+                    .collect(),
+            )
+        }
+        Some(PushSpec::Backward { targets, col }) => {
+            let rel = eval_plan(targets, ctx)?;
+            Some(
+                rel.tuples()
+                    .iter()
+                    .map(|t| interner.intern(&t[*col]))
+                    .collect(),
+            )
+        }
+    };
+
+    // Adjacency over interned codes: forward (f→t) normally, reversed when
+    // chasing backward from targets. Built once per invocation — the
+    // stand-in for the paper's indexes on all joined attributes.
+    let mut heads: Vec<Vec<u32>> = Vec::new();
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+    for t in edges.tuples() {
+        let f = interner.intern(&t[spec.from_col]);
+        let to = interner.intern(&t[spec.to_col]);
+        pairs.push((f, to));
+    }
+    heads.resize(interner.len(), Vec::new());
+    for &(f, to) in &pairs {
+        if backward {
+            heads[to as usize].push(f);
+        } else {
+            heads[f as usize].push(to);
+        }
+    }
+
+    if ctx.opts.naive_fixpoint {
+        naive_closure(&pairs, &heads, restrict.as_ref(), backward, &interner, ctx)
+    } else {
+        semi_naive_closure(&pairs, &heads, restrict.as_ref(), backward, &interner, ctx)
+    }
+}
+
+fn emit(closure: &HashSet<u64>, interner: &Interner, ctx: &mut ExecCtx<'_>) -> Relation {
+    let mut out = Relation::new(vec!["F".into(), "T".into()]);
+    out.tuples_mut().reserve(closure.len());
+    for &key in closure {
+        let (f, t) = unpack(key);
+        out.push(vec![
+            interner.resolve(f).clone(),
+            interner.resolve(t).clone(),
+        ]);
+    }
+    ctx.stats.tuples_emitted += out.len() as u64;
+    out
+}
+
+fn semi_naive_closure(
+    pairs: &[(u32, u32)],
+    heads: &[Vec<u32>],
+    restrict: Option<&HashSet<u32>>,
+    backward: bool,
+    interner: &Interner,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<Relation, crate::ExecError> {
+    let mut closure: HashSet<u64> = HashSet::with_capacity(pairs.len() * 2);
+    let mut frontier: Vec<(u32, u32)> = Vec::new();
+    for &(f, t) in pairs {
+        let keep = match restrict {
+            None => true,
+            Some(set) => set.contains(if backward { &t } else { &f }),
+        };
+        if keep && closure.insert(pack(f, t)) {
+            frontier.push((f, t));
+        }
+    }
+    while !frontier.is_empty() {
+        ctx.stats.lfp_iterations += 1;
+        ctx.stats.joins += 1; // one join per iteration: Δ ⋈ R0
+        ctx.stats.unions += 1; // one union per iteration: R ∪ new
+        let mut next = Vec::new();
+        for &(x, y) in &frontier {
+            // forward: extend y by an out-edge; backward: extend x by an in-edge
+            let probe = if backward { x } else { y };
+            for &z in &heads[probe as usize] {
+                let (nf, nt) = if backward { (z, y) } else { (x, z) };
+                if closure.insert(pack(nf, nt)) {
+                    next.push((nf, nt));
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(emit(&closure, interner, ctx))
+}
+
+/// The paper's literal Eq. 2: re-join the whole accumulated relation with
+/// R0 each round until nothing changes (ablation mode).
+fn naive_closure(
+    pairs: &[(u32, u32)],
+    heads: &[Vec<u32>],
+    restrict: Option<&HashSet<u32>>,
+    backward: bool,
+    interner: &Interner,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<Relation, crate::ExecError> {
+    // Backward restriction is applied at the end in naive mode (the naive
+    // operator joins blindly, matching the black-box reading of Eq. 2).
+    let forward_restrict = if backward { None } else { restrict };
+    let mut closure: HashSet<u64> = HashSet::new();
+    for &(f, t) in pairs {
+        let keep = forward_restrict.is_none_or(|set| set.contains(&f));
+        if keep {
+            closure.insert(pack(f, t));
+        }
+    }
+    loop {
+        ctx.stats.lfp_iterations += 1;
+        ctx.stats.joins += 1;
+        ctx.stats.unions += 1;
+        let mut fresh = Vec::new();
+        for &key in &closure {
+            let (x, y) = unpack(key);
+            let probe = if backward { x } else { y };
+            for &z in &heads[probe as usize] {
+                let nk = if backward { pack(z, y) } else { pack(x, z) };
+                if !closure.contains(&nk) {
+                    fresh.push(nk);
+                }
+            }
+        }
+        if fresh.is_empty() {
+            break;
+        }
+        closure.extend(fresh);
+    }
+    if backward {
+        if let Some(set) = restrict {
+            closure.retain(|&key| set.contains(&unpack(key).1));
+        }
+    }
+    Ok(emit(&closure, interner, ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Database, ExecOptions};
+    use crate::plan::Plan;
+    use crate::program::TempId;
+    use crate::stats::Stats;
+    use crate::value::Value;
+    use std::collections::HashMap as Map;
+
+    fn edge_rel(pairs: &[(u32, u32)]) -> Relation {
+        let mut r = Relation::new(vec!["F".into(), "T".into()]);
+        for &(f, t) in pairs {
+            r.push(vec![Value::Id(f), Value::Id(t)]);
+        }
+        r
+    }
+
+    fn run_lfp(pairs: &[(u32, u32)], push: Option<PushSpec>, naive: bool) -> (Relation, Stats) {
+        let mut db = Database::new();
+        db.insert("E", edge_rel(pairs));
+        let spec = LfpSpec {
+            input: Box::new(Plan::Scan("E".into())),
+            from_col: 0,
+            to_col: 1,
+            push,
+        };
+        let env: Map<TempId, Relation> = Map::new();
+        let mut stats = Stats::default();
+        let mut ctx = ExecCtx {
+            db: &db,
+            env: &env,
+            opts: ExecOptions {
+                naive_fixpoint: naive,
+                lazy: true,
+            },
+            stats: &mut stats,
+        };
+        let rel = eval_lfp(&spec, &mut ctx).unwrap();
+        (rel, stats)
+    }
+
+    fn pairs_of(rel: &Relation) -> HashSet<(u32, u32)> {
+        rel.tuples()
+            .iter()
+            .map(|t| (t[0].as_id().unwrap(), t[1].as_id().unwrap()))
+            .collect()
+    }
+
+    /// Reference closure for validation.
+    fn reference_closure(pairs: &[(u32, u32)]) -> HashSet<(u32, u32)> {
+        let nodes: HashSet<u32> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let mut reach: HashSet<(u32, u32)> = pairs.iter().copied().collect();
+        loop {
+            let mut added = false;
+            for &(a, b) in reach.clone().iter() {
+                for &c in &nodes {
+                    if reach.contains(&(b, c)) && reach.insert((a, c)) {
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        reach
+    }
+
+    #[test]
+    fn chain_closure() {
+        let (rel, stats) = run_lfp(&[(1, 2), (2, 3), (3, 4)], None, false);
+        assert_eq!(pairs_of(&rel), reference_closure(&[(1, 2), (2, 3), (3, 4)]));
+        assert_eq!(stats.lfp_invocations, 1);
+        assert!(stats.lfp_iterations >= 2);
+    }
+
+    #[test]
+    fn cyclic_closure_terminates() {
+        let edges = [(1, 2), (2, 1), (2, 3)];
+        let (rel, _) = run_lfp(&edges, None, false);
+        let expect = reference_closure(&edges);
+        assert_eq!(pairs_of(&rel), expect);
+        assert!(pairs_of(&rel).contains(&(1, 1)), "cycle gives (1,1)");
+    }
+
+    #[test]
+    fn naive_equals_semi_naive() {
+        let edges = [(1, 2), (2, 3), (3, 1), (3, 4), (4, 5)];
+        let (a, _) = run_lfp(&edges, None, false);
+        let (b, _) = run_lfp(&edges, None, true);
+        assert!(a.set_eq(&b));
+    }
+
+    #[test]
+    fn forward_push_restricts_sources() {
+        let edges = [(1, 2), (2, 3), (9, 2)];
+        let mut seeds = Relation::new(vec!["S".into()]);
+        seeds.push(vec![Value::Id(1)]);
+        let push = PushSpec::Forward {
+            seeds: Box::new(Plan::Values(seeds)),
+            col: 0,
+        };
+        let (rel, _) = run_lfp(&edges, Some(push), false);
+        assert_eq!(pairs_of(&rel), HashSet::from([(1, 2), (1, 3)]));
+    }
+
+    #[test]
+    fn backward_push_restricts_targets() {
+        let edges = [(1, 2), (2, 3), (2, 4)];
+        let mut targets = Relation::new(vec!["X".into()]);
+        targets.push(vec![Value::Id(3)]);
+        let push = PushSpec::Backward {
+            targets: Box::new(Plan::Values(targets)),
+            col: 0,
+        };
+        let (rel, _) = run_lfp(&edges, Some(push), false);
+        assert_eq!(pairs_of(&rel), HashSet::from([(2, 3), (1, 3)]));
+    }
+
+    #[test]
+    fn pushes_agree_with_post_filtering() {
+        let edges = [(1, 2), (2, 3), (3, 1), (2, 4), (4, 4), (5, 1)];
+        let full = reference_closure(&edges);
+        // forward from {2}
+        let mut seeds = Relation::new(vec!["S".into()]);
+        seeds.push(vec![Value::Id(2)]);
+        let (rel, _) = run_lfp(
+            &edges,
+            Some(PushSpec::Forward {
+                seeds: Box::new(Plan::Values(seeds)),
+                col: 0,
+            }),
+            false,
+        );
+        let expect: HashSet<(u32, u32)> = full.iter().copied().filter(|&(f, _)| f == 2).collect();
+        assert_eq!(pairs_of(&rel), expect);
+        // backward into {1}
+        for naive in [false, true] {
+            let mut targets = Relation::new(vec!["X".into()]);
+            targets.push(vec![Value::Id(1)]);
+            let (rel, _) = run_lfp(
+                &edges,
+                Some(PushSpec::Backward {
+                    targets: Box::new(Plan::Values(targets)),
+                    col: 0,
+                }),
+                naive,
+            );
+            let expect: HashSet<(u32, u32)> =
+                full.iter().copied().filter(|&(_, t)| t == 1).collect();
+            assert_eq!(pairs_of(&rel), expect, "naive={naive}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty() {
+        let (rel, stats) = run_lfp(&[], None, false);
+        assert!(rel.is_empty());
+        assert_eq!(stats.lfp_invocations, 1);
+    }
+
+    #[test]
+    fn closure_over_mixed_value_types() {
+        // closure works over Doc/Id mixtures (the '_' marker participates)
+        let mut db = Database::new();
+        let mut r = Relation::new(vec!["F".into(), "T".into()]);
+        r.push(vec![Value::Doc, Value::Id(1)]);
+        r.push(vec![Value::Id(1), Value::Id(2)]);
+        db.insert("E", r);
+        let spec = LfpSpec {
+            input: Box::new(Plan::Scan("E".into())),
+            from_col: 0,
+            to_col: 1,
+            push: None,
+        };
+        let env: Map<TempId, Relation> = Map::new();
+        let mut stats = Stats::default();
+        let mut ctx = ExecCtx {
+            db: &db,
+            env: &env,
+            opts: ExecOptions::default(),
+            stats: &mut stats,
+        };
+        let rel = eval_lfp(&spec, &mut ctx).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert!(rel
+            .tuples()
+            .iter()
+            .any(|t| t[0] == Value::Doc && t[1] == Value::Id(2)));
+    }
+}

@@ -1,0 +1,303 @@
+//! Statement programs: the "(sequence of) equivalent sql queries Q′" the
+//! translation produces — a list `R_e ← e2s(e)` of temporary-table
+//! assignments with one designated result (paper §5.1).
+//!
+//! Evaluation is **lazy top–down** by default (§5.2): only statements the
+//! result transitively depends on are materialized; eager in-order
+//! evaluation is available for comparison via [`crate::ExecOptions`].
+
+use crate::exec::{eval_plan, Database, ExecCtx, ExecError, ExecOptions};
+use crate::plan::Plan;
+use crate::relation::Relation;
+use crate::stats::Stats;
+use std::collections::HashMap;
+
+/// Identifier of a temporary relation within one [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TempId(pub u32);
+
+/// One statement `target ← plan`.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    /// The temporary this statement fills.
+    pub target: TempId,
+    /// Its defining plan.
+    pub plan: Plan,
+    /// Human-readable provenance (e.g. the extended XPath sub-expression).
+    pub comment: String,
+}
+
+/// A sequence of statements plus the result temporary.
+///
+/// Statements are ordered so that a statement only references earlier
+/// targets (the translation emits them that way).
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The statements in dependency order.
+    pub stmts: Vec<Stmt>,
+    /// Which temporary holds the query answer.
+    pub result: Option<TempId>,
+}
+
+/// Static operator counts over a program (the quantities of Table 5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Number of `Φ`/`φ` fixpoint operators.
+    pub lfp: usize,
+    /// Number of join operators (inner/semi/anti), excluding per-iteration
+    /// joins hidden inside fixpoints.
+    pub joins: usize,
+    /// Number of union operators (an n-way union counts n−1).
+    pub unions: usize,
+    /// Selections + projections + set operations.
+    pub other: usize,
+}
+
+impl OpCounts {
+    /// Total operators (the "ALL" column of Table 5).
+    pub fn total(&self) -> usize {
+        self.lfp + self.joins + self.unions + self.other
+    }
+}
+
+impl Program {
+    /// New empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Allocate the next temporary id.
+    pub fn fresh_temp(&self) -> TempId {
+        TempId(self.stmts.len() as u32)
+    }
+
+    /// Append a statement and return its target.
+    pub fn push(&mut self, plan: Plan, comment: impl Into<String>) -> TempId {
+        let target = TempId(self.stmts.len() as u32);
+        self.stmts.push(Stmt {
+            target,
+            plan,
+            comment: comment.into(),
+        });
+        target
+    }
+
+    /// Execute against a database. Lazy mode materializes only what the
+    /// result needs; eager mode runs every statement in order.
+    pub fn execute(
+        &self,
+        db: &Database,
+        opts: ExecOptions,
+        stats: &mut Stats,
+    ) -> Result<Relation, ExecError> {
+        let result = self.result.ok_or(ExecError::UnknownTemp(TempId(u32::MAX)))?;
+        let by_target: HashMap<TempId, &Stmt> =
+            self.stmts.iter().map(|s| (s.target, s)).collect();
+        let mut env: HashMap<TempId, Relation> = HashMap::new();
+        if opts.lazy {
+            materialize(result, &by_target, db, opts, &mut env, stats)?;
+            stats.stmts_skipped += self.stmts.len() - stats.stmts_evaluated.min(self.stmts.len());
+        } else {
+            for stmt in &self.stmts {
+                let rel = {
+                    let mut ctx = ExecCtx {
+                        db,
+                        env: &env,
+                        opts,
+                        stats,
+                    };
+                    eval_plan(&stmt.plan, &mut ctx)?
+                };
+                stats.stmts_evaluated += 1;
+                env.insert(stmt.target, rel);
+            }
+        }
+        env.remove(&result).ok_or(ExecError::UnknownTemp(result))
+    }
+
+    /// Static operator counts (Table 5's LFP / ALL columns).
+    pub fn op_counts(&self) -> OpCounts {
+        let mut c = OpCounts::default();
+        for stmt in &self.stmts {
+            stmt.plan.visit(&mut |p| match p {
+                Plan::Lfp(_) | Plan::MultiLfp(_) => c.lfp += 1,
+                Plan::Join { .. } => c.joins += 1,
+                Plan::Union { inputs, .. } => c.unions += inputs.len().saturating_sub(1),
+                Plan::Select { .. }
+                | Plan::Project { .. }
+                | Plan::Diff { .. }
+                | Plan::Intersect { .. }
+                | Plan::Distinct(_) => c.other += 1,
+                Plan::Scan(_) | Plan::Temp(_) | Plan::Values(_) => {}
+            });
+        }
+        c
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Whether the program has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+fn materialize(
+    id: TempId,
+    by_target: &HashMap<TempId, &Stmt>,
+    db: &Database,
+    opts: ExecOptions,
+    env: &mut HashMap<TempId, Relation>,
+    stats: &mut Stats,
+) -> Result<(), ExecError> {
+    if env.contains_key(&id) {
+        return Ok(());
+    }
+    let stmt = *by_target.get(&id).ok_or(ExecError::UnknownTemp(id))?;
+    for dep in stmt.plan.referenced_temps() {
+        materialize(dep, by_target, db, opts, env, stats)?;
+    }
+    let rel = {
+        let mut ctx = ExecCtx {
+            db,
+            env,
+            opts,
+            stats,
+        };
+        eval_plan(&stmt.plan, &mut ctx)?
+    };
+    stats.stmts_evaluated += 1;
+    env.insert(id, rel);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{LfpSpec, Pred};
+    use crate::value::Value;
+
+    fn edge_rel(pairs: &[(u32, u32)]) -> Relation {
+        let mut r = Relation::new(vec!["F".into(), "T".into()]);
+        for &(f, t) in pairs {
+            r.push(vec![Value::Id(f), Value::Id(t)]);
+        }
+        r
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert("E", edge_rel(&[(1, 2), (2, 3)]));
+        db
+    }
+
+    #[test]
+    fn lazy_skips_unused_statements() {
+        let mut prog = Program::new();
+        let _unused = prog.push(Plan::Scan("E".into()), "unused");
+        let used = prog.push(
+            Plan::Scan("E".into()).select(Pred::ColEqValue(0, Value::Id(1))),
+            "used",
+        );
+        prog.result = Some(used);
+        let mut stats = Stats::default();
+        let out = prog
+            .execute(&db(), ExecOptions::default(), &mut stats)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(stats.stmts_evaluated, 1);
+        assert_eq!(stats.stmts_skipped, 1);
+    }
+
+    #[test]
+    fn eager_runs_everything() {
+        let mut prog = Program::new();
+        let _unused = prog.push(Plan::Scan("E".into()), "unused");
+        let used = prog.push(Plan::Scan("E".into()), "used");
+        prog.result = Some(used);
+        let mut stats = Stats::default();
+        let opts = ExecOptions {
+            lazy: false,
+            ..Default::default()
+        };
+        prog.execute(&db(), opts, &mut stats).unwrap();
+        assert_eq!(stats.stmts_evaluated, 2);
+    }
+
+    #[test]
+    fn temp_references_resolve_in_dependency_order() {
+        let mut prog = Program::new();
+        let base = prog.push(Plan::Scan("E".into()), "base");
+        let join = prog.push(
+            Plan::Temp(base).join_on(Plan::Temp(base), 1, 0).project(vec![(0, "F"), (3, "T")]),
+            "E∘E",
+        );
+        prog.result = Some(join);
+        let mut stats = Stats::default();
+        let out = prog
+            .execute(&db(), ExecOptions::default(), &mut stats)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0], vec![Value::Id(1), Value::Id(3)]);
+    }
+
+    #[test]
+    fn missing_result_errors() {
+        let prog = Program::new();
+        let mut stats = Stats::default();
+        assert!(prog
+            .execute(&db(), ExecOptions::default(), &mut stats)
+            .is_err());
+    }
+
+    #[test]
+    fn op_counts_statics() {
+        let mut prog = Program::new();
+        let base = prog.push(
+            Plan::Union {
+                inputs: vec![Plan::Scan("E".into()), Plan::Scan("E".into()), Plan::Scan("E".into())],
+                distinct: true,
+            },
+            "u",
+        );
+        let closed = prog.push(
+            Plan::Lfp(LfpSpec {
+                input: Box::new(Plan::Temp(base)),
+                from_col: 0,
+                to_col: 1,
+                push: None,
+            }),
+            "Φ",
+        );
+        let j = prog.push(Plan::Temp(closed).join_on(Plan::Temp(base), 1, 0), "join");
+        prog.result = Some(j);
+        let counts = prog.op_counts();
+        assert_eq!(counts.lfp, 1);
+        assert_eq!(counts.joins, 1);
+        assert_eq!(counts.unions, 2);
+        assert_eq!(counts.total(), 4);
+    }
+
+    #[test]
+    fn closure_program_end_to_end() {
+        let mut prog = Program::new();
+        let closed = prog.push(
+            Plan::Lfp(LfpSpec {
+                input: Box::new(Plan::Scan("E".into())),
+                from_col: 0,
+                to_col: 1,
+                push: None,
+            }),
+            "Φ(E)",
+        );
+        prog.result = Some(closed);
+        let mut stats = Stats::default();
+        let out = prog
+            .execute(&db(), ExecOptions::default(), &mut stats)
+            .unwrap();
+        assert_eq!(out.len(), 3); // (1,2),(2,3),(1,3)
+    }
+}

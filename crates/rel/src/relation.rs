@@ -1,0 +1,212 @@
+//! Relations: named columns over [`Value`] tuples.
+
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// A tuple (row).
+pub type Tuple = Vec<Value>;
+
+/// A relation with named columns. Duplicate rows are permitted (bags);
+/// set semantics are applied explicitly via [`Relation::dedup`] or the
+/// `Distinct` plan node, mirroring SQL.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    columns: Vec<String>,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Empty relation with the given column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        Relation {
+            columns,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Empty relation with the conventional shredded-edge schema `(F, T, V)`.
+    pub fn edge_schema() -> Self {
+        Relation::new(vec!["F".into(), "T".into(), "V".into()])
+    }
+
+    /// Column names.
+    #[inline]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Append a row (must match arity).
+    pub fn push(&mut self, tuple: Tuple) {
+        debug_assert_eq!(tuple.len(), self.columns.len(), "arity mismatch");
+        self.tuples.push(tuple);
+    }
+
+    /// Rows.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Mutable rows (used by bulk loaders).
+    pub fn tuples_mut(&mut self) -> &mut Vec<Tuple> {
+        &mut self.tuples
+    }
+
+    /// Remove duplicate rows (set semantics), preserving first occurrence.
+    pub fn dedup(&mut self) {
+        let mut seen: HashSet<Tuple> = HashSet::with_capacity(self.tuples.len());
+        self.tuples.retain(|t| seen.insert(t.clone()));
+    }
+
+    /// Build a hash index: column value → row indexes.
+    pub fn index_on(&self, col: usize) -> HashMap<Value, Vec<u32>> {
+        let mut idx: HashMap<Value, Vec<u32>> = HashMap::with_capacity(self.tuples.len());
+        for (i, t) in self.tuples.iter().enumerate() {
+            idx.entry(t[col].clone()).or_default().push(i as u32);
+        }
+        idx
+    }
+
+    /// Set of values in one column.
+    pub fn value_set(&self, col: usize) -> HashSet<Value> {
+        self.tuples.iter().map(|t| t[col].clone()).collect()
+    }
+
+    /// Render as an aligned ASCII table (for examples reproducing the
+    /// paper's Tables 1–3).
+    pub fn to_ascii_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| t.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Rows sorted lexicographically (for deterministic comparisons).
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v = self.tuples.clone();
+        v.sort();
+        v
+    }
+
+    /// Set equality with another relation (ignores row order & duplicates).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        let a: HashSet<&Tuple> = self.tuples.iter().collect();
+        let b: HashSet<&Tuple> = other.tuples.iter().collect();
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft(pairs: &[(u32, u32)]) -> Relation {
+        let mut r = Relation::new(vec!["F".into(), "T".into()]);
+        for &(f, t) in pairs {
+            r.push(vec![Value::Id(f), Value::Id(t)]);
+        }
+        r
+    }
+
+    #[test]
+    fn push_and_columns() {
+        let r = ft(&[(1, 2), (2, 3)]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.col("T"), Some(1));
+        assert_eq!(r.col("zzz"), None);
+        assert_eq!(r.arity(), 2);
+    }
+
+    #[test]
+    fn dedup_preserves_first() {
+        let mut r = ft(&[(1, 2), (1, 2), (2, 3)]);
+        r.dedup();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuples()[0], vec![Value::Id(1), Value::Id(2)]);
+    }
+
+    #[test]
+    fn index_on_column() {
+        let r = ft(&[(1, 2), (1, 3), (2, 3)]);
+        let idx = r.index_on(0);
+        assert_eq!(idx[&Value::Id(1)], vec![0, 1]);
+        assert_eq!(idx[&Value::Id(2)], vec![2]);
+        assert!(!idx.contains_key(&Value::Id(3)));
+    }
+
+    #[test]
+    fn value_set() {
+        let r = ft(&[(1, 2), (2, 3)]);
+        let s = r.value_set(1);
+        assert!(s.contains(&Value::Id(2)) && s.contains(&Value::Id(3)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_eq_ignores_order_and_dupes() {
+        let a = ft(&[(1, 2), (2, 3), (1, 2)]);
+        let b = ft(&[(2, 3), (1, 2)]);
+        assert!(a.set_eq(&b));
+        let c = ft(&[(1, 2)]);
+        assert!(!a.set_eq(&c));
+    }
+
+    #[test]
+    fn ascii_table_renders() {
+        let r = ft(&[(1, 22)]);
+        let s = r.to_ascii_table();
+        assert!(s.contains("F"));
+        assert!(s.contains("#22"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Execution statistics.
+//!
+//! These counters are the engine-level quantities the paper's evaluation
+//! turns on: how many joins/unions run (once, outside the fixpoint, for our
+//! approach — once *per iteration* inside `WITH…RECURSIVE` for SQLGen-R),
+//! how many LFP operators execute and how many iterations they take.
+
+use std::fmt;
+
+/// Counters accumulated during execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Join operators executed (each per-iteration join inside a fixpoint
+    /// counts separately — that is the point).
+    pub joins: usize,
+    /// Union operations executed (same accounting).
+    pub unions: usize,
+    /// Selections executed.
+    pub selects: usize,
+    /// Projections executed.
+    pub projects: usize,
+    /// Set differences / intersections executed.
+    pub set_ops: usize,
+    /// Simple LFP operator invocations.
+    pub lfp_invocations: usize,
+    /// Total LFP iterations across invocations.
+    pub lfp_iterations: usize,
+    /// Multi-relation fixpoint invocations (SQLGen-R).
+    pub multilfp_invocations: usize,
+    /// Total multi-relation fixpoint iterations.
+    pub multilfp_iterations: usize,
+    /// Tuples produced by all operators.
+    pub tuples_emitted: u64,
+    /// Statements evaluated (lazy evaluation may skip some).
+    pub stmts_evaluated: usize,
+    /// Statements skipped by lazy evaluation.
+    pub stmts_skipped: usize,
+}
+
+impl Stats {
+    /// Sum two stat sets.
+    pub fn merge(&mut self, other: &Stats) {
+        self.joins += other.joins;
+        self.unions += other.unions;
+        self.selects += other.selects;
+        self.projects += other.projects;
+        self.set_ops += other.set_ops;
+        self.lfp_invocations += other.lfp_invocations;
+        self.lfp_iterations += other.lfp_iterations;
+        self.multilfp_invocations += other.multilfp_invocations;
+        self.multilfp_iterations += other.multilfp_iterations;
+        self.tuples_emitted += other.tuples_emitted;
+        self.stmts_evaluated += other.stmts_evaluated;
+        self.stmts_skipped += other.stmts_skipped;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped",
+            self.joins,
+            self.unions,
+            self.lfp_invocations,
+            self.lfp_iterations,
+            self.multilfp_invocations,
+            self.multilfp_iterations,
+            self.tuples_emitted,
+            self.stmts_evaluated,
+            self.stmts_skipped,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = Stats {
+            joins: 1,
+            lfp_iterations: 3,
+            ..Default::default()
+        };
+        let b = Stats {
+            joins: 2,
+            unions: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.joins, 3);
+        assert_eq!(a.unions, 5);
+        assert_eq!(a.lfp_iterations, 3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Stats::default().to_string();
+        assert!(s.contains("joins=0"));
+    }
+}

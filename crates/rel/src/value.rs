@@ -1,0 +1,97 @@
+//! Relational values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single column value.
+///
+/// Shredded XML uses [`Value::Id`] for node ids and [`Value::Doc`] for the
+/// paper's `'_'` marker (the parent of the root element, §2.3). Strings are
+/// reference-counted so tuples clone cheaply during joins.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Value {
+    /// SQL NULL (the paper's `'_'` for "no text value").
+    Null,
+    /// The virtual document id `'_'` (parent of the root element).
+    Doc,
+    /// An element node id.
+    Id(u32),
+    /// A string (text values, tags).
+    Str(Arc<str>),
+    /// An integer.
+    Int(i64),
+}
+
+impl Value {
+    /// Convenience string constructor.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// The node id if this is an [`Value::Id`].
+    pub fn as_id(&self) -> Option<u32> {
+        match self {
+            Value::Id(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render as a SQL literal.
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Doc => "'_'".to_string(),
+            Value::Id(n) => n.to_string(),
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Int(i) => i.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "-"),
+            Value::Doc => write!(f, "_"),
+            Value::Id(n) => write!(f, "#{n}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_equality() {
+        assert_eq!(Value::Id(3), Value::Id(3));
+        assert_ne!(Value::Id(3), Value::Int(3));
+        assert_eq!(Value::str("x"), Value::str("x"));
+        assert!(Value::Id(1) < Value::Id(2));
+    }
+
+    #[test]
+    fn sql_literals() {
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+        assert_eq!(Value::Doc.to_sql_literal(), "'_'");
+        assert_eq!(Value::Id(7).to_sql_literal(), "7");
+        assert_eq!(Value::str("o'brien").to_sql_literal(), "'o''brien'");
+        assert_eq!(Value::Int(-4).to_sql_literal(), "-4");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Doc.to_string(), "_");
+        assert_eq!(Value::Id(12).to_string(), "#12");
+    }
+}

@@ -1,0 +1,166 @@
+//! The simplified per-type edge mapping `τ` (paper §2.3):
+//! each element type `A` becomes a relation `R_A(F, T, V)`.
+//!
+//! In a database `τ_d(T)` representing a tree `T`, each `R_A` tuple
+//! `(f, t, v)` represents an edge from node `f` to an `A`-element `t` with
+//! optional text `v`; `f = '_'` iff `t` is the root. Node ids are unique
+//! across the whole database — our arena `NodeId`s already are.
+
+use x2s_dtd::{Dtd, ElemId};
+use x2s_rel::{Database, Relation, Value};
+use x2s_xml::Tree;
+
+/// The base-relation name for an element type: `R_<name>`.
+pub fn table_name(dtd: &Dtd, elem: ElemId) -> String {
+    format!("R_{}", dtd.name(elem))
+}
+
+/// The `V` value of a node: its text or NULL (`'_'` in the paper).
+pub fn node_value(tree: &Tree, node: x2s_xml::NodeId) -> Value {
+    match tree.value(node) {
+        Some(v) => Value::str(v),
+        None => Value::Null,
+    }
+}
+
+/// Name of the union-of-all-types relation (every node's edge tuple).
+/// Element type names cannot start with `_`, so this never collides with a
+/// `R_<type>` relation. It backs qualifier node-set computations (`¬q`,
+/// `text()=c` on value-less intermediates) in the SQL translation.
+pub const ALL_NODES: &str = "R__nodes";
+
+/// Shred a tree into per-type edge relations, one `R_A(F, T, V)` per type
+/// (empty relations included so scans never fail), plus the [`ALL_NODES`]
+/// union relation.
+pub fn edge_database(tree: &Tree, dtd: &Dtd) -> Database {
+    let mut rels: Vec<Relation> = (0..dtd.len()).map(|_| Relation::edge_schema()).collect();
+    let mut all = Relation::edge_schema();
+    for n in tree.node_ids() {
+        let f = match tree.parent(n) {
+            Some(p) => Value::Id(p.0),
+            None => Value::Doc,
+        };
+        let tuple = vec![f, Value::Id(n.0), node_value(tree, n)];
+        all.push(tuple.clone());
+        rels[tree.label(n).index()].push(tuple);
+    }
+    let mut db = Database::new();
+    for id in dtd.ids() {
+        db.insert(&table_name(dtd, id), std::mem::take(&mut rels[id.index()]));
+    }
+    db.insert(ALL_NODES, all);
+    db
+}
+
+/// A shredded store bundling the database with its provenance.
+#[derive(Clone, Debug)]
+pub struct EdgeShredding {
+    /// The relational database (one `R_A` per element type).
+    pub db: Database,
+    /// Number of shredded elements.
+    pub elements: usize,
+}
+
+impl EdgeShredding {
+    /// Shred `tree` under `dtd`.
+    pub fn of(tree: &Tree, dtd: &Dtd) -> Self {
+        EdgeShredding {
+            db: edge_database(tree, dtd),
+            elements: tree.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2s_dtd::samples;
+    use x2s_xml::parse_xml;
+
+    /// The Table 1 document: d1(c1(c2(c3, p1(c4(p2))), s1, s2(c5))).
+    fn table1() -> (Dtd, Tree) {
+        let d = samples::dept_simplified();
+        let t = parse_xml(
+            &d,
+            "<dept><course><course><course/><project><course><project/></course></project></course><student/><student><course/></student></course></dept>",
+        )
+        .unwrap();
+        (d, t)
+    }
+
+    #[test]
+    fn table1_relation_sizes() {
+        let (d, t) = table1();
+        let db = edge_database(&t, &d);
+        // Table 1: Rd has 1 tuple, Rc 5, Rs 2, Rp 2
+        assert_eq!(db.get("R_dept").unwrap().len(), 1);
+        assert_eq!(db.get("R_course").unwrap().len(), 5);
+        assert_eq!(db.get("R_student").unwrap().len(), 2);
+        assert_eq!(db.get("R_project").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn root_tuple_has_doc_parent() {
+        let (d, t) = table1();
+        let db = edge_database(&t, &d);
+        let rd = db.get("R_dept").unwrap();
+        assert_eq!(rd.tuples()[0][0], Value::Doc);
+        assert_eq!(rd.tuples()[0][1], Value::Id(t.root().0));
+    }
+
+    #[test]
+    fn edges_match_tree_parenthood() {
+        let (d, t) = table1();
+        let db = edge_database(&t, &d);
+        for n in t.node_ids() {
+            let rel = db.get(&table_name(&d, t.label(n))).unwrap();
+            let tuple = rel
+                .tuples()
+                .iter()
+                .find(|tp| tp[1] == Value::Id(n.0))
+                .expect("every node has a tuple");
+            match t.parent(n) {
+                Some(p) => assert_eq!(tuple[0], Value::Id(p.0)),
+                None => assert_eq!(tuple[0], Value::Doc),
+            }
+        }
+    }
+
+    #[test]
+    fn values_shredded() {
+        let d = samples::dept();
+        let t = parse_xml(
+            &d,
+            "<dept><course><cno>cs66</cno><title/><prereq/><takenBy/></course></dept>",
+        )
+        .unwrap();
+        let db = edge_database(&t, &d);
+        let rc = db.get("R_cno").unwrap();
+        assert_eq!(rc.len(), 1);
+        assert_eq!(rc.tuples()[0][2], Value::str("cs66"));
+        // title has no text → NULL
+        let rt = db.get("R_title").unwrap();
+        assert_eq!(rt.tuples()[0][2], Value::Null);
+    }
+
+    #[test]
+    fn empty_relations_exist_for_unused_types() {
+        let (d, t) = table1();
+        let db = edge_database(&t, &d);
+        // all four types used here, so craft a doc that uses fewer
+        let t2 = parse_xml(&d, "<dept/>").unwrap();
+        let db2 = edge_database(&t2, &d);
+        assert_eq!(db2.get("R_course").unwrap().len(), 0);
+        assert!(db.get("R_zzz").is_none());
+    }
+
+    #[test]
+    fn total_tuples_equal_elements() {
+        let (d, t) = table1();
+        let s = EdgeShredding::of(&t, &d);
+        assert_eq!(s.elements, t.len());
+        // per-type relations partition the nodes; R__nodes duplicates them
+        assert_eq!(s.db.total_tuples(), 2 * t.len());
+        assert_eq!(s.db.get(ALL_NODES).unwrap().len(), t.len());
+    }
+}

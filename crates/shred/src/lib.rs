@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! DTD-based shredding of XML into relations (paper §2.3).
+//!
+//! Two mappings are provided:
+//!
+//! * [`edge`] — the paper's *simplified* mapping, which the query
+//!   translation targets: every element type `A` maps to a relation
+//!   `R_A(F, T, V)` where each tuple `(f, t, v)` is an edge from parent `f`
+//!   to `A`-element `t` carrying optional text `v`; the root's `F` is the
+//!   document marker `'_'`. ("To simplify the discussion we assume that the
+//!   mapping τ maps each element type A to a relation R_A …  this assumption
+//!   does not lose generality.")
+//! * [`inline`] — the **shared-inlining** technique of Shanmugasundaram et
+//!   al. [59] that the simplification abstracts: the DTD graph is
+//!   partitioned into subgraphs with no `*`-labelled internal edges, each
+//!   subgraph becomes one relation with `ID`/`parentId` (and `parentCode`
+//!   when a subgraph has several incoming edges), and non-repeating
+//!   descendants are inlined as columns. Example 2.3's `Rd/Rc/Rs/Rp`
+//!   partition of the `dept` DTD is reproduced by the tests.
+
+pub mod edge;
+pub mod inline;
+
+pub use edge::{edge_database, node_value, table_name, EdgeShredding, ALL_NODES};
+pub use inline::{InlineSchema, InlinedDatabase};

@@ -1,0 +1,151 @@
+//! Tarjan's strongly-connected-components algorithm over translation-graph
+//! node subsets — SQLGen-R's query-graph partitioning step (§3.1: "It then
+//! partitions G_Q into strongly-connected components c1…cn, sorted in the
+//! top–down topological order").
+
+use std::collections::{HashMap, HashSet};
+use x2s_core::graph::{TNode, TransGraph};
+
+/// Compute SCCs of the subgraph induced by `nodes`, returned in reverse
+/// topological order of the condensation (sources first).
+pub fn strongly_connected_components(g: &TransGraph<'_>, nodes: &[TNode]) -> Vec<Vec<TNode>> {
+    let node_set: HashSet<TNode> = nodes.iter().copied().collect();
+    let mut state = Tarjan {
+        g,
+        node_set: &node_set,
+        index: 0,
+        indices: HashMap::new(),
+        lowlink: HashMap::new(),
+        on_stack: HashSet::new(),
+        stack: Vec::new(),
+        components: Vec::new(),
+    };
+    for &n in nodes {
+        if !state.indices.contains_key(&n) {
+            state.strongconnect(n);
+        }
+    }
+    // Tarjan emits components in reverse topological order; reverse them so
+    // sources come first ("top-down topological order").
+    state.components.reverse();
+    state.components
+}
+
+struct Tarjan<'a, 'g> {
+    g: &'a TransGraph<'g>,
+    node_set: &'a HashSet<TNode>,
+    index: usize,
+    indices: HashMap<TNode, usize>,
+    lowlink: HashMap<TNode, usize>,
+    on_stack: HashSet<TNode>,
+    stack: Vec<TNode>,
+    components: Vec<Vec<TNode>>,
+}
+
+impl Tarjan<'_, '_> {
+    fn strongconnect(&mut self, v: TNode) {
+        self.indices.insert(v, self.index);
+        self.lowlink.insert(v, self.index);
+        self.index += 1;
+        self.stack.push(v);
+        self.on_stack.insert(v);
+        for w in self.g.children(v) {
+            if !self.node_set.contains(&w) {
+                continue;
+            }
+            if !self.indices.contains_key(&w) {
+                self.strongconnect(w);
+                let lw = self.lowlink[&w];
+                let lv = self.lowlink[&v];
+                self.lowlink.insert(v, lv.min(lw));
+            } else if self.on_stack.contains(&w) {
+                let iw = self.indices[&w];
+                let lv = self.lowlink[&v];
+                self.lowlink.insert(v, lv.min(iw));
+            }
+        }
+        if self.lowlink[&v] == self.indices[&v] {
+            let mut comp = Vec::new();
+            while let Some(w) = self.stack.pop() {
+                self.on_stack.remove(&w);
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            comp.sort_unstable();
+            self.components.push(comp);
+        }
+    }
+}
+
+/// Whether a component is cyclic (more than one node, or a self-loop).
+pub fn is_cyclic_component(g: &TransGraph<'_>, comp: &[TNode]) -> bool {
+    comp.len() > 1 || (comp.len() == 1 && g.has_edge(comp[0], comp[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2s_dtd::samples;
+
+    #[test]
+    fn dept_has_the_example_3_1_scc() {
+        // Example 3.1: SCC {Rc, Rs, Rp} with 3 nodes and 5 edges
+        let d = samples::dept_simplified();
+        let g = TransGraph::new(&d);
+        let all: Vec<TNode> = (0..g.len()).collect();
+        let comps = strongly_connected_components(&g, &all);
+        let big = comps.iter().find(|c| c.len() == 3).expect("3-node SCC");
+        let names: Vec<&str> = big.iter().map(|&n| g.name(n)).collect();
+        assert!(names.contains(&"course"));
+        assert!(names.contains(&"student"));
+        assert!(names.contains(&"project"));
+        let edges = big
+            .iter()
+            .flat_map(|&u| big.iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| g.has_edge(u, v))
+            .count();
+        assert_eq!(edges, 5, "Example 3.1: 3 nodes and 5 edges");
+        assert!(is_cyclic_component(&g, big));
+    }
+
+    #[test]
+    fn topological_order_sources_first() {
+        let d = samples::dept_simplified();
+        let g = TransGraph::new(&d);
+        let all: Vec<TNode> = (0..g.len()).collect();
+        let comps = strongly_connected_components(&g, &all);
+        // doc before dept before the SCC
+        let pos = |name: &str| {
+            comps
+                .iter()
+                .position(|c| c.iter().any(|&n| g.name(n) == name))
+                .unwrap()
+        };
+        assert!(pos("#doc") < pos("dept"));
+        assert!(pos("dept") < pos("course"));
+    }
+
+    #[test]
+    fn acyclic_graph_gives_singletons() {
+        let d = samples::complete_dag(4);
+        let g = TransGraph::new(&d);
+        let all: Vec<TNode> = (0..g.len()).collect();
+        let comps = strongly_connected_components(&g, &all);
+        assert_eq!(comps.len(), g.len());
+        assert!(comps.iter().all(|c| !is_cyclic_component(&g, c)));
+    }
+
+    #[test]
+    fn subset_restriction_respected() {
+        let d = samples::dept_simplified();
+        let g = TransGraph::new(&d);
+        let course = g.node(d.elem("course").unwrap());
+        let student = g.node(d.elem("student").unwrap());
+        // without project, course↔student is still an SCC
+        let comps = strongly_connected_components(&g, &[course, student]);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 2);
+    }
+}

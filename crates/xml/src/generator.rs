@@ -1,0 +1,350 @@
+//! A reimplementation of the IBM AlphaWorks XML Generator semantics used by
+//! the paper's evaluation (§6, "Testing data"):
+//!
+//! * `X_L` — "the maximum number of levels in the resulting xml tree. If a
+//!   tree goes beyond X_L levels, it will add none of the optional elements
+//!   (denoted by * or ? in the dtd) and only one of each of the required
+//!   elements (denoted by + or with no option)";
+//! * `X_R` — "the maximum number of occurrences of child elements in the
+//!   presence of the * or + option. In other words, the number of children of
+//!   each element of a type defined with this option is a random number
+//!   between 0 and X_R";
+//! * trimming — "excessively large xml trees generated were trimmed" to a
+//!   target element count; we trim in BFS order (prefix-closed, still a
+//!   tree). Generation itself proceeds in BFS order with a node budget, so
+//!   trimming and budgeted generation coincide and generation is `O(target)`
+//!   even when the untrimmed tree would be huge.
+//!
+//! Values: every `#PCDATA`-licensed element receives a value drawn from a
+//! small alphabet (`"v0" … "v{k-1}"`), so `text() = c` qualifiers have
+//! controllable selectivity; [`mark_values`] overrides exactly `m` nodes of
+//! one type with a marker value (used by Exp-2's `a[text()="sel"]` sweeps).
+
+use crate::tree::{NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use x2s_dtd::{ContentModel, Dtd, ElemId};
+
+/// Configuration mirroring the IBM XML Generator parameters used in §6.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// `X_L`: maximum number of levels (root = level 1). Default 12
+    /// (the paper's default is X_L = 12).
+    pub max_levels: usize,
+    /// `X_R`: maximum repetitions of `*`/`+` children. Default 4.
+    pub max_repeats: usize,
+    /// RNG seed — generation is fully deterministic given the seed.
+    pub seed: u64,
+    /// Trim/budget the tree to exactly this many elements, if set
+    /// (the paper's default dataset size is 120 000 elements).
+    pub target_elements: Option<usize>,
+    /// Size of the value alphabet (`"v0"…"v{n-1}"`); 0 disables values.
+    pub value_alphabet: usize,
+    /// Hard recursion stop: beyond `max_levels + slack`, even required
+    /// children are dropped (guards DTDs whose required children recurse).
+    pub required_depth_slack: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            max_levels: 12,
+            max_repeats: 4,
+            seed: 0xF005_BA11,
+            target_elements: Some(120_000),
+            value_alphabet: 16,
+            required_depth_slack: 16,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Convenience: set `X_L`/`X_R`/target in one call.
+    pub fn shaped(xl: usize, xr: usize, target: Option<usize>) -> Self {
+        GeneratorConfig {
+            max_levels: xl,
+            max_repeats: xr,
+            target_elements: target,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Document generator over a DTD.
+pub struct Generator<'a> {
+    dtd: &'a Dtd,
+    cfg: GeneratorConfig,
+}
+
+impl<'a> Generator<'a> {
+    /// Create a generator for `dtd` with the given configuration.
+    pub fn new(dtd: &'a Dtd, cfg: GeneratorConfig) -> Self {
+        Generator { dtd, cfg }
+    }
+
+    /// Generate a document. BFS expansion: each dequeued node receives its
+    /// children according to the X_L/X_R rules; generation stops early once
+    /// the node budget is exhausted (equivalent to the paper's post-hoc BFS
+    /// trimming).
+    pub fn generate(&self) -> Tree {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let budget = self.cfg.target_elements.unwrap_or(usize::MAX);
+        let mut tree = Tree::with_root(self.dtd.root());
+        let root = tree.root();
+        self.assign_value(&mut tree, root, &mut rng);
+        let mut queue: VecDeque<(NodeId, usize)> = VecDeque::from([(root, 1)]);
+        while let Some((node, level)) = queue.pop_front() {
+            if tree.len() >= budget {
+                break;
+            }
+            let labels = self.child_labels(tree.label(node), level, &mut rng);
+            for label in labels {
+                if tree.len() >= budget {
+                    break;
+                }
+                let child = tree.add_child(node, label);
+                self.assign_value(&mut tree, child, &mut rng);
+                queue.push_back((child, level + 1));
+            }
+        }
+        tree
+    }
+
+    fn assign_value(&self, tree: &mut Tree, node: NodeId, rng: &mut StdRng) {
+        if self.cfg.value_alphabet > 0 && self.dtd.allows_text(tree.label(node)) {
+            let v = rng.gen_range(0..self.cfg.value_alphabet);
+            tree.set_value(node, Some(&format!("v{v}")));
+        }
+    }
+
+    /// Instantiate one node's content model into a child-label sequence.
+    fn child_labels(&self, label: ElemId, level: usize, rng: &mut StdRng) -> Vec<ElemId> {
+        let mut out = Vec::new();
+        let beyond = level >= self.cfg.max_levels;
+        let hard_stop = level >= self.cfg.max_levels + self.cfg.required_depth_slack;
+        if !hard_stop {
+            self.expand(self.dtd.content(label), beyond, rng, &mut out);
+        }
+        out
+    }
+
+    fn expand(
+        &self,
+        model: &ContentModel,
+        beyond: bool,
+        rng: &mut StdRng,
+        out: &mut Vec<ElemId>,
+    ) {
+        match model {
+            ContentModel::Empty | ContentModel::Text => {}
+            ContentModel::Elem(b) => out.push(*b),
+            ContentModel::Seq(ps) => {
+                for p in ps {
+                    self.expand(p, beyond, rng, out);
+                }
+            }
+            ContentModel::Choice(ps) => {
+                // Past X_L prefer a nullable branch (adds nothing) if any;
+                // otherwise pick the first branch deterministically.
+                if beyond {
+                    if !ps.iter().any(is_nullable) {
+                        if let Some(first) = ps.first() {
+                            self.expand(first, beyond, rng, out);
+                        }
+                    }
+                } else if !ps.is_empty() {
+                    let pick = rng.gen_range(0..ps.len());
+                    self.expand(&ps[pick], beyond, rng, out);
+                }
+            }
+            ContentModel::Star(p) => {
+                if !beyond {
+                    let k = rng.gen_range(0..=self.cfg.max_repeats);
+                    for _ in 0..k {
+                        self.expand(p, beyond, rng, out);
+                    }
+                }
+            }
+            ContentModel::Plus(p) => {
+                let k = if beyond {
+                    1
+                } else {
+                    rng.gen_range(0..=self.cfg.max_repeats).max(1)
+                };
+                for _ in 0..k {
+                    self.expand(p, beyond, rng, out);
+                }
+            }
+            ContentModel::Opt(p) => {
+                if !beyond && rng.gen_bool(0.5) {
+                    self.expand(p, beyond, rng, out);
+                }
+            }
+        }
+    }
+}
+
+fn is_nullable(m: &ContentModel) -> bool {
+    match m {
+        ContentModel::Empty | ContentModel::Text => true,
+        ContentModel::Elem(_) => false,
+        ContentModel::Plus(p) => is_nullable(p),
+        ContentModel::Seq(ps) => ps.iter().all(is_nullable),
+        ContentModel::Choice(ps) => ps.iter().any(is_nullable),
+        ContentModel::Star(_) | ContentModel::Opt(_) => true,
+    }
+}
+
+/// Give exactly `count` nodes of type `label` the marker value (and strip it
+/// from all other nodes of that type). Nodes are chosen pseudo-randomly but
+/// deterministically from `seed`. Returns how many nodes were marked (may be
+/// fewer than requested when the tree has fewer such nodes).
+pub fn mark_values(tree: &mut Tree, label: ElemId, count: usize, marker: &str, seed: u64) -> usize {
+    let mut candidates: Vec<NodeId> = tree
+        .node_ids()
+        .filter(|&n| tree.label(n) == label)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fisher–Yates prefix shuffle: enough to pick `count` random nodes.
+    let picks = count.min(candidates.len());
+    for i in 0..picks {
+        let j = rng.gen_range(i..candidates.len());
+        candidates.swap(i, j);
+    }
+    for (i, &n) in candidates.iter().enumerate() {
+        if i < picks {
+            tree.set_value(n, Some(marker));
+        } else if tree.value(n) == Some(marker) {
+            tree.set_value(n, Some("v_unmarked"));
+        }
+    }
+    picks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2s_dtd::samples;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let d = samples::cross();
+        let cfg = GeneratorConfig::shaped(8, 4, Some(2000));
+        let t1 = Generator::new(&d, cfg.clone()).generate();
+        let t2 = Generator::new(&d, cfg).generate();
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(t1.preorder(), t2.preorder());
+        for n in t1.node_ids() {
+            assert_eq!(t1.label(n), t2.label(n));
+            assert_eq!(t1.value(n), t2.value(n));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = samples::cross();
+        let a = Generator::new(&d, GeneratorConfig::shaped(8, 4, Some(2000)).with_seed(1))
+            .generate();
+        let b = Generator::new(&d, GeneratorConfig::shaped(8, 4, Some(2000)).with_seed(2))
+            .generate();
+        // identical sizes possible, but shapes should differ somewhere
+        let differs = a.len() != b.len()
+            || a.node_ids().any(|n| {
+                a.label(n) != b.label(n) || a.children(n).len() != b.children(n).len()
+            });
+        assert!(differs);
+    }
+
+    #[test]
+    fn respects_target_budget() {
+        let d = samples::cross();
+        let t = Generator::new(&d, GeneratorConfig::shaped(12, 6, Some(5_000))).generate();
+        assert!(t.len() <= 5_000);
+        // a fanout-heavy config should hit the budget exactly
+        assert_eq!(t.len(), 5_000);
+    }
+
+    #[test]
+    fn respects_max_levels() {
+        let d = samples::cross();
+        let t = Generator::new(&d, GeneratorConfig::shaped(5, 3, None)).generate();
+        // all starred children: nothing may exceed X_L levels
+        assert!(t.height() <= 5, "height {} > X_L", t.height());
+    }
+
+    #[test]
+    fn deeper_xl_means_taller_trees() {
+        let d = samples::cross();
+        let shallow = Generator::new(&d, GeneratorConfig::shaped(4, 4, Some(4000))).generate();
+        let deep = Generator::new(&d, GeneratorConfig::shaped(16, 4, Some(4000))).generate();
+        assert!(deep.height() > shallow.height());
+    }
+
+    #[test]
+    fn required_children_generated_beyond_xl() {
+        // dept's course requires cno/title/prereq/takenBy even past X_L
+        let d = samples::dept();
+        let t = Generator::new(&d, GeneratorConfig::shaped(3, 2, Some(500))).generate();
+        let course = d.elem("course").unwrap();
+        for n in t.node_ids() {
+            if t.label(n) == course && !t.children(n).is_empty() {
+                let kinds: Vec<&str> = t.children(n).iter().map(|&c| d.name(t.label(c))).collect();
+                assert!(kinds.contains(&"cno"), "course children: {kinds:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn values_drawn_from_alphabet() {
+        let d = samples::cross();
+        let mut cfg = GeneratorConfig::shaped(6, 3, Some(500));
+        cfg.value_alphabet = 4;
+        let t = Generator::new(&d, cfg).generate();
+        for n in t.node_ids() {
+            if let Some(v) = t.value(n) {
+                assert!(["v0", "v1", "v2", "v3"].contains(&v), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn mark_values_exact_count() {
+        let d = samples::cross();
+        let mut t = Generator::new(&d, GeneratorConfig::shaped(10, 4, Some(8000))).generate();
+        let a = d.elem("a").unwrap();
+        let total_a = t.count_label(a);
+        assert!(total_a > 50, "need enough a nodes, got {total_a}");
+        let marked = mark_values(&mut t, a, 50, "sel", 7);
+        assert_eq!(marked, 50);
+        let count = t
+            .node_ids()
+            .filter(|&n| t.label(n) == a && t.value(n) == Some("sel"))
+            .count();
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn mark_values_caps_at_population() {
+        let d = samples::cross();
+        let mut t = Generator::new(&d, GeneratorConfig::shaped(4, 2, Some(100))).generate();
+        let a = d.elem("a").unwrap();
+        let total = t.count_label(a);
+        let marked = mark_values(&mut t, a, total + 1000, "sel", 7);
+        assert_eq!(marked, total);
+    }
+
+    #[test]
+    fn generated_tree_validates_without_trimming() {
+        // without a budget and with generous slack, generated docs conform
+        let d = samples::dept_simplified();
+        let t = Generator::new(&d, GeneratorConfig::shaped(6, 3, None)).generate();
+        crate::validate::validate(&t, &d).unwrap();
+    }
+}

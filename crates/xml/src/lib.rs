@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! XML document store for the `xpath2sql` reproduction.
+//!
+//! * [`Tree`] — an arena-allocated ordered labelled tree with optional text
+//!   values per element (paper §2.1: "an element v may possibly carry a text
+//!   value (PCDATA) denoted by v.val");
+//! * [`parser`] / [`writer`] — a minimal XML reader/writer for documents over
+//!   a given DTD (elements and text only; the paper does not consider
+//!   attributes);
+//! * [`validate`] — content-model conformance checking via Brzozowski
+//!   derivatives (an "xml tree of the dtd" is a document conforming to it);
+//! * [`generator`] — a reimplementation of the IBM AlphaWorks XML Generator
+//!   semantics the paper's evaluation relies on (§6 "Testing data"):
+//!   `X_L` bounds tree depth (beyond it only required children are emitted),
+//!   `X_R` bounds the repetition of starred/`+` children, and oversized
+//!   trees are trimmed to an exact element count in BFS order.
+
+pub mod generator;
+pub mod parser;
+pub mod tree;
+pub mod validate;
+pub mod writer;
+
+pub use generator::{Generator, GeneratorConfig};
+pub use parser::{parse_xml, XmlError};
+pub use tree::{NodeId, Tree};
+pub use validate::{validate, ValidationError};
+pub use writer::{paper_ids, to_xml_string};

@@ -1,0 +1,299 @@
+//! Arena-allocated XML trees.
+
+use x2s_dtd::ElemId;
+
+/// Identifier of a node within one [`Tree`] (dense arena index).
+///
+/// Node ids play the role of the paper's unique element ids (`d1`, `c1`, …)
+/// and become the `F`/`T` values of shredded relations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    label: ElemId,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    value: Option<Box<str>>,
+}
+
+/// An ordered, labelled tree with optional text values.
+///
+/// The root element is conceptually the single child of a *virtual document
+/// node*; the document node itself is not stored (shredding represents it as
+/// the parent id `'_'`, see `x2s-shred`).
+#[derive(Clone, Debug)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Tree {
+    /// Create a tree containing just a root element.
+    pub fn with_root(label: ElemId) -> Self {
+        Tree {
+            nodes: vec![Node {
+                label,
+                parent: None,
+                children: Vec::new(),
+                value: None,
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root element.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes (never true: a root always exists).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Element type of `n`.
+    #[inline]
+    pub fn label(&self, n: NodeId) -> ElemId {
+        self.nodes[n.index()].label
+    }
+
+    /// Parent of `n` (`None` for the root).
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].parent
+    }
+
+    /// Children of `n` in document order.
+    #[inline]
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n.index()].children
+    }
+
+    /// Text value `v.val` of `n`, if any.
+    #[inline]
+    pub fn value(&self, n: NodeId) -> Option<&str> {
+        self.nodes[n.index()].value.as_deref()
+    }
+
+    /// Set (or clear) the text value of `n`.
+    pub fn set_value(&mut self, n: NodeId, value: Option<&str>) {
+        self.nodes[n.index()].value = value.map(Box::from);
+    }
+
+    /// Append a new child with the given label under `parent`.
+    pub fn add_child(&mut self, parent: NodeId, label: ElemId) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+            value: None,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// All node ids in arena order (which is creation order; for generated
+    /// and parsed trees this is a valid top-down order: parents precede
+    /// children).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Nodes in document (pre-)order.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // push children reversed so the leftmost is visited first
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Strict descendants of `n` in document order.
+    pub fn descendants(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(n).iter().rev().copied().collect();
+        while let Some(m) = stack.pop() {
+            out.push(m);
+            for &c in self.children(m).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Depth of `n` (root = 1, matching the generator's "levels").
+    pub fn depth(&self, n: NodeId) -> usize {
+        let mut d = 1;
+        let mut cur = n;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Maximum depth over all nodes.
+    pub fn height(&self) -> usize {
+        self.node_ids().map(|n| self.depth(n)).max().unwrap_or(0)
+    }
+
+    /// Number of nodes with the given label.
+    pub fn count_label(&self, label: ElemId) -> usize {
+        self.nodes.iter().filter(|n| n.label == label).count()
+    }
+
+    /// Keep only the first `keep` nodes in BFS order (the paper's trimming of
+    /// excessively large generated trees, §6). The kept set is prefix-closed
+    /// under parents, so the result is still a tree. Node ids are reassigned
+    /// densely; returns the new tree.
+    pub fn trim_bfs(&self, keep: usize) -> Tree {
+        assert!(keep >= 1, "must keep at least the root");
+        let mut order = Vec::with_capacity(self.len().min(keep));
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(n) = queue.pop_front() {
+            if order.len() >= keep {
+                break;
+            }
+            order.push(n);
+            for &c in self.children(n) {
+                queue.push_back(c);
+            }
+        }
+        let mut remap = vec![u32::MAX; self.len()];
+        for (new, old) in order.iter().enumerate() {
+            remap[old.index()] = new as u32;
+        }
+        let mut nodes = Vec::with_capacity(order.len());
+        for &old in &order {
+            let src = &self.nodes[old.index()];
+            nodes.push(Node {
+                label: src.label,
+                parent: src.parent.map(|p| NodeId(remap[p.index()])),
+                children: src
+                    .children
+                    .iter()
+                    .filter(|c| remap[c.index()] != u32::MAX)
+                    .map(|c| NodeId(remap[c.index()]))
+                    .collect(),
+                value: src.value.clone(),
+            });
+        }
+        Tree {
+            nodes,
+            root: NodeId(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2s_dtd::{DtdBuilder, ModelSpec};
+
+    fn two_labels() -> (ElemId, ElemId) {
+        let d = DtdBuilder::new("a")
+            .elem("a", ModelSpec::star_of("b"))
+            .elem("b", ModelSpec::Empty)
+            .build()
+            .unwrap();
+        (d.elem("a").unwrap(), d.elem("b").unwrap())
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (a, b) = two_labels();
+        let mut t = Tree::with_root(a);
+        let c1 = t.add_child(t.root(), b);
+        let c2 = t.add_child(t.root(), b);
+        let g = t.add_child(c1, b);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.children(t.root()), &[c1, c2]);
+        assert_eq!(t.parent(g), Some(c1));
+        assert_eq!(t.label(g), b);
+        assert_eq!(t.depth(g), 3);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn values() {
+        let (a, _) = two_labels();
+        let mut t = Tree::with_root(a);
+        assert_eq!(t.value(t.root()), None);
+        t.set_value(t.root(), Some("cs66"));
+        assert_eq!(t.value(t.root()), Some("cs66"));
+        t.set_value(t.root(), None);
+        assert_eq!(t.value(t.root()), None);
+    }
+
+    #[test]
+    fn preorder_and_descendants() {
+        let (a, b) = two_labels();
+        let mut t = Tree::with_root(a);
+        let c1 = t.add_child(t.root(), b);
+        let c2 = t.add_child(t.root(), b);
+        let g1 = t.add_child(c1, b);
+        assert_eq!(t.preorder(), vec![t.root(), c1, g1, c2]);
+        assert_eq!(t.descendants(t.root()), vec![c1, g1, c2]);
+        assert_eq!(t.descendants(c2), vec![]);
+    }
+
+    #[test]
+    fn count_label() {
+        let (a, b) = two_labels();
+        let mut t = Tree::with_root(a);
+        t.add_child(t.root(), b);
+        t.add_child(t.root(), b);
+        assert_eq!(t.count_label(b), 2);
+        assert_eq!(t.count_label(a), 1);
+    }
+
+    #[test]
+    fn trim_bfs_keeps_prefix() {
+        let (a, b) = two_labels();
+        let mut t = Tree::with_root(a);
+        let c1 = t.add_child(t.root(), b);
+        let _c2 = t.add_child(t.root(), b);
+        let _g1 = t.add_child(c1, b);
+        // BFS order: root, c1, c2, g1 — keep 3 drops g1
+        let trimmed = t.trim_bfs(3);
+        assert_eq!(trimmed.len(), 3);
+        assert_eq!(trimmed.children(trimmed.root()).len(), 2);
+        for n in trimmed.node_ids() {
+            if let Some(p) = trimmed.parent(n) {
+                assert!(trimmed.children(p).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn trim_larger_than_tree_is_identity() {
+        let (a, b) = two_labels();
+        let mut t = Tree::with_root(a);
+        t.add_child(t.root(), b);
+        let trimmed = t.trim_bfs(100);
+        assert_eq!(trimmed.len(), 2);
+    }
+}

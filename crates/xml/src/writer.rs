@@ -1,0 +1,126 @@
+//! Serialization of [`Tree`]s back to XML text, and the paper-style node
+//! naming (`d1`, `c1`, `s2`, …) used when reproducing Tables 1–3.
+
+use crate::tree::{NodeId, Tree};
+use std::fmt::Write as _;
+use x2s_dtd::Dtd;
+
+/// Serialize a tree as XML text (no prolog, two-space indentation).
+pub fn to_xml_string(tree: &Tree, dtd: &Dtd) -> String {
+    let mut out = String::new();
+    write_node(tree, dtd, tree.root(), 0, &mut out);
+    out
+}
+
+fn write_node(tree: &Tree, dtd: &Dtd, n: NodeId, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let name = dtd.name(tree.label(n));
+    let kids = tree.children(n);
+    let val = tree.value(n);
+    match (kids.is_empty(), val) {
+        (true, None) => {
+            let _ = writeln!(out, "{pad}<{name}/>");
+        }
+        (true, Some(v)) => {
+            let _ = writeln!(out, "{pad}<{name}>{}</{name}>", escape(v));
+        }
+        (false, val) => {
+            let _ = writeln!(out, "{pad}<{name}>");
+            if let Some(v) = val {
+                let _ = writeln!(out, "{pad}  {}", escape(v));
+            }
+            for &c in kids {
+                write_node(tree, dtd, c, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}</{name}>");
+        }
+    }
+}
+
+/// Escape the five predefined XML entities.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Paper-style element names: first letter of the type name plus a per-type
+/// ordinal assigned in document order (`d1`, `c1`, `c2`, …, matching the ids
+/// of the paper's Table 1). Indexed by [`NodeId`].
+pub fn paper_ids(tree: &Tree, dtd: &Dtd) -> Vec<String> {
+    let mut counters = vec![0usize; dtd.len()];
+    let mut names = vec![String::new(); tree.len()];
+    for n in tree.preorder() {
+        let label = tree.label(n);
+        counters[label.index()] += 1;
+        let initial = dtd
+            .name(label)
+            .chars()
+            .next()
+            .unwrap_or('x')
+            .to_ascii_lowercase();
+        names[n.index()] = format!("{}{}", initial, counters[label.index()]);
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xml;
+    use x2s_dtd::samples;
+
+    #[test]
+    fn round_trip() {
+        let d = samples::dept_simplified();
+        let original = "<dept><course><course/><student/></course></dept>";
+        let t = parse_xml(&d, original).unwrap();
+        let text = to_xml_string(&t, &d);
+        let t2 = parse_xml(&d, &text).unwrap();
+        assert_eq!(t.len(), t2.len());
+        assert_eq!(to_xml_string(&t2, &d), text);
+    }
+
+    #[test]
+    fn escaping_round_trip() {
+        let d = samples::dept();
+        let t = {
+            let mut t = crate::tree::Tree::with_root(d.elem("cno").unwrap());
+            t.set_value(t.root(), Some("a<b & 'c'"));
+            t
+        };
+        let text = to_xml_string(&t, &d);
+        assert!(text.contains("&lt;"));
+        let t2 = parse_xml(&d, &text).unwrap();
+        assert_eq!(t2.value(t2.root()), Some("a<b & 'c'"));
+    }
+
+    #[test]
+    fn paper_id_assignment() {
+        let d = samples::dept_simplified();
+        let t = parse_xml(
+            &d,
+            "<dept><course><course/><student/></course><course/></dept>",
+        )
+        .unwrap();
+        let ids = paper_ids(&t, &d);
+        assert_eq!(ids[t.root().index()], "d1");
+        let c1 = t.children(t.root())[0];
+        assert_eq!(ids[c1.index()], "c1");
+        let c2 = t.children(c1)[0];
+        assert_eq!(ids[c2.index()], "c2");
+        let s1 = t.children(c1)[1];
+        assert_eq!(ids[s1.index()], "s1");
+        let c3 = t.children(t.root())[1];
+        assert_eq!(ids[c3.index()], "c3");
+    }
+}

@@ -1,0 +1,301 @@
+//! Direct evaluation of the XPath fragment over in-memory trees — the
+//! reproduction's correctness oracle.
+//!
+//! Semantics (paper §2.2): a query `p` evaluated at a context node `v`
+//! returns `v[[p]]`, the set of nodes reachable via `p` from `v`. A label
+//! step selects *children* with that label; `//p` evaluates `p` at every
+//! descendant-or-self node; `p₁[q]` keeps the nodes reached by `p₁` that
+//! satisfy `q` ( `[p]` holds iff `v'[[p]]` is non-empty, `[text()=c]` iff
+//! `v'.val = c`).
+//!
+//! Queries are usually evaluated *from the document*: the context is a
+//! virtual document node whose only child is the root element
+//! ([`eval_from_document`]). This mirrors the shredded encoding where the
+//! root tuple has parent `'_'`.
+
+use crate::ast::{Path, Qual};
+use std::collections::BTreeSet;
+use x2s_dtd::Dtd;
+use x2s_xml::{NodeId, Tree};
+
+/// A context during evaluation: the virtual document node or an element.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Ctx {
+    /// The virtual document node (parent of the root element).
+    Doc,
+    /// An element node.
+    Node(NodeId),
+}
+
+/// Evaluate `p` with the *document* as context; returns element nodes in
+/// ascending id order (the document node itself is never part of a result).
+pub fn eval_from_document(p: &Path, tree: &Tree, dtd: &Dtd) -> BTreeSet<NodeId> {
+    let mut ctxs = BTreeSet::new();
+    ctxs.insert(Ctx::Doc);
+    collect_nodes(&eval_set(p, tree, dtd, &ctxs))
+}
+
+/// Evaluate `p` at an element context node.
+pub fn eval(p: &Path, tree: &Tree, dtd: &Dtd, context: NodeId) -> BTreeSet<NodeId> {
+    let mut ctxs = BTreeSet::new();
+    ctxs.insert(Ctx::Node(context));
+    collect_nodes(&eval_set(p, tree, dtd, &ctxs))
+}
+
+fn collect_nodes(ctxs: &BTreeSet<Ctx>) -> BTreeSet<NodeId> {
+    ctxs.iter()
+        .filter_map(|c| match c {
+            Ctx::Doc => None,
+            Ctx::Node(n) => Some(*n),
+        })
+        .collect()
+}
+
+fn children_of(tree: &Tree, ctx: Ctx) -> Vec<NodeId> {
+    match ctx {
+        Ctx::Doc => vec![tree.root()],
+        Ctx::Node(n) => tree.children(n).to_vec(),
+    }
+}
+
+fn eval_set(p: &Path, tree: &Tree, dtd: &Dtd, ctxs: &BTreeSet<Ctx>) -> BTreeSet<Ctx> {
+    match p {
+        Path::Empty => ctxs.clone(),
+        Path::EmptySet => BTreeSet::new(),
+        Path::Label(name) => {
+            let label = dtd.elem(name);
+            let mut out = BTreeSet::new();
+            if let Some(label) = label {
+                for &ctx in ctxs {
+                    for c in children_of(tree, ctx) {
+                        if tree.label(c) == label {
+                            out.insert(Ctx::Node(c));
+                        }
+                    }
+                }
+            }
+            out
+        }
+        Path::Wildcard => {
+            let mut out = BTreeSet::new();
+            for &ctx in ctxs {
+                for c in children_of(tree, ctx) {
+                    out.insert(Ctx::Node(c));
+                }
+            }
+            out
+        }
+        Path::Seq(p1, p2) => {
+            let mid = eval_set(p1, tree, dtd, ctxs);
+            eval_set(p2, tree, dtd, &mid)
+        }
+        Path::Descendant(p1) => {
+            // descendant-or-self of every context, then p1
+            let mut dos = BTreeSet::new();
+            for &ctx in ctxs {
+                dos.insert(ctx);
+                match ctx {
+                    Ctx::Doc => {
+                        dos.insert(Ctx::Node(tree.root()));
+                        for d in tree.descendants(tree.root()) {
+                            dos.insert(Ctx::Node(d));
+                        }
+                    }
+                    Ctx::Node(n) => {
+                        for d in tree.descendants(n) {
+                            dos.insert(Ctx::Node(d));
+                        }
+                    }
+                }
+            }
+            eval_set(p1, tree, dtd, &dos)
+        }
+        Path::Union(p1, p2) => {
+            let mut out = eval_set(p1, tree, dtd, ctxs);
+            out.extend(eval_set(p2, tree, dtd, ctxs));
+            out
+        }
+        Path::Qualified(p1, q) => {
+            let base = eval_set(p1, tree, dtd, ctxs);
+            base.into_iter()
+                .filter(|&ctx| qual_holds(q, tree, dtd, ctx))
+                .collect()
+        }
+    }
+}
+
+fn qual_holds(q: &Qual, tree: &Tree, dtd: &Dtd, ctx: Ctx) -> bool {
+    match q {
+        Qual::Path(p) => {
+            let mut ctxs = BTreeSet::new();
+            ctxs.insert(ctx);
+            !eval_set(p, tree, dtd, &ctxs).is_empty()
+        }
+        Qual::TextEq(c) => match ctx {
+            Ctx::Doc => false,
+            Ctx::Node(n) => tree.value(n) == Some(c.as_str()),
+        },
+        Qual::Not(inner) => !qual_holds(inner, tree, dtd, ctx),
+        Qual::And(a, b) => qual_holds(a, tree, dtd, ctx) && qual_holds(b, tree, dtd, ctx),
+        Qual::Or(a, b) => qual_holds(a, tree, dtd, ctx) || qual_holds(b, tree, dtd, ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+    use x2s_dtd::samples;
+    use x2s_xml::parse_xml;
+
+    /// The ten-node dept document of the paper's Table 1:
+    /// d1(c1(c2(c3, p1(c4(p2))), s1, s2(c5))) over the simplified DTD.
+    fn table1_doc() -> (x2s_dtd::Dtd, Tree) {
+        let d = samples::dept_simplified();
+        let t = parse_xml(
+            &d,
+            "<dept>\
+               <course>\
+                 <course><course/><project><course><project/></course></project></course>\
+                 <student/>\
+                 <student><course/></student>\
+               </course>\
+             </dept>",
+        )
+        .unwrap();
+        (d, t)
+    }
+
+    fn names(t: &Tree, d: &x2s_dtd::Dtd, set: &BTreeSet<NodeId>) -> Vec<String> {
+        let ids = x2s_xml::paper_ids(t, d);
+        let mut v: Vec<String> = set.iter().map(|n| ids[n.index()].clone()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn q1_dept_descendant_project() {
+        let (d, t) = table1_doc();
+        let q = parse_xpath("dept//project").unwrap();
+        let res = eval_from_document(&q, &t, &d);
+        assert_eq!(names(&t, &d, &res), vec!["p1", "p2"]);
+    }
+
+    #[test]
+    fn child_vs_descendant() {
+        let (d, t) = table1_doc();
+        let child = eval_from_document(&parse_xpath("dept/course").unwrap(), &t, &d);
+        assert_eq!(names(&t, &d, &child), vec!["c1"]);
+        let desc = eval_from_document(&parse_xpath("dept//course").unwrap(), &t, &d);
+        assert_eq!(names(&t, &d, &desc), vec!["c1", "c2", "c3", "c4", "c5"]);
+    }
+
+    #[test]
+    fn descendant_or_self_includes_self_matches() {
+        let (d, t) = table1_doc();
+        // course//course: strict course descendants of each course child
+        let q = parse_xpath("dept/course//course").unwrap();
+        let res = eval_from_document(&q, &t, &d);
+        assert_eq!(names(&t, &d, &res), vec!["c2", "c3", "c4", "c5"]);
+    }
+
+    #[test]
+    fn wildcard_and_empty() {
+        let (d, t) = table1_doc();
+        let star = eval_from_document(&parse_xpath("dept/*").unwrap(), &t, &d);
+        assert_eq!(names(&t, &d, &star), vec!["c1"]);
+        let dot = eval_from_document(&parse_xpath("dept/course/.").unwrap(), &t, &d);
+        assert_eq!(names(&t, &d, &dot), vec!["c1"]);
+    }
+
+    #[test]
+    fn union_evaluation() {
+        let (d, t) = table1_doc();
+        let q = parse_xpath("dept/course/(student | project)").unwrap();
+        let res = eval_from_document(&q, &t, &d);
+        assert_eq!(names(&t, &d, &res), vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn qualifier_existential_path() {
+        let (d, t) = table1_doc();
+        // students that registered for some course
+        let q = parse_xpath("dept/course/student[course]").unwrap();
+        let res = eval_from_document(&q, &t, &d);
+        assert_eq!(names(&t, &d, &res), vec!["s2"]);
+    }
+
+    #[test]
+    fn qualifier_negation() {
+        let (d, t) = table1_doc();
+        let q = parse_xpath("dept/course/student[not course]").unwrap();
+        let res = eval_from_document(&q, &t, &d);
+        assert_eq!(names(&t, &d, &res), vec!["s1"]);
+    }
+
+    #[test]
+    fn qualifier_boolean_combinations() {
+        let (d, t) = table1_doc();
+        let q = parse_xpath("dept//course[project and not student]").unwrap();
+        let res = eval_from_document(&q, &t, &d);
+        // c2 (child p1) and c4 (child p2) have projects and no students
+        assert_eq!(names(&t, &d, &res), vec!["c2", "c4"]);
+        let q2 = parse_xpath("dept//course[project or student]").unwrap();
+        let res2 = eval_from_document(&q2, &t, &d);
+        assert_eq!(names(&t, &d, &res2), vec!["c1", "c2", "c4"]);
+    }
+
+    #[test]
+    fn text_equality() {
+        let (d, mut t) = {
+            let (d, t) = table1_doc();
+            (d, t)
+        };
+        // give c3 a value
+        let target = t
+            .node_ids()
+            .find(|&n| {
+                t.label(n) == d.elem("course").unwrap() && t.children(n).is_empty()
+            })
+            .unwrap();
+        t.set_value(target, Some("cs66"));
+        let q = parse_xpath("dept//course[text()=\"cs66\"]").unwrap();
+        let res = eval_from_document(&q, &t, &d);
+        assert_eq!(res.len(), 1);
+        assert!(res.contains(&target));
+        let q2 = parse_xpath("dept//course[text()=\"nope\"]").unwrap();
+        assert!(eval_from_document(&q2, &t, &d).is_empty());
+    }
+
+    #[test]
+    fn eval_at_inner_context() {
+        let (d, t) = table1_doc();
+        let c1 = t.children(t.root())[0];
+        let res = eval(&parse_xpath("student").unwrap(), &t, &d, c1);
+        assert_eq!(names(&t, &d, &res), vec!["s1", "s2"]);
+        // //project from c1
+        let res2 = eval(&parse_xpath("//project").unwrap(), &t, &d, c1);
+        assert_eq!(names(&t, &d, &res2), vec!["p1", "p2"]);
+    }
+
+    #[test]
+    fn unknown_label_yields_empty() {
+        let (d, t) = table1_doc();
+        let q = parse_xpath("dept/zzz").unwrap();
+        assert!(eval_from_document(&q, &t, &d).is_empty());
+    }
+
+    #[test]
+    fn empty_set_path() {
+        let (d, t) = table1_doc();
+        assert!(eval_from_document(&Path::EmptySet, &t, &d).is_empty());
+    }
+
+    #[test]
+    fn root_label_must_match() {
+        let (d, t) = table1_doc();
+        // `course` at document context: the root is dept, so nothing matches
+        let q = parse_xpath("course").unwrap();
+        assert!(eval_from_document(&q, &t, &d).is_empty());
+    }
+}

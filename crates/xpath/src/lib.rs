@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! The XPath fragment of the paper (§2.2):
+//!
+//! ```text
+//! p ::= ε | A | * | p/p | //p | p ∪ p | p[q]
+//! q ::= p | text() = c | ¬q | q ∧ q | q ∨ q
+//! ```
+//!
+//! This crate provides the AST ([`Path`], [`Qual`]), a parser
+//! ([`parse_xpath`]) accepting both ASCII (`|`, `not`, `and`, `or`) and the
+//! paper's symbols (`∪`, `¬`, `∧`, `∨`), and a direct in-memory evaluator
+//! ([`eval`], [`eval_from_document`]) over `x2s_xml::Tree` documents. The
+//! evaluator is the *correctness oracle* for the whole reproduction: every
+//! translation path (extended XPath, SQL over shredded relations, the
+//! SQLGen-R baseline) is tested against it.
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Path, Qual};
+pub use eval::{eval, eval_from_document};
+pub use parser::{parse_xpath, ParseError};

@@ -1,0 +1,501 @@
+//! Recursive-descent parser for the XPath fragment.
+//!
+//! Accepted syntax (whitespace-insensitive):
+//!
+//! * steps: names, `*`, `.` (ε), parenthesised sub-paths;
+//! * axes: `/` (child), `//` (descendant-or-self), leading `/` and `//`;
+//! * union: `|` or `∪` (also the keyword `union` is *not* accepted — it is a
+//!   valid element name);
+//! * qualifiers: `[q]` with `and`/`∧`, `or`/`∨`, `not q`/`¬q`/`!q`,
+//!   `text() = "c"`, and the paper's shorthand `p = "c"` standing for
+//!   `p[text() = "c"]` (e.g. `course[cno = "cs66"]`, Example 2.2);
+//! * string literals in single or double quotes.
+
+use crate::ast::{Path, Qual};
+use std::fmt;
+
+/// XPath parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub offset: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a query of the fragment into a [`Path`].
+pub fn parse_xpath(input: &str) -> Result<Path, ParseError> {
+    let mut p = P {
+        chars: input.char_indices().collect(),
+        pos: 0,
+        input_len: input.len(),
+    };
+    let path = p.union()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(path)
+}
+
+struct P {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl P {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).map(|&(_, c)| c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(o, _)| o)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn err(&self, m: &str) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message: m.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Try to eat a keyword (followed by a non-name character).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let save = self.pos;
+        for k in kw.chars() {
+            if self.peek() == Some(k) {
+                self.pos += 1;
+            } else {
+                self.pos = save;
+                return false;
+            }
+        }
+        if matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.pos = save;
+            return false;
+        }
+        true
+    }
+
+    /// union := seq (('|' | '∪') seq)*
+    fn union(&mut self) -> Result<Path, ParseError> {
+        let mut left = self.seq()?;
+        loop {
+            self.skip_ws();
+            if self.eat('|') || self.eat('∪') {
+                let right = self.seq()?;
+                left = Path::Union(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// seq := ('//' step | '/'? step) (('/' | '//') step)*
+    fn seq(&mut self) -> Result<Path, ParseError> {
+        self.skip_ws();
+        let mut left = if self.peek() == Some('/') && self.peek2() == Some('/') {
+            self.pos += 2;
+            Path::Descendant(Box::new(self.step()?))
+        } else {
+            if self.peek() == Some('/') {
+                self.pos += 1; // leading absolute '/': same as starting at doc
+            }
+            self.step()?
+        };
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('/') && self.peek2() == Some('/') {
+                self.pos += 2;
+                let next = Path::Descendant(Box::new(self.step()?));
+                left = Path::Seq(Box::new(left), Box::new(next));
+            } else if self.peek() == Some('/') {
+                self.pos += 1;
+                let next = self.step()?;
+                left = Path::Seq(Box::new(left), Box::new(next));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// step := atom ('[' qual ']')*
+    fn step(&mut self) -> Result<Path, ParseError> {
+        let mut base = self.atom()?;
+        loop {
+            self.skip_ws();
+            if self.eat('[') {
+                let q = self.qual_or()?;
+                if !self.eat(']') {
+                    return Err(self.err("expected `]` to close the qualifier"));
+                }
+                base = Path::Qualified(Box::new(base), q);
+            } else {
+                return Ok(base);
+            }
+        }
+    }
+
+    /// atom := '*' | '.' | 'ε' | '(' union ')' | name
+    fn atom(&mut self) -> Result<Path, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                Ok(Path::Wildcard)
+            }
+            Some('.') => {
+                self.pos += 1;
+                Ok(Path::Empty)
+            }
+            Some('ε') => {
+                self.pos += 1;
+                Ok(Path::Empty)
+            }
+            Some('(') => {
+                self.pos += 1;
+                let inner = self.union()?;
+                if !self.eat(')') {
+                    return Err(self.err("expected `)`"));
+                }
+                Ok(inner)
+            }
+            Some(c) if is_name_start(c) => {
+                let name = self.name()?;
+                Ok(Path::Label(name))
+            }
+            _ => Err(self.err("expected a step (name, `*`, `.`, or `(`)")),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let mut s = String::new();
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            s.push(self.bump().unwrap());
+        }
+        if s.is_empty() {
+            return Err(self.err("expected a name"));
+        }
+        Ok(s)
+    }
+
+    /// Try to eat a two-character operator atomically.
+    fn eat2(&mut self, a: char, b: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(a) && self.peek2() == Some(b) {
+            self.pos += 2;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// qual_or := qual_and (('or' | '∨' | '||') qual_and)*
+    fn qual_or(&mut self) -> Result<Qual, ParseError> {
+        let mut left = self.qual_and()?;
+        loop {
+            self.skip_ws();
+            if self.eat_kw("or") || self.eat('∨') || self.eat2('|', '|') {
+                let right = self.qual_and()?;
+                left = Qual::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// qual_and := qual_not (('and' | '∧' | '&&') qual_not)*
+    fn qual_and(&mut self) -> Result<Qual, ParseError> {
+        let mut left = self.qual_not()?;
+        loop {
+            self.skip_ws();
+            if self.eat_kw("and") || self.eat('∧') || self.eat2('&', '&') {
+                let right = self.qual_not()?;
+                left = Qual::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// qual_not := ('not' | '¬' | '!') qual_not | '(' qual_or ')' | primary
+    fn qual_not(&mut self) -> Result<Qual, ParseError> {
+        self.skip_ws();
+        if self.eat_kw("not") || self.eat('¬') || self.eat('!') {
+            // allow both `not(q)` and `not q`
+            return Ok(Qual::Not(Box::new(self.qual_not()?)));
+        }
+        if self.peek() == Some('(') {
+            // Could be a parenthesised qualifier or a parenthesised path;
+            // parse as qualifier (paths in parens become Qual::Path anyway
+            // unless boolean connectives appear inside).
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(q) = self.qual_or() {
+                if self.eat(')') {
+                    return self.maybe_text_eq_wrap(q);
+                }
+            }
+            self.pos = save;
+        }
+        let q = self.qual_primary()?;
+        Ok(q)
+    }
+
+    /// primary := 'text()' '=' string | path ('=' string)?
+    fn qual_primary(&mut self) -> Result<Qual, ParseError> {
+        self.skip_ws();
+        let save = self.pos;
+        if self.eat_kw("text") {
+            if self.eat('(') {
+                if !self.eat(')') {
+                    return Err(self.err("expected `)` after `text(`"));
+                }
+                if !self.eat('=') {
+                    return Err(self.err("expected `=` after `text()`"));
+                }
+                let s = self.string()?;
+                return Ok(Qual::TextEq(s));
+            }
+            // an element actually named `text`: reparse as a path
+            self.pos = save;
+        }
+        let p = self.union()?;
+        self.skip_ws();
+        if self.eat('=') {
+            // shorthand `p = "c"` ≡ `p[text() = "c"]`
+            let s = self.string()?;
+            return Ok(Qual::path(Path::Qualified(Box::new(p), Qual::TextEq(s))));
+        }
+        Ok(Qual::path(p))
+    }
+
+    /// After a parenthesised qualifier, permit `= "c"` when the qualifier is
+    /// a plain path (rare, but keeps `(cno) = "c"` working).
+    fn maybe_text_eq_wrap(&mut self, q: Qual) -> Result<Qual, ParseError> {
+        self.skip_ws();
+        if self.peek() == Some('=') {
+            if let Qual::Path(p) = q {
+                self.pos += 1;
+                let s = self.string()?;
+                return Ok(Qual::path(Path::Qualified(p, Qual::TextEq(s))));
+            }
+            return Err(self.err("`=` after a boolean qualifier"));
+        }
+        Ok(q)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.err("expected a string literal")),
+        };
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => return Ok(s),
+                Some(c) => s.push(c),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Path, Qual};
+
+    fn p(s: &str) -> Path {
+        parse_xpath(s).unwrap()
+    }
+
+    #[test]
+    fn simple_paths() {
+        assert_eq!(p("dept"), Path::label("dept"));
+        assert_eq!(p("dept/course"), Path::label("dept").then(Path::label("course")));
+        assert_eq!(
+            p("dept//project"),
+            Path::label("dept").then_descendant(Path::label("project"))
+        );
+        assert_eq!(p("//project"), Path::descendant(Path::label("project")));
+        assert_eq!(p("*"), Path::Wildcard);
+        assert_eq!(p("."), Path::Empty);
+    }
+
+    #[test]
+    fn leading_slash_absolute() {
+        assert_eq!(p("/dept/course"), p("dept/course"));
+    }
+
+    #[test]
+    fn union_variants() {
+        let expect = Path::label("a").union(Path::label("b"));
+        assert_eq!(p("a | b"), expect);
+        assert_eq!(p("a ∪ b"), expect);
+        assert_eq!(p("(a | b)/c"), Path::label("a").union(Path::label("b")).then(Path::label("c")));
+    }
+
+    #[test]
+    fn qualifier_boolean_forms() {
+        let ascii = p("a[not //c and b or text()=\"x\"]");
+        let symbols = p("a[¬//c ∧ b ∨ text()='x']");
+        assert_eq!(ascii, symbols);
+    }
+
+    #[test]
+    fn paper_query_q2_parses() {
+        // Q2 from Example 2.2
+        let q = p(
+            r#"dept/course[//prereq/course[cno = "cs66"] and not //project and not takenBy/student/qualified//course[cno = "cs66"]]"#,
+        );
+        // the qualifier binds to the `course` step: dept/(course[...])
+        match q {
+            Path::Seq(dept, qualified) => {
+                assert_eq!(*dept, Path::label("dept"));
+                match *qualified {
+                    Path::Qualified(course, Qual::And(_, _)) => {
+                        assert_eq!(*course, Path::label("course"));
+                    }
+                    other => panic!("unexpected step shape: {other:?}"),
+                }
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shorthand_text_comparison() {
+        assert_eq!(
+            p("course[cno = \"cs66\"]"),
+            Path::label("course").with_qual(Qual::path(
+                Path::label("cno").with_qual(Qual::TextEq("cs66".into()))
+            ))
+        );
+    }
+
+    #[test]
+    fn nested_qualifiers() {
+        let q = p("a[b[c]]");
+        assert_eq!(
+            q,
+            Path::label("a").with_qual(Qual::path(
+                Path::label("b").with_qual(Qual::path(Path::label("c")))
+            ))
+        );
+    }
+
+    #[test]
+    fn double_slash_inside_qualifier() {
+        let q = p("a[//c]//d");
+        let expect = Path::label("a")
+            .with_qual(Qual::path(Path::descendant(Path::label("c"))))
+            .then_descendant(Path::label("d"));
+        assert_eq!(q, expect);
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let q = p("x[a or b and c]");
+        match q {
+            Path::Qualified(_, Qual::Or(l, r)) => {
+                assert!(matches!(*l, Qual::Path(_)));
+                assert!(matches!(*r, Qual::And(_, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_xpath("").is_err());
+        assert!(parse_xpath("a[").is_err());
+        assert!(parse_xpath("a]").is_err());
+        assert!(parse_xpath("a/").is_err());
+        assert!(parse_xpath("a[text()=]").is_err());
+        assert!(parse_xpath("a b").is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in [
+            "dept//project",
+            "a[not(//c)]",
+            "(a | b)/c",
+            "a[b and text()=\"v\"]",
+            "a/b//c/d",
+        ] {
+            let once = p(s);
+            let again = p(&once.to_string());
+            assert_eq!(once, again, "round-trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn keyword_prefixed_names_parse() {
+        // names that start with `not`/`and`/`or`/`text`
+        assert_eq!(p("note"), Path::label("note"));
+        assert_eq!(p("android"), Path::label("android"));
+        let q = p("a[note]");
+        assert_eq!(
+            q,
+            Path::label("a").with_qual(Qual::path(Path::label("note")))
+        );
+    }
+}

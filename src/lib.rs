@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # xpath2sql
+//!
+//! A from-scratch Rust reproduction of **Fan, Yu, Li, Ding, Qin — "Query
+//! Translation from XPath to SQL in the Presence of Recursive DTDs"**
+//! (VLDB 2005; extended version in The VLDB Journal 18(4), 2009).
+//!
+//! This facade crate re-exports the workspace's public API. See the README
+//! for a tour, `DESIGN.md` for the system inventory, and `examples/` for
+//! runnable walkthroughs.
+
+pub use x2s_core as core;
+pub use x2s_dtd as dtd;
+pub use x2s_exp as exp;
+pub use x2s_rel as rel;
+pub use x2s_shred as shred;
+pub use x2s_sqlgenr as sqlgenr;
+pub use x2s_xml as xml;
+pub use x2s_xpath as xpath;
+
+/// Commonly used items, for `use xpath2sql::prelude::*`.
+pub mod prelude {
+    pub use x2s_dtd::{parse_dtd, Dtd, DtdGraph, ElemId};
+    pub use x2s_xml::{Generator, GeneratorConfig, Tree};
+    pub use x2s_xpath::{parse_xpath, Path};
+}

@@ -1,0 +1,273 @@
+//! Assertions pinning the paper's worked examples: Tables 1–3, Examples
+//! 2.1–2.3, 3.1–3.5, 4.1–4.3 and 5.1, plus the Fig. 2 SQL shape.
+
+use std::collections::BTreeSet;
+use xpath2sql::core::{RecStrategy, Translator};
+use xpath2sql::dtd::{samples, DtdGraph};
+use xpath2sql::exp::to_regular;
+use xpath2sql::rel::{render_program, ExecOptions, SqlDialect, Stats, Value};
+use xpath2sql::shred::{edge_database, InlineSchema};
+use xpath2sql::sqlgenr::SqlGenR;
+use xpath2sql::xml::{paper_ids, parse_xml};
+use xpath2sql::xpath::parse_xpath;
+
+/// The Table 1 document: d1(c1(c2(c3, p1(c4(p2))), s1, s2(c5))).
+fn table1_doc() -> (xpath2sql::dtd::Dtd, xpath2sql::xml::Tree) {
+    let d = samples::dept_simplified();
+    let t = parse_xml(
+        &d,
+        "<dept><course><course><course/><project><course><project/></course></project></course><student/><student><course/></student></course></dept>",
+    )
+    .unwrap();
+    (d, t)
+}
+
+#[test]
+fn example_2_1_dept_dtd_shape() {
+    // "Its dtd graph, a 3-cycle graph" — Example 2.1 / Fig. 1a
+    let d = samples::dept();
+    let g = DtdGraph::of(&d);
+    assert_eq!(xpath2sql::dtd::cycles::cycle_count(&g), 3);
+    assert!(d.is_recursive());
+    // E = the 14 element types listed in the example
+    assert_eq!(d.len(), 14);
+}
+
+#[test]
+fn example_2_3_inlining_partition() {
+    // "partitioned into four subgraphs rooted at dept, course, project, and
+    // student" with Rc(…, parentCode)
+    let d = samples::dept();
+    let s = InlineSchema::of(&d);
+    assert_eq!(s.roots.len(), 4);
+    let course = d.elem("course").unwrap();
+    assert!(s.has_parent_code[&course]);
+}
+
+#[test]
+fn table_1_database() {
+    let (d, t) = table1_doc();
+    let db = edge_database(&t, &d);
+    let ids = paper_ids(&t, &d);
+    // Rc = {(d1,c1), (c1,c2), (c2,c3), (p1,c4), (s2,c5)}
+    let rc = db.get("R_course").unwrap();
+    let pairs: BTreeSet<(String, String)> = rc
+        .tuples()
+        .iter()
+        .map(|tp| {
+            let f = match &tp[0] {
+                Value::Doc => "_".to_string(),
+                Value::Id(n) => ids[*n as usize].clone(),
+                other => other.to_string(),
+            };
+            (f, ids[tp[1].as_id().unwrap() as usize].clone())
+        })
+        .collect();
+    let expect: BTreeSet<(String, String)> = [
+        ("d1", "c1"),
+        ("c1", "c2"),
+        ("c2", "c3"),
+        ("p1", "c4"),
+        ("s2", "c5"),
+    ]
+    .map(|(a, b)| (a.to_string(), b.to_string()))
+    .into();
+    assert_eq!(pairs, expect, "the paper's Table 1 Rc column");
+}
+
+#[test]
+fn example_3_1_and_table_2_sqlgenr() {
+    // SQLGen-R finds the SCC (Rc//Rp) "having 3 nodes and 5 edges" and its
+    // recursion reaches p1 and p2 from d1.
+    let (d, t) = table1_doc();
+    let db = edge_database(&t, &d);
+    let ids = paper_ids(&t, &d);
+    let genr = SqlGenR::new(&d);
+    let sccs = genr.region_sccs("dept", "project");
+    assert!(sccs.iter().any(|c| c.len() == 3));
+    let q1 = parse_xpath("dept//project").unwrap();
+    let tr = genr.translate(&q1).unwrap();
+    let mut stats = Stats::default();
+    let answers = tr.run(&db, ExecOptions::default(), &mut stats);
+    let names: BTreeSet<&str> = answers.iter().map(|&n| ids[n as usize].as_str()).collect();
+    assert_eq!(names, BTreeSet::from(["p1", "p2"]), "Table 2's final Rid='p' rows");
+    assert!(stats.multilfp_invocations >= 1);
+    // Fig. 2's shape in SQL text: one UNION ALL arm per SCC edge
+    let sql = render_program(&tr.program, SqlDialect::Sql99);
+    assert!(sql.contains("WITH RECURSIVE R (S, T, Rid)"));
+    assert!(sql.matches("AS Rid").count() >= 5, "arms tag reached relations");
+}
+
+#[test]
+fn example_3_5_and_table_3_cycleex() {
+    // Our approach: 1 simple-LFP operator; result R_f = {(d1,p1),(d1,p2)}.
+    let (d, t) = table1_doc();
+    let db = edge_database(&t, &d);
+    let ids = paper_ids(&t, &d);
+    let q1 = parse_xpath("dept//project").unwrap();
+    let tr = Translator::new(&d).translate(&q1).unwrap();
+    let mut stats = Stats::default();
+    let answers = tr.run(&db, ExecOptions::default(), &mut stats);
+    let names: BTreeSet<&str> = answers.iter().map(|&n| ids[n as usize].as_str()).collect();
+    assert_eq!(names, BTreeSet::from(["p1", "p2"]), "Table 3's R_f");
+    assert!(
+        stats.lfp_invocations >= 1 && stats.multilfp_invocations == 0,
+        "the simple LFP suffices: {stats}"
+    );
+    // The join/unions run once, outside the fixpoint: per-iteration cost is
+    // 1 join (the closure delta), not 5 as in Fig. 2.
+    assert!(stats.joins < 5 * stats.lfp_iterations.max(1) + 10);
+}
+
+#[test]
+fn example_3_2_rewriting() {
+    // Q = // over view D rewrites to something equivalent to
+    // (A/B)*(ε ∪ A ∪ A/C) over any containing DTD.
+    let view = samples::example_3_2_view();
+    let q = parse_xpath("//.").unwrap();
+    let rewritten = xpath2sql::core::rewrite_for_view(&q, &view).unwrap();
+    let regular = to_regular(&rewritten, 100_000).unwrap();
+    // check the language up to length 4 equals the expected one
+    use xpath2sql::core::cyclee::words::exp_words;
+    let got = exp_words(&regular, 4);
+    // expected: ε plus every path of D from the doc: A(B A)*(ε|C|B)
+    let mut expect = BTreeSet::new();
+    expect.insert(vec![]);
+    for w in [
+        vec!["A"],
+        vec!["A", "B"],
+        vec!["A", "C"],
+        vec!["A", "B", "A"],
+        vec!["A", "B", "A", "B"],
+        vec!["A", "B", "A", "C"],
+    ] {
+        expect.insert(w.into_iter().map(String::from).collect());
+    }
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn example_4_1_dag_equations() {
+    // CycleEX on the n=4 complete DAG: polynomial-size equations whose
+    // language is {A4, A2 A4, A3 A4, A2 A3 A4} for rec(A1, A4).
+    use xpath2sql::core::cyclee::words::{exp_words, path_words};
+    use xpath2sql::core::{RecTable, TransGraph};
+    let d = samples::complete_dag(4);
+    let g = TransGraph::new(&d);
+    let (mut q, table) = RecTable::standalone(&g);
+    let a1 = g.node(d.elem("A1").unwrap());
+    let a4 = g.node(d.elem("A4").unwrap());
+    q.result = table.rec_full(a1, a4);
+    let regular = to_regular(&q.pruned(), 100_000).unwrap();
+    assert_eq!(exp_words(&regular, 4), path_words(&g, a1, a4, 4));
+}
+
+#[test]
+fn example_4_2_growth_contrast() {
+    // CycleEX stays polynomial where CycleE grows exponentially.
+    use xpath2sql::core::{rec_regular, RecTable, TransGraph};
+    let mut cyclee_sizes = Vec::new();
+    let mut cycleex_sizes = Vec::new();
+    for n in [6usize, 8, 10] {
+        let d = samples::complete_dag(n);
+        let g = TransGraph::new(&d);
+        let a1 = g.node(d.elem("A1").unwrap());
+        let an = g.node(d.elem(&format!("A{n}")).unwrap());
+        let e = rec_regular(&g, a1, an, 50_000_000).unwrap();
+        cyclee_sizes.push(e.size());
+        let (mut q, t) = RecTable::standalone(&g);
+        q.result = t.rec_full(a1, an);
+        cycleex_sizes.push(q.pruned().size());
+    }
+    // CycleE roughly quadruples per step on this family; CycleEX grows
+    // far slower. Compare growth ratios.
+    let e_ratio = cyclee_sizes[2] as f64 / cyclee_sizes[0] as f64;
+    let x_ratio = cycleex_sizes[2] as f64 / cycleex_sizes[0] as f64;
+    assert!(
+        e_ratio > 4.0 * x_ratio,
+        "CycleE {cyclee_sizes:?} must outgrow CycleEX {cycleex_sizes:?}"
+    );
+}
+
+#[test]
+fn example_4_3_q2_beyond_sqlgenr_alone() {
+    // Q2 (negation + values) translates and runs through our pipeline.
+    let d = samples::dept();
+    let q2 = parse_xpath(
+        r#"dept/course[//prereq/course[cno = "cs66"] and not //project and not takenBy/student/qualified//course[cno = "cs66"]]"#,
+    )
+    .unwrap();
+    for strategy in [RecStrategy::CycleEx, RecStrategy::CycleE { cap: 4_000_000 }] {
+        let tr = Translator::new(&d).with_strategy(strategy).translate(&q2);
+        assert!(tr.is_ok());
+    }
+}
+
+#[test]
+fn example_5_1_intermediates() {
+    // The Q1 translation produces temp statements culminating in the final
+    // project pairs; lazy evaluation touches only what is needed.
+    let (d, t) = table1_doc();
+    let db = edge_database(&t, &d);
+    let q1 = parse_xpath("dept//project").unwrap();
+    let tr = Translator::new(&d).translate(&q1).unwrap();
+    assert!(tr.program.len() >= 3, "R, Φ(R), final join chain at least");
+    let mut lazy = Stats::default();
+    tr.run(&db, ExecOptions::default(), &mut lazy);
+    let mut eager = Stats::default();
+    tr.run(
+        &db,
+        ExecOptions {
+            lazy: false,
+            ..Default::default()
+        },
+        &mut eager,
+    );
+    assert!(lazy.stmts_evaluated <= eager.stmts_evaluated);
+}
+
+#[test]
+fn fig_4_dialect_rendering() {
+    let (d, _) = table1_doc();
+    let q1 = parse_xpath("dept//project").unwrap();
+    let tr = Translator::new(&d).translate(&q1).unwrap();
+    let oracle = render_program(&tr.program, SqlDialect::Oracle);
+    assert!(oracle.contains("CONNECT BY"), "Fig. 4(a)");
+    assert!(oracle.contains("START WITH"));
+    let db2 = render_program(&tr.program, SqlDialect::Db2);
+    assert!(db2.contains("WITH RECURSIVE"), "Fig. 4(b)");
+    let sql99 = render_program(&tr.program, SqlDialect::Sql99);
+    assert!(sql99.contains("SELECT DISTINCT"));
+}
+
+#[test]
+fn lemma_4_1_cyclee_blowup_observed() {
+    use xpath2sql::core::{rec_regular, CycleEError, TransGraph};
+    let d = samples::complete_dag(16);
+    let g = TransGraph::new(&d);
+    let a1 = g.node(d.elem("A1").unwrap());
+    let an = g.node(d.elem("A16").unwrap());
+    assert!(matches!(
+        rec_regular(&g, a1, an, 10_000),
+        Err(CycleEError::TooLarge { .. })
+    ));
+}
+
+#[test]
+fn theorem_4_2_size_bound_sanity() {
+    // |EQ| stays within a generous polynomial of |D|³·|Q| on real DTDs.
+    for (dtd, query) in [
+        (samples::dept(), "dept//project"),
+        (samples::gedml(), "Even//Data"),
+        (samples::bioml(), "gene//locus"),
+    ] {
+        let q = parse_xpath(query).unwrap();
+        let eq = Translator::new(&dtd).to_extended(&q).unwrap();
+        let d3q = dtd.len().pow(3) * q.size() * 64;
+        assert!(
+            eq.size() <= d3q,
+            "{query}: size {} exceeds bound {d3q}",
+            eq.size()
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based testing of the translation pipeline: random queries from
+//! the fragment grammar × random generated documents, checked against the
+//! native XPath oracle through both translation steps.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use xpath2sql::core::{SqlOptions, Translator};
+use xpath2sql::dtd::{samples, Dtd};
+use xpath2sql::rel::{ExecOptions, Stats};
+use xpath2sql::shred::edge_database;
+use xpath2sql::sqlgenr::SqlGenR;
+use xpath2sql::xml::{Generator, GeneratorConfig};
+use xpath2sql::xpath::{eval_from_document, Path, Qual};
+
+/// Random path expressions over a fixed label alphabet (including labels
+/// the DTD does not declare, exercising the ∅ folding).
+fn arb_path(labels: &'static [&'static str], depth: u32) -> impl Strategy<Value = Path> {
+    let leaf = prop_oneof![
+        4 => proptest::sample::select(labels).prop_map(Path::label),
+        1 => Just(Path::Wildcard),
+        1 => Just(Path::Empty),
+    ];
+    leaf.prop_recursive(depth, 24, 3, move |inner| {
+        prop_oneof![
+            3 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Path::Seq(Box::new(a), Box::new(b))),
+            2 => inner.clone().prop_map(|p| Path::Descendant(Box::new(p))),
+            1 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Path::Union(Box::new(a), Box::new(b))),
+            1 => (inner.clone(), arb_qual(inner))
+                .prop_map(|(p, q)| Path::Qualified(Box::new(p), q)),
+        ]
+    })
+}
+
+fn arb_qual(path: impl Strategy<Value = Path> + Clone + 'static) -> impl Strategy<Value = Qual> {
+    let base = prop_oneof![
+        4 => path.prop_map(Qual::path),
+        1 => proptest::sample::select(&["v0", "v1", "sel"]).prop_map(|c| Qual::TextEq(c.into())),
+    ];
+    base.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            2 => inner.clone().prop_map(Qual::not),
+            1 => (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            1 => (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+        ]
+    })
+}
+
+fn check_one(dtd: &Dtd, tree: &xpath2sql::xml::Tree, query: &Path) {
+    let db = edge_database(tree, dtd);
+    let native: BTreeSet<u32> = eval_from_document(query, tree, dtd)
+        .into_iter()
+        .map(|n| n.0)
+        .collect();
+    // step 1 equivalence
+    let extended = Translator::new(dtd).to_extended(query).unwrap();
+    let via_extended: BTreeSet<u32> = extended
+        .eval_from_document(tree, dtd)
+        .into_iter()
+        .map(|n| n.0)
+        .collect();
+    assert_eq!(via_extended, native, "extended mismatch for {query}");
+    // step 2 equivalence, optimizations on and off
+    for push in [true, false] {
+        let tr = Translator::new(dtd)
+            .with_sql_options(SqlOptions {
+                push_selections: push,
+                root_filter_pushdown: push,
+            })
+            .translate(query)
+            .unwrap();
+        let mut stats = Stats::default();
+        let got = tr.run(&db, ExecOptions::default(), &mut stats);
+        assert_eq!(got, native, "SQL mismatch for {query} (push={push})");
+    }
+    // baseline equivalence
+    let tr = SqlGenR::new(dtd).translate(query).unwrap();
+    let mut stats = Stats::default();
+    let got = tr.run(&db, ExecOptions::default(), &mut stats);
+    assert_eq!(got, native, "SQLGen-R mismatch for {query}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_queries_on_cross(
+        query in arb_path(&["a", "b", "c", "d", "zzz"], 3),
+        seed in 0u64..4,
+    ) {
+        let dtd = samples::cross();
+        let tree = Generator::new(
+            &dtd,
+            GeneratorConfig::shaped(7, 3, Some(350)).with_seed(seed),
+        )
+        .generate();
+        check_one(&dtd, &tree, &query);
+    }
+
+    #[test]
+    fn random_queries_on_dept(
+        query in arb_path(&["dept", "course", "student", "project"], 3),
+        seed in 10u64..13,
+    ) {
+        let dtd = samples::dept_simplified();
+        let tree = Generator::new(
+            &dtd,
+            GeneratorConfig::shaped(6, 3, Some(300)).with_seed(seed),
+        )
+        .generate();
+        check_one(&dtd, &tree, &query);
+    }
+
+    #[test]
+    fn random_queries_on_gedml(
+        query in arb_path(&["Even", "Sour", "Note", "Obje", "Data"], 2),
+        seed in 20u64..22,
+    ) {
+        let dtd = samples::gedml();
+        let tree = Generator::new(
+            &dtd,
+            GeneratorConfig::shaped(5, 3, Some(250)).with_seed(seed),
+        )
+        .generate();
+        check_one(&dtd, &tree, &query);
+    }
+
+    /// Pruning never changes extended-query semantics.
+    #[test]
+    fn pruning_preserves_semantics(
+        query in arb_path(&["a", "b", "c", "d"], 3),
+        seed in 30u64..33,
+    ) {
+        let dtd = samples::cross();
+        let tree = Generator::new(
+            &dtd,
+            GeneratorConfig::shaped(6, 3, Some(250)).with_seed(seed),
+        )
+        .generate();
+        let raw = xpath2sql::core::xpath_to_exp(
+            &query,
+            &dtd,
+            &xpath2sql::core::x2e::RecMode::CycleEx,
+        )
+        .unwrap()
+        .query;
+        let pruned = raw.pruned();
+        prop_assert_eq!(
+            raw.eval_from_document(&tree, &dtd),
+            pruned.eval_from_document(&tree, &dtd)
+        );
+    }
+
+    /// Generated documents always conform to their DTD (no trimming).
+    #[test]
+    fn generator_produces_valid_documents(seed in 0u64..24) {
+        let dtd = samples::dept();
+        let tree = Generator::new(
+            &dtd,
+            GeneratorConfig::shaped(6, 2, None).with_seed(seed),
+        )
+        .generate();
+        prop_assert!(xpath2sql::xml::validate(&tree, &dtd).is_ok());
+    }
+}
