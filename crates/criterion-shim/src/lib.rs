@@ -1,0 +1,262 @@
+#![warn(missing_docs)]
+//! Minimal, dependency-free stand-in for the subset of the
+//! [`criterion`](https://docs.rs/criterion) API that the workspace's
+//! `crates/bench/benches/fig*.rs` and `table5.rs` harnesses use.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `criterion` cannot be vendored; the bench crate depends on this package
+//! under the name `criterion` (see `[workspace.dependencies]`). The shim
+//! keeps the same registration surface (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_with_input`, throughput annotations) and performs
+//! honest wall-clock measurement: a warm-up phase followed by `sample_size`
+//! timed samples, reporting min/mean/median per benchmark id. Swapping back
+//! to real criterion is a one-line manifest change.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group (reported, not
+/// otherwise interpreted by the shim).
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one measurement point: a function label plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function label and a displayable parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to the closure of [`BenchmarkGroup::bench_with_input`]
+/// and [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up for the configured time, then record
+    /// `sample_size` wall-clock samples (bounded by `measurement_time`).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            std_black_box(routine());
+        }
+        let measure_deadline = Instant::now() + self.measurement_time;
+        for i in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+            // Always record at least one sample; afterwards stop at the
+            // measurement-time budget like real criterion does.
+            if i > 0 && Instant::now() > measure_deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related measurement points sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration run before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the sampling time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Attach a throughput annotation (reported alongside timings).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure `routine` against `input` under the given id.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        routine(&mut bencher, input);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Measure a no-input `routine` under the given id.
+    pub fn bench_function<R>(&mut self, id: BenchmarkId, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        routine(&mut bencher);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    fn report(&mut self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id:<40} (no samples)", self.name);
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let tput = match &self.throughput {
+            Some(Throughput::Elements(n)) => format!("  [{n} elems]"),
+            Some(Throughput::Bytes(n)) => format!("  [{n} bytes]"),
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<40} min {:>10}  mean {:>10}  median {:>10}  ({} samples){tput}",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(median),
+            sorted.len(),
+        );
+        self.criterion.reported += 1;
+    }
+
+    /// Finish the group (prints a trailing separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    reported: usize,
+}
+
+impl Criterion {
+    /// Open a named [`BenchmarkGroup`] with default configuration.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            throughput: None,
+        }
+    }
+
+    /// Measure a standalone function outside any group.
+    pub fn bench_function<R>(&mut self, name: &str, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name)
+            .bench_function(BenchmarkId::from_parameter("-"), routine);
+        self
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: bundles benchmark functions into
+/// one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: generates `fn main` running each
+/// group produced by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

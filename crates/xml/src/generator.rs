@@ -20,9 +20,8 @@
 //! controllable selectivity; [`mark_values`] overrides exactly `m` nodes of
 //! one type with a marker value (used by Exp-2's `a[text()="sel"]` sweeps).
 
+use crate::rng::SplitMix64;
 use crate::tree::{NodeId, Tree};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use x2s_dtd::{ContentModel, Dtd, ElemId};
 
@@ -94,7 +93,7 @@ impl<'a> Generator<'a> {
     /// the node budget is exhausted (equivalent to the paper's post-hoc BFS
     /// trimming).
     pub fn generate(&self) -> Tree {
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.cfg.seed);
         let budget = self.cfg.target_elements.unwrap_or(usize::MAX);
         let mut tree = Tree::with_root(self.dtd.root());
         let root = tree.root();
@@ -117,7 +116,7 @@ impl<'a> Generator<'a> {
         tree
     }
 
-    fn assign_value(&self, tree: &mut Tree, node: NodeId, rng: &mut StdRng) {
+    fn assign_value(&self, tree: &mut Tree, node: NodeId, rng: &mut SplitMix64) {
         if self.cfg.value_alphabet > 0 && self.dtd.allows_text(tree.label(node)) {
             let v = rng.gen_range(0..self.cfg.value_alphabet);
             tree.set_value(node, Some(&format!("v{v}")));
@@ -125,7 +124,7 @@ impl<'a> Generator<'a> {
     }
 
     /// Instantiate one node's content model into a child-label sequence.
-    fn child_labels(&self, label: ElemId, level: usize, rng: &mut StdRng) -> Vec<ElemId> {
+    fn child_labels(&self, label: ElemId, level: usize, rng: &mut SplitMix64) -> Vec<ElemId> {
         let mut out = Vec::new();
         let beyond = level >= self.cfg.max_levels;
         let hard_stop = level >= self.cfg.max_levels + self.cfg.required_depth_slack;
@@ -139,7 +138,7 @@ impl<'a> Generator<'a> {
         &self,
         model: &ContentModel,
         beyond: bool,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
         out: &mut Vec<ElemId>,
     ) {
         match model {
@@ -211,7 +210,7 @@ pub fn mark_values(tree: &mut Tree, label: ElemId, count: usize, marker: &str, s
         .node_ids()
         .filter(|&n| tree.label(n) == label)
         .collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     // Fisher–Yates prefix shuffle: enough to pick `count` random nodes.
     let picks = count.min(candidates.len());
     for i in 0..picks {

@@ -17,6 +17,7 @@
 
 pub mod generator;
 pub mod parser;
+pub mod rng;
 pub mod tree;
 pub mod validate;
 pub mod writer;

@@ -1,0 +1,147 @@
+//! A tiny deterministic PRNG used by the [`crate::generator`] module.
+//!
+//! The build environment cannot fetch crates.io, so instead of `rand`'s
+//! `StdRng` we use SplitMix64 (Steele, Lea & Flood, "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014) — the same generator Java's
+//! `SplittableRandom` and xoshiro seeding use. It passes BigCrush for the
+//! statistical quality the document generator needs (branch choices and
+//! repetition counts), is seedable from a `u64`, and is fully deterministic
+//! across platforms, which the generator's reproducibility contract requires.
+//!
+//! The API mirrors the `rand` subset the generator used (`seed_from_u64`,
+//! `gen_range` over half-open and inclusive ranges, `gen_bool`), so swapping
+//! `rand` back in later is a two-line import change.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 generator state.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// Ranges that [`SplitMix64::gen_range`] can sample from uniformly.
+pub trait SampleRange {
+    /// Inclusive lower bound.
+    fn low(&self) -> usize;
+    /// Inclusive upper bound.
+    fn high_inclusive(&self) -> usize;
+}
+
+impl SampleRange for Range<usize> {
+    fn low(&self) -> usize {
+        self.start
+    }
+    fn high_inclusive(&self) -> usize {
+        assert!(self.end > self.start, "gen_range on empty range");
+        self.end - 1
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    fn low(&self) -> usize {
+        *self.start()
+    }
+    fn high_inclusive(&self) -> usize {
+        assert!(self.end() >= self.start(), "gen_range on empty range");
+        *self.end()
+    }
+}
+
+impl SplitMix64 {
+    /// Seed the generator; equal seeds give equal streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample from a half-open (`a..b`) or inclusive (`a..=b`) range.
+    /// Uses Lemire's multiply-shift rejection method, so the distribution is
+    /// exactly uniform rather than modulo-biased.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> usize {
+        let low = range.low() as u64;
+        let span = ((range.high_inclusive() as u64) - low).wrapping_add(1);
+        if span == 0 {
+            // 2^64 possible values: every raw output is in range.
+            return self.next_u64() as usize;
+        }
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            let lo = m as u64;
+            if lo >= span {
+                return (low + (m >> 64) as u64) as usize;
+            }
+            // Rejection zone: retry to keep the distribution exact.
+            let threshold = span.wrapping_neg() % span;
+            if lo >= threshold {
+                return (low + (m >> 64) as u64) as usize;
+            }
+        }
+    }
+
+    /// Bernoulli sample with success probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_splitmix64_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // SplitMix64 reference implementation (Vigna).
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0..=4);
+            assert!(y <= 4);
+        }
+    }
+
+    #[test]
+    fn all_range_values_reachable() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SplitMix64::seed_from_u64(11);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

@@ -19,8 +19,17 @@ pub use x2s_xml as xml;
 pub use x2s_xpath as xpath;
 
 /// Commonly used items, for `use xpath2sql::prelude::*`.
+///
+/// Covers the whole pipeline: parse a DTD and a query, translate
+/// ([`Translator`](x2s_core::Translator)), shred a document
+/// ([`edge_database`](x2s_shred::edge_database)), render
+/// ([`render_program`](x2s_rel::render_program)) and execute the SQL'(LFP)
+/// program — without importing the per-stage crates directly.
 pub mod prelude {
+    pub use x2s_core::{SqlOptions, TranslateError, Translator};
     pub use x2s_dtd::{parse_dtd, Dtd, DtdGraph, ElemId};
-    pub use x2s_xml::{Generator, GeneratorConfig, Tree};
-    pub use x2s_xpath::{parse_xpath, Path};
+    pub use x2s_rel::{render_program, ExecOptions, SqlDialect, Stats};
+    pub use x2s_shred::edge_database;
+    pub use x2s_xml::{parse_xml, validate, Generator, GeneratorConfig, Tree};
+    pub use x2s_xpath::{parse_xpath, Path, Qual};
 }

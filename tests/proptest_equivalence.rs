@@ -1,54 +1,90 @@
 //! Property-based testing of the translation pipeline: random queries from
 //! the fragment grammar × random generated documents, checked against the
 //! native XPath oracle through both translation steps.
+//!
+//! The build environment has no network access, so instead of the `proptest`
+//! crate this harness drives its own seeded random query generator (the same
+//! weighted grammar the original strategies encoded: labels including ones
+//! the DTD does not declare to exercise ∅ folding, `//`, unions, and nested
+//! qualifiers with negation). Every case is deterministic in its seed, and
+//! failures report the offending query and seed, so a failing case can be
+//! replayed by rerunning the test.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use xpath2sql::core::{SqlOptions, Translator};
 use xpath2sql::dtd::{samples, Dtd};
-use xpath2sql::rel::{ExecOptions, Stats};
+use xpath2sql::rel::{Database, ExecOptions, Stats};
 use xpath2sql::shred::edge_database;
 use xpath2sql::sqlgenr::SqlGenR;
+use xpath2sql::xml::rng::SplitMix64;
 use xpath2sql::xml::{Generator, GeneratorConfig};
 use xpath2sql::xpath::{eval_from_document, Path, Qual};
 
-/// Random path expressions over a fixed label alphabet (including labels
-/// the DTD does not declare, exercising the ∅ folding).
-fn arb_path(labels: &'static [&'static str], depth: u32) -> impl Strategy<Value = Path> {
-    let leaf = prop_oneof![
-        4 => proptest::sample::select(labels).prop_map(Path::label),
-        1 => Just(Path::Wildcard),
-        1 => Just(Path::Empty),
-    ];
-    leaf.prop_recursive(depth, 24, 3, move |inner| {
-        prop_oneof![
-            3 => (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Path::Seq(Box::new(a), Box::new(b))),
-            2 => inner.clone().prop_map(|p| Path::Descendant(Box::new(p))),
-            1 => (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Path::Union(Box::new(a), Box::new(b))),
-            1 => (inner.clone(), arb_qual(inner))
-                .prop_map(|(p, q)| Path::Qualified(Box::new(p), q)),
-        ]
-    })
+/// Cases per (property, document-seed) pair, sized so every property runs at
+/// least the 48 cases the original proptest configuration did: 16 × 4 seeds
+/// for cross, 16 × 3 for dept, and 24 × 2 for gedml (see `GEDML_CASES`).
+const CASES_PER_SEED: usize = 16;
+
+/// gedml only has two document seeds, so it takes more queries per seed.
+const GEDML_CASES: usize = 24;
+
+/// Random path expression over a fixed label alphabet (including labels the
+/// DTD does not declare, exercising the ∅ folding). Mirrors the original
+/// `prop_oneof!` weights: leaves are 4:1:1 label/wildcard/empty; inner nodes
+/// are 3:2:1:1 seq/descendant/union/qualified (with 2 extra leaf weights so
+/// expressions stay small, as `prop_recursive`'s size budget did).
+fn arb_path(rng: &mut SplitMix64, labels: &[&str], depth: u32) -> Path {
+    if depth == 0 {
+        return arb_leaf(rng, labels);
+    }
+    match rng.gen_range(0..9) {
+        0..=2 => Path::Seq(
+            Box::new(arb_path(rng, labels, depth - 1)),
+            Box::new(arb_path(rng, labels, depth - 1)),
+        ),
+        3..=4 => Path::Descendant(Box::new(arb_path(rng, labels, depth - 1))),
+        5 => Path::Union(
+            Box::new(arb_path(rng, labels, depth - 1)),
+            Box::new(arb_path(rng, labels, depth - 1)),
+        ),
+        6 => {
+            let p = arb_path(rng, labels, depth - 1);
+            let q = arb_qual(rng, labels, depth - 1, 2);
+            Path::Qualified(Box::new(p), q)
+        }
+        _ => arb_leaf(rng, labels),
+    }
 }
 
-fn arb_qual(path: impl Strategy<Value = Path> + Clone + 'static) -> impl Strategy<Value = Qual> {
-    let base = prop_oneof![
-        4 => path.prop_map(Qual::path),
-        1 => proptest::sample::select(&["v0", "v1", "sel"]).prop_map(|c| Qual::TextEq(c.into())),
-    ];
-    base.prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            2 => inner.clone().prop_map(Qual::not),
-            1 => (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            1 => (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-        ]
-    })
+fn arb_leaf(rng: &mut SplitMix64, labels: &[&str]) -> Path {
+    match rng.gen_range(0..6) {
+        0..=3 => Path::label(labels[rng.gen_range(0..labels.len())]),
+        4 => Path::Wildcard,
+        _ => Path::Empty,
+    }
 }
 
-fn check_one(dtd: &Dtd, tree: &xpath2sql::xml::Tree, query: &Path) {
-    let db = edge_database(tree, dtd);
+/// Random qualifier: 4:1 path-existence vs text comparison at the leaves,
+/// with up to `qdepth` boolean connectives (2:1:1 not/and/or) above them.
+fn arb_qual(rng: &mut SplitMix64, labels: &[&str], depth: u32, qdepth: u32) -> Qual {
+    if qdepth > 0 && rng.gen_bool(0.4) {
+        return match rng.gen_range(0..4) {
+            0..=1 => Qual::not(arb_qual(rng, labels, depth, qdepth - 1)),
+            2 => arb_qual(rng, labels, depth, qdepth - 1)
+                .and(arb_qual(rng, labels, depth, qdepth - 1)),
+            _ => arb_qual(rng, labels, depth, qdepth - 1)
+                .or(arb_qual(rng, labels, depth, qdepth - 1)),
+        };
+    }
+    if rng.gen_range(0..5) < 4 {
+        Qual::path(arb_path(rng, labels, depth.min(2)))
+    } else {
+        let consts = ["v0", "v1", "sel"];
+        Qual::TextEq(consts[rng.gen_range(0..consts.len())].into())
+    }
+}
+
+fn check_one(dtd: &Dtd, tree: &xpath2sql::xml::Tree, db: &Database, query: &Path, seed: u64) {
     let native: BTreeSet<u32> = eval_from_document(query, tree, dtd)
         .into_iter()
         .map(|n| n.0)
@@ -60,7 +96,10 @@ fn check_one(dtd: &Dtd, tree: &xpath2sql::xml::Tree, query: &Path) {
         .into_iter()
         .map(|n| n.0)
         .collect();
-    assert_eq!(via_extended, native, "extended mismatch for {query}");
+    assert_eq!(
+        via_extended, native,
+        "extended mismatch for {query} (doc seed {seed})"
+    );
     // step 2 equivalence, optimizations on and off
     for push in [true, false] {
         let tr = Translator::new(dtd)
@@ -71,100 +110,130 @@ fn check_one(dtd: &Dtd, tree: &xpath2sql::xml::Tree, query: &Path) {
             .translate(query)
             .unwrap();
         let mut stats = Stats::default();
-        let got = tr.run(&db, ExecOptions::default(), &mut stats);
-        assert_eq!(got, native, "SQL mismatch for {query} (push={push})");
+        let got = tr.run(db, ExecOptions::default(), &mut stats);
+        assert_eq!(
+            got, native,
+            "SQL mismatch for {query} (push={push}, doc seed {seed})"
+        );
     }
     // baseline equivalence
     let tr = SqlGenR::new(dtd).translate(query).unwrap();
     let mut stats = Stats::default();
-    let got = tr.run(&db, ExecOptions::default(), &mut stats);
-    assert_eq!(got, native, "SQLGen-R mismatch for {query}");
+    let got = tr.run(db, ExecOptions::default(), &mut stats);
+    assert_eq!(got, native, "SQLGen-R mismatch for {query} (doc seed {seed})");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
+/// Distinct query-generator seed per (property, document seed, case index).
+fn case_rng(property: u64, seed: u64, case: usize) -> SplitMix64 {
+    SplitMix64::seed_from_u64(
+        property
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(seed.wrapping_mul(1 << 20))
+            .wrapping_add(case as u64),
+    )
+}
 
-    #[test]
-    fn random_queries_on_cross(
-        query in arb_path(&["a", "b", "c", "d", "zzz"], 3),
-        seed in 0u64..4,
-    ) {
-        let dtd = samples::cross();
+#[test]
+fn random_queries_on_cross() {
+    let labels = ["a", "b", "c", "d", "zzz"];
+    let dtd = samples::cross();
+    for seed in 0u64..4 {
         let tree = Generator::new(
             &dtd,
             GeneratorConfig::shaped(7, 3, Some(350)).with_seed(seed),
         )
         .generate();
-        check_one(&dtd, &tree, &query);
+        let db = edge_database(&tree, &dtd);
+        for case in 0..CASES_PER_SEED {
+            let mut rng = case_rng(1, seed, case);
+            let query = arb_path(&mut rng, &labels, 3);
+            check_one(&dtd, &tree, &db, &query, seed);
+        }
     }
+}
 
-    #[test]
-    fn random_queries_on_dept(
-        query in arb_path(&["dept", "course", "student", "project"], 3),
-        seed in 10u64..13,
-    ) {
-        let dtd = samples::dept_simplified();
+#[test]
+fn random_queries_on_dept() {
+    let labels = ["dept", "course", "student", "project"];
+    let dtd = samples::dept_simplified();
+    for seed in 10u64..13 {
         let tree = Generator::new(
             &dtd,
             GeneratorConfig::shaped(6, 3, Some(300)).with_seed(seed),
         )
         .generate();
-        check_one(&dtd, &tree, &query);
+        let db = edge_database(&tree, &dtd);
+        for case in 0..CASES_PER_SEED {
+            let mut rng = case_rng(2, seed, case);
+            let query = arb_path(&mut rng, &labels, 3);
+            check_one(&dtd, &tree, &db, &query, seed);
+        }
     }
+}
 
-    #[test]
-    fn random_queries_on_gedml(
-        query in arb_path(&["Even", "Sour", "Note", "Obje", "Data"], 2),
-        seed in 20u64..22,
-    ) {
-        let dtd = samples::gedml();
+#[test]
+fn random_queries_on_gedml() {
+    let labels = ["Even", "Sour", "Note", "Obje", "Data"];
+    let dtd = samples::gedml();
+    for seed in 20u64..22 {
         let tree = Generator::new(
             &dtd,
             GeneratorConfig::shaped(5, 3, Some(250)).with_seed(seed),
         )
         .generate();
-        check_one(&dtd, &tree, &query);
+        let db = edge_database(&tree, &dtd);
+        for case in 0..GEDML_CASES {
+            let mut rng = case_rng(3, seed, case);
+            let query = arb_path(&mut rng, &labels, 2);
+            check_one(&dtd, &tree, &db, &query, seed);
+        }
     }
+}
 
-    /// Pruning never changes extended-query semantics.
-    #[test]
-    fn pruning_preserves_semantics(
-        query in arb_path(&["a", "b", "c", "d"], 3),
-        seed in 30u64..33,
-    ) {
-        let dtd = samples::cross();
+/// Pruning never changes extended-query semantics.
+#[test]
+fn pruning_preserves_semantics() {
+    let labels = ["a", "b", "c", "d"];
+    let dtd = samples::cross();
+    for seed in 30u64..33 {
         let tree = Generator::new(
             &dtd,
             GeneratorConfig::shaped(6, 3, Some(250)).with_seed(seed),
         )
         .generate();
-        let raw = xpath2sql::core::xpath_to_exp(
-            &query,
-            &dtd,
-            &xpath2sql::core::x2e::RecMode::CycleEx,
-        )
-        .unwrap()
-        .query;
-        let pruned = raw.pruned();
-        prop_assert_eq!(
-            raw.eval_from_document(&tree, &dtd),
-            pruned.eval_from_document(&tree, &dtd)
-        );
+        for case in 0..CASES_PER_SEED {
+            let mut rng = case_rng(4, seed, case);
+            let query = arb_path(&mut rng, &labels, 3);
+            let raw = xpath2sql::core::xpath_to_exp(
+                &query,
+                &dtd,
+                &xpath2sql::core::x2e::RecMode::CycleEx,
+            )
+            .unwrap()
+            .query;
+            let pruned = raw.pruned();
+            assert_eq!(
+                raw.eval_from_document(&tree, &dtd),
+                pruned.eval_from_document(&tree, &dtd),
+                "pruning changed semantics for {query} (doc seed {seed})"
+            );
+        }
     }
+}
 
-    /// Generated documents always conform to their DTD (no trimming).
-    #[test]
-    fn generator_produces_valid_documents(seed in 0u64..24) {
-        let dtd = samples::dept();
+/// Generated documents always conform to their DTD (no trimming).
+#[test]
+fn generator_produces_valid_documents() {
+    let dtd = samples::dept();
+    for seed in 0u64..24 {
         let tree = Generator::new(
             &dtd,
             GeneratorConfig::shaped(6, 2, None).with_seed(seed),
         )
         .generate();
-        prop_assert!(xpath2sql::xml::validate(&tree, &dtd).is_ok());
+        assert!(
+            xpath2sql::xml::validate(&tree, &dtd).is_ok(),
+            "invalid document for seed {seed}"
+        );
     }
 }
