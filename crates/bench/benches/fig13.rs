@@ -2,8 +2,8 @@
 //! the LFP operator, varying the number of qualified nodes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use x2s_bench::harness::measure_with_options;
 use x2s_bench::dataset;
+use x2s_bench::harness::measure_with_options;
 use x2s_core::SqlOptions;
 use x2s_dtd::samples;
 use x2s_shred::edge_database;
@@ -28,9 +28,7 @@ fn bench_fig13(c: &mut Criterion) {
                 root_filter_pushdown: push,
             };
             group.bench_with_input(BenchmarkId::new(label, marked), &db, |b, db| {
-                b.iter(|| {
-                    measure_with_options(&dtd, "a[text()='sel']/b//c/d", db, opts, 1).answers
-                })
+                b.iter(|| measure_with_options(&dtd, "a[text()='sel']/b//c/d", db, opts, 1).answers)
             });
         }
     }

@@ -23,11 +23,9 @@ fn bench_fig16(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(1500));
     for (case, query, dtd) in cases {
         for approach in Approach::all() {
-            group.bench_with_input(
-                BenchmarkId::new(approach.label(), case),
-                &ds,
-                |b, ds| b.iter(|| measure(approach, &dtd, query, &ds.db, 1).answers),
-            );
+            group.bench_with_input(BenchmarkId::new(approach.label(), case), &ds, |b, ds| {
+                b.iter(|| measure(approach, &dtd, query, &ds.db, 1).answers)
+            });
         }
     }
     group.finish();

@@ -12,13 +12,11 @@
 //! executing it against a freshly generated document.
 
 use std::env;
-use x2s_bench::{exp1, exp2, exp3, exp4, exp5, table5, tables123, Table};
-use x2s_core::Translator;
+use x2s_bench::{exp1, exp2, exp3, exp4, exp5, measure_prepared, table5, tables123, Table};
+use x2s_core::Engine;
 use x2s_dtd::{samples, Dtd};
-use x2s_rel::{render_program, ExecOptions, SqlDialect, Stats};
-use x2s_shred::edge_database;
+use x2s_rel::SqlDialect;
 use x2s_xml::{Generator, GeneratorConfig};
-use x2s_xpath::parse_xpath;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -113,22 +111,28 @@ fn sample_dtd(name: &str) -> Dtd {
     }
 }
 
-/// Translate one query end-to-end and print the generated SQL'(LFP) script,
-/// then execute it against a generated document as a sanity check.
+/// Translate one query end-to-end through the [`Engine`] session API, print
+/// the generated SQL'(LFP) script, then execute the prepared query against a
+/// generated document as a sanity check.
 fn sql_section(dtd_name: &str, query: &str) {
     let dtd = sample_dtd(dtd_name);
-    let path = match parse_xpath(query) {
-        Ok(p) => p,
-        Err(e) => usage(&format!("cannot parse query {query:?}: {e}")),
-    };
     println!("\n## Generated SQL — `{query}` over the `{dtd_name}` DTD");
-    let translation = Translator::new(&dtd)
-        .translate(&path)
-        .expect("sample queries translate");
-    println!("\nextended XPath (step 1, pruned):\n    {}", translation.extended);
-    println!("\nSQL'(LFP) script (step 2, SQL'99 dialect):\n");
-    for line in render_program(&translation.program, SqlDialect::Sql99).lines() {
-        println!("    {line}");
+    let mut engine = Engine::builder(&dtd).dialect(SqlDialect::Sql99).build();
+    // Prepare (and report bad queries) before spending time generating a
+    // demo document — translation needs only the DTD.
+    {
+        let prepared = match engine.prepare(query) {
+            Ok(p) => p,
+            Err(e) => usage(&format!("cannot prepare query {query:?}: {e}")),
+        };
+        println!(
+            "\nextended XPath (step 1, pruned):\n    {}",
+            prepared.translation().extended
+        );
+        println!("\nSQL'(LFP) script (step 2, SQL'99 dialect):\n");
+        for line in prepared.sql_text().lines() {
+            println!("    {line}");
+        }
     }
     // Starred roots can legitimately produce near-empty documents for an
     // unlucky seed; retry a few seeds so the demo document is non-trivial.
@@ -144,13 +148,22 @@ fn sql_section(dtd_name: &str, query: &str) {
         .unwrap_or_else(|| {
             Generator::new(&dtd, GeneratorConfig::shaped(8, 3, Some(2_000))).generate()
         });
-    let db = edge_database(&tree, &dtd);
-    let mut stats = Stats::default();
-    let answers = translation.run(&db, ExecOptions::default(), &mut stats);
+    engine.load(&tree);
+    // This prepare is a plan-cache hit: the translation above is reused.
+    let prepared = engine.prepare(query).expect("already prepared once");
+    let answers = prepared.execute().expect("sample programs execute");
+    assert_eq!(engine.stats().plan_cache_hits, 1, "second prepare hits");
     println!(
         "executed against a generated {}-element document: {} answer node(s)",
-        tree.len(),
+        engine.doc_len(),
         answers.len()
+    );
+    // Amortized serving cost: prepared once, executed repeatedly.
+    let warm = measure_prepared(&dtd, query, engine.database().expect("loaded"), 3);
+    println!(
+        "warm-cache execution: {:.2} ms/query (translation amortized across {} run(s))",
+        warm.ms(),
+        3
     );
 }
 

@@ -22,5 +22,7 @@
 pub mod harness;
 pub mod workloads;
 
-pub use harness::{dataset, measure, translate_with, Approach, Dataset, Measured};
+pub use harness::{
+    dataset, measure, measure_prepared, translate_with, Approach, Dataset, Measured,
+};
 pub use workloads::{exp1, exp2, exp3, exp4, exp5, table5, tables123, Table};

@@ -35,7 +35,11 @@ impl fmt::Display for Table {
         writeln!(
             f,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         )?;
         for row in &self.rows {
             writeln!(f, "| {} |", row.join(" | "))?;
@@ -84,7 +88,12 @@ pub fn exp1(scale: f64, reps: usize) -> Vec<Table> {
                 "Fig. 12({}) — {qname} = {query}: vary X_L (X_R = 4, {elements} elements)",
                 panels[qi * 2] as char
             ),
-            headers: vec!["X_L".into(), "R (ms)".into(), "E (ms)".into(), "X (ms)".into()],
+            headers: vec![
+                "X_L".into(),
+                "R (ms)".into(),
+                "E (ms)".into(),
+                "X (ms)".into(),
+            ],
             rows,
             note: "paper: X lowest and nearly flat; R and E grow with X_L".into(),
         });
@@ -103,7 +112,12 @@ pub fn exp1(scale: f64, reps: usize) -> Vec<Table> {
                 "Fig. 12({}) — {qname} = {query}: vary X_R (X_L = 12, {elements} elements)",
                 panels[qi * 2 + 1] as char
             ),
-            headers: vec!["X_R".into(), "R (ms)".into(), "E (ms)".into(), "X (ms)".into()],
+            headers: vec![
+                "X_R".into(),
+                "R (ms)".into(),
+                "E (ms)".into(),
+                "X (ms)".into(),
+            ],
             rows,
             note: "paper: X marginally affected by X_R; E worst; R improves as leaves dominate"
                 .into(),
@@ -123,8 +137,18 @@ pub fn exp2(scale: f64, reps: usize) -> Vec<Table> {
         .map(|&s| scaled(s, scale))
         .collect();
     let cases = [
-        ("a", "Qe = a[text()=\"sel\"]/b//c/d", "a", "a[text()='sel']/b//c/d"),
-        ("b", "Qf = a/b//c/d[text()=\"sel\"]", "d", "a/b//c/d[text()='sel']"),
+        (
+            "a",
+            "Qe = a[text()=\"sel\"]/b//c/d",
+            "a",
+            "a[text()='sel']/b//c/d",
+        ),
+        (
+            "b",
+            "Qf = a/b//c/d[text()=\"sel\"]",
+            "d",
+            "a/b//c/d[text()='sel']",
+        ),
     ];
     let mut out = Vec::new();
     for (panel, title, marked_label, query) in cases {
@@ -156,11 +180,7 @@ pub fn exp2(scale: f64, reps: usize) -> Vec<Table> {
                 reps,
             );
             assert_eq!(push.answers, plain.answers, "push must not change answers");
-            rows.push(vec![
-                marked.to_string(),
-                ms(push.ms()),
-                ms(plain.ms()),
-            ]);
+            rows.push(vec![marked.to_string(), ms(push.ms()), ms(plain.ms())]);
         }
         out.push(Table {
             title: format!("Fig. 13({panel}) — {title}: vary #qualified `{marked_label}` (X_R=8, X_L=12, {elements} elements)"),
@@ -345,11 +365,9 @@ pub fn table5() -> Vec<Table> {
                 // CycleE: a variable-free regular expression per pair
                 if let Ok(exp) = x2s_core::rec_regular(&tg, a, b, crate::harness::CYCLEE_CAP) {
                     let q = x2s_exp::ExtendedQuery::of(exp);
-                    if let Ok(prog) = x2s_core::exp_to_sql(
-                        &q,
-                        &count_opts,
-                        &std::collections::HashMap::new(),
-                    ) {
+                    if let Ok(prog) =
+                        x2s_core::exp_to_sql(&q, &count_opts, &std::collections::HashMap::new())
+                    {
                         let counts = prog.op_counts();
                         e_lfp.push(counts.lfp);
                         e_all.push(counts.total());
@@ -359,11 +377,9 @@ pub fn table5() -> Vec<Table> {
                 let mut q = rec_query.clone();
                 q.result = rec_table.rec_full(a, b);
                 let q = q.pruned();
-                if let Ok(prog) = x2s_core::exp_to_sql(
-                    &q,
-                    &count_opts,
-                    &std::collections::HashMap::new(),
-                ) {
+                if let Ok(prog) =
+                    x2s_core::exp_to_sql(&q, &count_opts, &std::collections::HashMap::new())
+                {
                     let counts = prog.op_counts();
                     x_lfp.push(counts.lfp);
                     x_all.push(counts.total());
@@ -382,8 +398,7 @@ pub fn table5() -> Vec<Table> {
         ]);
     }
     vec![Table {
-        title: "Table 5 — number of operations (min/max/average over reachable pairs A//B)"
-            .into(),
+        title: "Table 5 — number of operations (min/max/average over reachable pairs A//B)".into(),
         headers: vec![
             "DTD".into(),
             "n".into(),
@@ -444,7 +459,9 @@ pub fn tables123() -> Vec<Table> {
     let path = parse_xpath("dept//project").unwrap();
     let tr = x2s_sqlgenr::SqlGenR::new(&d).translate(&path).unwrap();
     let mut stats = Stats::default();
-    let answers = tr.run(&db, ExecOptions::default(), &mut stats);
+    let answers = tr
+        .try_run(&db, ExecOptions::default(), &mut stats)
+        .expect("running-example programs execute");
     let mut rows: Vec<Vec<String>> = answers
         .iter()
         .map(|id| vec![ids[*id as usize].clone()])
@@ -453,8 +470,7 @@ pub fn tables123() -> Vec<Table> {
     out.push(Table {
         title: format!(
             "Table 2 — SQLGen-R on dept//project: {} iterations of a {}-join recursion → answers",
-            stats.multilfp_iterations,
-            5
+            stats.multilfp_iterations, 5
         ),
         headers: vec!["descendant projects".into()],
         rows,
@@ -463,7 +479,9 @@ pub fn tables123() -> Vec<Table> {
     // Table 3: CycleEX intermediates
     let tr = x2s_core::Translator::new(&d).translate(&path).unwrap();
     let mut stats = Stats::default();
-    let answers = tr.run(&db, ExecOptions::default(), &mut stats);
+    let answers = tr
+        .try_run(&db, ExecOptions::default(), &mut stats)
+        .expect("running-example programs execute");
     let mut rows: Vec<Vec<String>> = answers
         .iter()
         .map(|id| vec![ids[*id as usize].clone()])
@@ -487,7 +505,10 @@ pub fn tables123() -> Vec<Table> {
         title: "Example 3.5 — EQ1, the extended XPath translation of dept//project".into(),
         headers: vec!["form".into(), "expression".into()],
         rows: vec![
-            vec!["equations".into(), format!("{} bindings", eq.equations.len())],
+            vec![
+                "equations".into(),
+                format!("{} bindings", eq.equations.len()),
+            ],
             vec!["eliminated".into(), regular],
         ],
         note: "paper: EQ1 = (X_Q1 = Rd/Rc/X*/Rp, X = Rc ∪ Rs/Rc ∪ Rp/Rc)".into(),
@@ -523,7 +544,12 @@ impl MinMaxAvg {
         if self.count == 0 {
             "-".into()
         } else {
-            format!("{}/{}/{}", self.min, self.max, self.sum.checked_div(self.count).unwrap_or(0))
+            format!(
+                "{}/{}/{}",
+                self.min,
+                self.max,
+                self.sum.checked_div(self.count).unwrap_or(0)
+            )
         }
     }
 }

@@ -1,4 +1,4 @@
-//! `CycleE` — Tarjan's path-expression algorithm (paper Fig. 6, [61]):
+//! `CycleE` — Tarjan's path-expression algorithm (paper Fig. 6, \[61\]):
 //! computes `rec(A, B)`, a **regular expression** (variable-free extended
 //! XPath) representing all paths from `A` to `B` in the DTD graph.
 //!
@@ -34,7 +34,10 @@ impl fmt::Display for CycleEError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CycleEError::TooLarge { cap, reached } => {
-                write!(f, "CycleE expression exceeded cap: {reached} > {cap} AST nodes")
+                write!(
+                    f,
+                    "CycleE expression exceeded cap: {reached} > {cap} AST nodes"
+                )
             }
         }
     }
@@ -47,12 +50,7 @@ impl std::error::Error for CycleEError {}
 ///
 /// The document node never has incoming edges, so it is skipped as an
 /// intermediate node `k` (harmless: no path routes through it).
-pub fn rec_regular(
-    g: &TransGraph<'_>,
-    a: TNode,
-    b: TNode,
-    cap: usize,
-) -> Result<Exp, CycleEError> {
+pub fn rec_regular(g: &TransGraph<'_>, a: TNode, b: TNode, cap: usize) -> Result<Exp, CycleEError> {
     let n = g.len();
     // M[i][j] for the current level; level 0 = direct edges (+ ε on the
     // diagonal).
@@ -87,10 +85,7 @@ pub fn rec_regular(
                 if m[k][j].is_empty_set() {
                     continue;
                 }
-                let via = m[i][k]
-                    .clone()
-                    .then(loop_k.clone())
-                    .then(m[k][j].clone());
+                let via = m[i][k].clone().then(loop_k.clone()).then(m[k][j].clone());
                 let combined = simplify(&m[i][j].clone().or(via));
                 let size = combined.size();
                 if size > cap {

@@ -72,10 +72,7 @@ impl RecTable {
                         if col_k[i].is_empty_set() || row_k[j].is_empty_set() {
                             continue;
                         }
-                        let via = col_k[i]
-                            .clone()
-                            .then(s_k.clone())
-                            .then(row_k[j].clone());
+                        let via = col_k[i].clone().then(s_k.clone()).then(row_k[j].clone());
                         simplify(&m[i][j].clone().or(via))
                     };
                     if updated == m[i][j] {
@@ -115,11 +112,7 @@ impl RecTable {
 
 /// Keep matrix entries constant-size: atoms stay inline, anything larger is
 /// bound to a fresh variable.
-fn bind_if_large(
-    query: &mut ExtendedQuery,
-    exp: Exp,
-    note: impl FnOnce() -> String,
-) -> Exp {
+fn bind_if_large(query: &mut ExtendedQuery, exp: Exp, note: impl FnOnce() -> String) -> Exp {
     match exp {
         Exp::Epsilon | Exp::EmptySet | Exp::Label(_) | Exp::Var(_) => exp,
         other => Exp::Var(query.push_equation(other, note())),
@@ -129,8 +122,8 @@ fn bind_if_large(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cyclee::words::{exp_words, path_words};
     use crate::cyclee::rec_regular;
+    use crate::cyclee::words::{exp_words, path_words};
     use x2s_dtd::samples;
     use x2s_exp::to_regular;
 
@@ -215,7 +208,10 @@ mod tests {
             "CycleEX query unexpectedly large: {}",
             pruned.size()
         );
-        assert!(rec_regular(&g, a1, a14, 2_000).is_err(), "CycleE blows the same cap");
+        assert!(
+            rec_regular(&g, a1, a14, 2_000).is_err(),
+            "CycleE blows the same cap"
+        );
     }
 
     #[test]
@@ -234,7 +230,12 @@ mod tests {
             }
         }
         for eq in &q.equations {
-            assert!(!has_bare_eps(&eq.rhs), "bare ε in {} = {}", eq.var.0, eq.rhs);
+            assert!(
+                !has_bare_eps(&eq.rhs),
+                "bare ε in {} = {}",
+                eq.var.0,
+                eq.rhs
+            );
         }
     }
 

@@ -27,7 +27,12 @@ use x2s_rel::{JoinKind, LfpSpec, Plan, Pred, Program, PushSpec, TempId, Value};
 const ALL_NODES: &str = "R__nodes";
 
 /// Options for the SQL translation.
-#[derive(Clone, Copy, Debug)]
+///
+/// `Eq`/`Hash` matter beyond plain comparison: the engine's plan cache keys
+/// translations by (normalized XPath, [`RecStrategy`](crate::RecStrategy),
+/// `SqlOptions`), so two option sets compare equal exactly when they produce
+/// the same program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SqlOptions {
     /// Push selections into LFP operators (§5.2). Default true.
     pub push_selections: bool,
@@ -102,16 +107,10 @@ pub fn exp_to_sql(
 enum CVal {
     /// A materialized relation; `refl` means the logical relation is
     /// `plan ∪ Id`; `has_v` means column 2 holds the target's text value.
-    Rel {
-        plan: Plan,
-        refl: bool,
-        has_v: bool,
-    },
+    Rel { plan: Plan, refl: bool, has_v: bool },
     /// `Φ(edges) ∪ Id`, kept symbolic so composition can push selections
     /// into the closure.
-    StarOf {
-        edges: TempId,
-    },
+    StarOf { edges: TempId },
 }
 
 /// A materialized relation (plan + metadata).
@@ -278,16 +277,18 @@ impl<'a> Compiler<'a> {
     /// `l / r` with reflexivity algebra and LFP pushing.
     fn compose(&mut self, l: CVal, r: CVal) -> Result<CVal, TranslateError> {
         match (l, r) {
-            (CVal::Rel {
-                plan: lp,
-                refl: lrefl,
-                has_v: lv,
-            },
-            CVal::Rel {
-                plan: rp,
-                refl: rrefl,
-                has_v: rv,
-            }) => {
+            (
+                CVal::Rel {
+                    plan: lp,
+                    refl: lrefl,
+                    has_v: lv,
+                },
+                CVal::Rel {
+                    plan: rp,
+                    refl: rrefl,
+                    has_v: rv,
+                },
+            ) => {
                 let lp = self.bind(lp, "compose lhs");
                 let rp = self.bind(rp, "compose rhs");
                 let l_ar = if lv { 3 } else { 2 };
@@ -319,12 +320,14 @@ impl<'a> Compiler<'a> {
                 };
                 Ok(CVal::rel(plan, lrefl && rrefl, has_v))
             }
-            (CVal::Rel {
-                plan: lp,
-                refl: lrefl,
-                has_v: lv,
-            },
-            CVal::StarOf { edges }) => {
+            (
+                CVal::Rel {
+                    plan: lp,
+                    refl: lrefl,
+                    has_v: lv,
+                },
+                CVal::StarOf { edges },
+            ) => {
                 if lrefl {
                     // (L ∪ Id)/(Φ ∪ Id) needs the bare Φ — no pushing.
                     let star = self.materialize(CVal::StarOf { edges });
@@ -367,12 +370,14 @@ impl<'a> Compiler<'a> {
                     false,
                 ))
             }
-            (CVal::StarOf { edges },
-            CVal::Rel {
-                plan: rp,
-                refl: rrefl,
-                has_v: rv,
-            }) => {
+            (
+                CVal::StarOf { edges },
+                CVal::Rel {
+                    plan: rp,
+                    refl: rrefl,
+                    has_v: rv,
+                },
+            ) => {
                 if rrefl {
                     let star = self.materialize(CVal::StarOf { edges });
                     return self.compose(
@@ -802,8 +807,7 @@ mod tests {
         let t = parse_xml(&d, "<dept><course>x</course><course>y</course></dept>").unwrap();
         let db = edge_database(&t, &d);
         let q = ExtendedQuery::of(
-            Exp::label("dept")
-                .then(Exp::label("course").qualified(EQual::TextEq("x".into()))),
+            Exp::label("dept").then(Exp::label("course").qualified(EQual::TextEq("x".into()))),
         );
         let prog = exp_to_sql(&q, &SqlOptions::default(), &HashMap::new()).unwrap();
         assert_eq!(run(&prog, &db).len(), 1);
@@ -814,19 +818,13 @@ mod tests {
         let (_, _, db) = doc();
         // courses with no student child
         let q = ExtendedQuery::of(Exp::label("dept").then(
-            Exp::label("course").qualified(EQual::Not(Box::new(EQual::exp(Exp::label(
-                "student",
-            ))))),
+            Exp::label("course").qualified(EQual::Not(Box::new(EQual::exp(Exp::label("student"))))),
         ));
         let prog = exp_to_sql(&q, &SqlOptions::default(), &HashMap::new()).unwrap();
         assert_eq!(run(&prog, &db).len(), 0, "c1 has students");
-        let q2 = ExtendedQuery::of(
-            Exp::label("dept").then(Exp::label("course")).then(
-                Exp::label("course").qualified(EQual::Not(Box::new(EQual::exp(Exp::label(
-                    "student",
-                ))))),
-            ),
-        );
+        let q2 = ExtendedQuery::of(Exp::label("dept").then(Exp::label("course")).then(
+            Exp::label("course").qualified(EQual::Not(Box::new(EQual::exp(Exp::label("student"))))),
+        ));
         let prog2 = exp_to_sql(&q2, &SqlOptions::default(), &HashMap::new()).unwrap();
         assert_eq!(run(&prog2, &db).len(), 1, "c2 has no students");
     }
@@ -863,7 +861,12 @@ mod tests {
             .then(Exp::label("course"))
             .then(Exp::Var(x).star())
             .then(Exp::label("project"))
-            .then(Exp::Var(x).star().then(Exp::label("project")).or(Exp::Epsilon));
+            .then(
+                Exp::Var(x)
+                    .star()
+                    .then(Exp::label("project"))
+                    .or(Exp::Epsilon),
+            );
         let a = run(
             &exp_to_sql(
                 &q,

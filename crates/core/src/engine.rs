@@ -1,0 +1,614 @@
+//! The `Engine`: one entry point for the whole XPath → SQL'(LFP) pipeline.
+//!
+//! The paper's pipeline (Fig. 5 / Corollary 5.1) is built from deliberately
+//! small pieces — `parse_dtd`, [`Translator`], `edge_database`,
+//! `Program::execute`, `render_program` — which is the right shape for
+//! studying each stage but the wrong shape for *serving* queries: every
+//! caller re-wires the same five steps and re-translates every query from
+//! scratch. The `Engine` packages a session against one DTD:
+//!
+//! * [`Engine::builder`] fixes the translation strategy
+//!   ([`RecStrategy`]), SQL generation options ([`SqlOptions`]), execution
+//!   options ([`ExecOptions`]), and a default rendering dialect
+//!   ([`SqlDialect`]) once;
+//! * [`Engine::load`] / [`Engine::load_xml`] shred a document into the
+//!   edge store the engine owns;
+//! * [`Engine::prepare`] returns a [`PreparedQuery`] backed by an LRU
+//!   translation/plan cache keyed by the *normalized* XPath text plus the
+//!   options that shaped the translation — preparing the same query again
+//!   skips CycleEX and SQL generation entirely;
+//! * [`PreparedQuery::execute`] runs the cached program against the loaded
+//!   store; [`PreparedQuery::sql`] renders it for an external RDBMS;
+//!   [`Engine::query`] is the one-shot convenience.
+//!
+//! Everything is `Result`-based end to end: [`EngineError`] unifies XPath
+//! parse, XML parse, DTD validation, translation, and execution failures.
+//! Cache effectiveness is observable through the engine's [`Stats`]
+//! (`plan_cache_hits` / `plan_cache_misses`), merged with the execution
+//! counters of every query the engine runs.
+//!
+//! The low-level pieces remain public: the engine is a front door, not a
+//! wall. Code that needs one stage in isolation (view rewriting, the
+//! SQLGen-R baseline, the benchmarks' per-stage timings) keeps using the
+//! per-crate APIs underneath.
+
+use crate::e2sql::SqlOptions;
+use crate::pipeline::{RecStrategy, TranslateError, Translation, Translator};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use x2s_dtd::Dtd;
+use x2s_rel::{render_program, Database, ExecError, ExecOptions, SqlDialect, Stats};
+use x2s_shred::edge_database;
+use x2s_xml::{parse_xml, validate, Tree, ValidationError, XmlError};
+use x2s_xpath::{parse_xpath, ParseError, Path};
+
+/// Default number of cached translations per engine.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+/// Unified error type for every stage the engine drives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The XPath text did not parse.
+    Xpath(ParseError),
+    /// The XML text did not parse.
+    Xml(XmlError),
+    /// The document does not conform to the engine's DTD.
+    Validate(ValidationError),
+    /// The query did not translate (e.g. a CycleE blowup).
+    Translate(TranslateError),
+    /// The translated program failed to execute.
+    Exec(ExecError),
+    /// `execute`/`query` was called before any document was loaded.
+    NoDocument,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Xpath(e) => write!(f, "xpath parse error: {e}"),
+            EngineError::Xml(e) => write!(f, "xml parse error: {e}"),
+            EngineError::Validate(e) => write!(f, "document does not conform to the DTD: {e}"),
+            EngineError::Translate(e) => write!(f, "translation error: {e}"),
+            EngineError::Exec(e) => write!(f, "execution error: {e}"),
+            EngineError::NoDocument => {
+                write!(
+                    f,
+                    "no document loaded (call Engine::load or load_xml first)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Xpath(e) => Some(e),
+            EngineError::Xml(e) => Some(e),
+            EngineError::Validate(e) => Some(e),
+            EngineError::Translate(e) => Some(e),
+            EngineError::Exec(e) => Some(e),
+            EngineError::NoDocument => None,
+        }
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Xpath(e)
+    }
+}
+impl From<XmlError> for EngineError {
+    fn from(e: XmlError) -> Self {
+        EngineError::Xml(e)
+    }
+}
+impl From<ValidationError> for EngineError {
+    fn from(e: ValidationError) -> Self {
+        EngineError::Validate(e)
+    }
+}
+impl From<TranslateError> for EngineError {
+    fn from(e: TranslateError) -> Self {
+        EngineError::Translate(e)
+    }
+}
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> Self {
+        EngineError::Exec(e)
+    }
+}
+
+/// Cache key: the normalized (parsed and re-rendered) XPath text plus every
+/// option that shapes the produced program. Two prepares share an entry iff
+/// they would produce the same translation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct PlanKey {
+    query: String,
+    strategy: RecStrategy,
+    sql_options: SqlOptions,
+}
+
+/// A small LRU map from plan keys to finished translations.
+///
+/// Capacities are session-sized (tens to hundreds of distinct queries), so
+/// eviction scans for the least-recently-used entry instead of maintaining
+/// an intrusive list; `get`/`insert` stay O(1) hashing plus an O(capacity)
+/// worst case on eviction only.
+#[derive(Debug)]
+struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<PlanKey, (u64, Arc<Translation>)>,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<Translation>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(used, tr)| {
+            *used = tick;
+            Arc::clone(tr)
+        })
+    }
+
+    fn insert(&mut self, key: PlanKey, tr: Arc<Translation>) {
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(key, (self.tick, tr));
+    }
+}
+
+/// Cache + counters behind one lock so a prepare updates both atomically.
+#[derive(Debug)]
+struct EngineInner {
+    cache: PlanCache,
+    stats: Stats,
+}
+
+/// Configures and constructs an [`Engine`]. Created by [`Engine::builder`].
+#[derive(Clone, Debug)]
+pub struct EngineBuilder<'d> {
+    dtd: &'d Dtd,
+    strategy: RecStrategy,
+    sql_options: SqlOptions,
+    exec_options: ExecOptions,
+    dialect: SqlDialect,
+    cache_capacity: usize,
+}
+
+impl<'d> EngineBuilder<'d> {
+    /// Select the `rec(A,B)` instantiation strategy (default: CycleEX).
+    pub fn strategy(mut self, strategy: RecStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Select SQL generation options (default: all §5.2 optimizations on).
+    pub fn sql_options(mut self, opts: SqlOptions) -> Self {
+        self.sql_options = opts;
+        self
+    }
+
+    /// Select execution options (default: semi-naive fixpoints, lazy
+    /// programs).
+    pub fn exec_options(mut self, opts: ExecOptions) -> Self {
+        self.exec_options = opts;
+        self
+    }
+
+    /// Select the default rendering dialect for [`PreparedQuery::sql_text`]
+    /// (default: SQL'99).
+    pub fn dialect(mut self, dialect: SqlDialect) -> Self {
+        self.dialect = dialect;
+        self
+    }
+
+    /// Cap the translation/plan cache at `capacity` entries (LRU eviction;
+    /// clamped to at least 1). Default
+    /// [`DEFAULT_PLAN_CACHE_CAPACITY`].
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Finish configuration.
+    pub fn build(self) -> Engine<'d> {
+        Engine {
+            dtd: self.dtd,
+            strategy: self.strategy,
+            sql_options: self.sql_options,
+            exec_options: self.exec_options,
+            dialect: self.dialect,
+            db: None,
+            doc_len: 0,
+            inner: Mutex::new(EngineInner {
+                cache: PlanCache::new(self.cache_capacity),
+                stats: Stats::default(),
+            }),
+        }
+    }
+}
+
+/// A query-serving session over one DTD: owns the shredded store, a
+/// translation/plan cache, and accumulated execution statistics.
+///
+/// ```
+/// use x2s_core::engine::Engine;
+/// use x2s_dtd::samples;
+///
+/// let dtd = samples::dept_simplified();
+/// let mut engine = Engine::new(&dtd);
+/// engine
+///     .load_xml("<dept><course><project/></course></dept>")
+///     .unwrap();
+/// let answers = engine.query("dept//project").unwrap();
+/// assert_eq!(answers.len(), 1);
+/// // the second identical query is served from the plan cache
+/// engine.query("dept//project").unwrap();
+/// assert_eq!(engine.stats().plan_cache_hits, 1);
+/// ```
+///
+/// Load a document *before* preparing queries: [`Engine::load`] takes
+/// `&mut self`, while a [`PreparedQuery`] borrows the engine shared.
+/// Prepared handles stay cheap to re-create — a re-`prepare` of a cached
+/// query is a hash lookup.
+pub struct Engine<'d> {
+    dtd: &'d Dtd,
+    strategy: RecStrategy,
+    sql_options: SqlOptions,
+    exec_options: ExecOptions,
+    dialect: SqlDialect,
+    db: Option<Database>,
+    doc_len: usize,
+    inner: Mutex<EngineInner>,
+}
+
+impl fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("engine lock");
+        f.debug_struct("Engine")
+            .field("strategy", &self.strategy)
+            .field("sql_options", &self.sql_options)
+            .field("exec_options", &self.exec_options)
+            .field("dialect", &self.dialect)
+            .field("doc_len", &self.doc_len)
+            .field("cached_plans", &inner.cache.entries.len())
+            .field("stats", &inner.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'d> Engine<'d> {
+    /// Start configuring an engine for `dtd`.
+    pub fn builder(dtd: &'d Dtd) -> EngineBuilder<'d> {
+        EngineBuilder {
+            dtd,
+            strategy: RecStrategy::default(),
+            sql_options: SqlOptions::default(),
+            exec_options: ExecOptions::default(),
+            dialect: SqlDialect::default(),
+            cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+        }
+    }
+
+    /// An engine with all defaults (CycleEX, full optimizations, SQL'99).
+    pub fn new(dtd: &'d Dtd) -> Self {
+        Engine::builder(dtd).build()
+    }
+
+    /// The DTD this engine serves.
+    pub fn dtd(&self) -> &'d Dtd {
+        self.dtd
+    }
+
+    /// The default rendering dialect.
+    pub fn dialect(&self) -> SqlDialect {
+        self.dialect
+    }
+
+    /// Shred `tree` into the engine's edge store, replacing any previous
+    /// document. Cached translations survive — they depend only on the DTD.
+    ///
+    /// The tree is trusted to be a document *of this engine's DTD* (labels
+    /// interned against it; content models not re-checked). That is the
+    /// right trade for trees the system produced itself — `parse_xml`
+    /// against the same DTD, or the generator. For untrusted text use
+    /// [`load_xml`](Engine::load_xml), which validates and reports
+    /// [`EngineError::Validate`]; a tree shredded under a different DTD
+    /// yields wrong answers, not an error.
+    pub fn load(&mut self, tree: &Tree) -> &mut Self {
+        self.db = Some(edge_database(tree, self.dtd));
+        self.doc_len = tree.len();
+        self
+    }
+
+    /// Parse `xml`, validate it against the engine's DTD, and
+    /// [`load`](Engine::load) it.
+    pub fn load_xml(&mut self, xml: &str) -> Result<&mut Self, EngineError> {
+        let tree = parse_xml(self.dtd, xml)?;
+        validate(&tree, self.dtd)?;
+        Ok(self.load(&tree))
+    }
+
+    /// Adopt an already-shredded edge store (e.g. a benchmark dataset),
+    /// replacing any previous document. Like [`load`](Engine::load), the
+    /// store is trusted to be an edge shredding under this engine's DTD.
+    pub fn load_database(&mut self, db: Database) -> &mut Self {
+        self.doc_len = 0;
+        self.db = Some(db);
+        self
+    }
+
+    /// The loaded edge store, if any.
+    pub fn database(&self) -> Option<&Database> {
+        self.db.as_ref()
+    }
+
+    /// Element count of the loaded document (0 when loaded via
+    /// [`Engine::load_database`] or nothing is loaded).
+    pub fn doc_len(&self) -> usize {
+        self.doc_len
+    }
+
+    /// Prepare `query` with the engine's configured strategy and SQL
+    /// options, consulting the plan cache.
+    pub fn prepare(&self, query: &str) -> Result<PreparedQuery<'_, 'd>, EngineError> {
+        let path = parse_xpath(query)?;
+        self.prepare_path(&path)
+    }
+
+    /// Prepare an already-parsed [`Path`].
+    pub fn prepare_path(&self, path: &Path) -> Result<PreparedQuery<'_, 'd>, EngineError> {
+        self.prepare_with(path, self.strategy.clone(), self.sql_options)
+    }
+
+    /// Prepare with explicit per-query options. Distinct options occupy
+    /// distinct cache entries: a CycleE plan never masquerades as a CycleEX
+    /// plan of the same query.
+    pub fn prepare_with(
+        &self,
+        path: &Path,
+        strategy: RecStrategy,
+        sql_options: SqlOptions,
+    ) -> Result<PreparedQuery<'_, 'd>, EngineError> {
+        let normalized = path.to_string();
+        let key = PlanKey {
+            query: normalized.clone(),
+            strategy: strategy.clone(),
+            sql_options,
+        };
+        {
+            let mut inner = self.inner.lock().expect("engine lock");
+            if let Some(translation) = inner.cache.get(&key) {
+                inner.stats.plan_cache_hits += 1;
+                return Ok(PreparedQuery {
+                    engine: self,
+                    translation,
+                    query: normalized,
+                });
+            }
+            inner.stats.plan_cache_misses += 1;
+        }
+        // Translate outside the lock: CycleEX is the expensive part, and a
+        // concurrent prepare of a *different* query should not wait on it.
+        // Two racing prepares of the same query both translate; the later
+        // insert simply refreshes the entry.
+        let translation = Arc::new(
+            Translator::new(self.dtd)
+                .with_strategy(strategy)
+                .with_sql_options(sql_options)
+                .translate(path)?,
+        );
+        let mut inner = self.inner.lock().expect("engine lock");
+        inner.cache.insert(key, Arc::clone(&translation));
+        Ok(PreparedQuery {
+            engine: self,
+            translation,
+            query: normalized,
+        })
+    }
+
+    /// One-shot convenience: prepare (through the cache) and execute.
+    pub fn query(&self, query: &str) -> Result<BTreeSet<u32>, EngineError> {
+        self.prepare(query)?.execute()
+    }
+
+    /// Translate (through the cache) and render `query` in the engine's
+    /// default dialect, without needing a loaded document.
+    pub fn sql(&self, query: &str) -> Result<String, EngineError> {
+        let dialect = self.dialect;
+        Ok(self.prepare(query)?.sql(dialect))
+    }
+
+    /// Snapshot of the engine's accumulated statistics: plan-cache hit/miss
+    /// counters plus the merged execution counters of every query run.
+    pub fn stats(&self) -> Stats {
+        self.inner.lock().expect("engine lock").stats.clone()
+    }
+
+    /// Zero the accumulated statistics (the plan cache itself is kept).
+    pub fn reset_stats(&self) {
+        self.inner.lock().expect("engine lock").stats = Stats::default();
+    }
+
+    /// Number of currently cached translations.
+    pub fn cached_plans(&self) -> usize {
+        self.inner.lock().expect("engine lock").cache.entries.len()
+    }
+
+    /// Drop every cached translation (counters are kept).
+    pub fn clear_plan_cache(&self) {
+        self.inner
+            .lock()
+            .expect("engine lock")
+            .cache
+            .entries
+            .clear();
+    }
+
+    fn record(&self, stats: &Stats) {
+        self.inner.lock().expect("engine lock").stats.merge(stats);
+    }
+}
+
+/// A translated query handle: executes against the engine's store and
+/// renders SQL, without ever re-translating.
+///
+/// Handles are cheap (an `Arc` around the finished [`Translation`]) and
+/// borrow the engine shared, so any number can be alive at once.
+#[derive(Clone)]
+pub struct PreparedQuery<'e, 'd> {
+    engine: &'e Engine<'d>,
+    translation: Arc<Translation>,
+    query: String,
+}
+
+impl fmt::Debug for PreparedQuery<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("query", &self.query)
+            .field("statements", &self.translation.program.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PreparedQuery<'_, '_> {
+    /// The normalized XPath text this handle was prepared from.
+    pub fn xpath(&self) -> &str {
+        &self.query
+    }
+
+    /// The underlying translation (extended XPath + SQL program).
+    pub fn translation(&self) -> &Translation {
+        &self.translation
+    }
+
+    /// Execute with the engine's configured [`ExecOptions`]; returns answer
+    /// node ids. Statistics accumulate on the engine ([`Engine::stats`]).
+    pub fn execute(&self) -> Result<BTreeSet<u32>, EngineError> {
+        self.execute_with(self.engine.exec_options)
+    }
+
+    /// Execute with explicit options (e.g. eager evaluation or naive
+    /// fixpoints for comparison runs).
+    pub fn execute_with(&self, opts: ExecOptions) -> Result<BTreeSet<u32>, EngineError> {
+        let db = self.engine.db.as_ref().ok_or(EngineError::NoDocument)?;
+        let mut stats = Stats::default();
+        let result = self.translation.try_run(db, opts, &mut stats);
+        self.engine.record(&stats);
+        Ok(result?)
+    }
+
+    /// Render the cached program as SQL in `dialect`.
+    pub fn sql(&self, dialect: SqlDialect) -> String {
+        render_program(&self.translation.program, dialect)
+    }
+
+    /// Render in the engine's default dialect.
+    pub fn sql_text(&self) -> String {
+        self.sql(self.engine.dialect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x2s_dtd::samples;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        // A session type for "heavy traffic" must be shareable across
+        // worker threads once loaded.
+        assert_send_sync::<Engine<'_>>();
+        assert_send_sync::<PreparedQuery<'_, '_>>();
+        assert_send_sync::<EngineError>();
+    }
+
+    #[test]
+    fn execute_without_document_errors() {
+        let d = samples::dept_simplified();
+        let engine = Engine::new(&d);
+        let prepared = engine.prepare("dept//project").unwrap();
+        assert_eq!(prepared.execute().unwrap_err(), EngineError::NoDocument);
+    }
+
+    #[test]
+    fn bad_xpath_is_an_engine_error() {
+        let d = samples::dept_simplified();
+        let engine = Engine::new(&d);
+        assert!(matches!(
+            engine.prepare("dept//["),
+            Err(EngineError::Xpath(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_document_is_a_validate_error() {
+        let d = samples::dept_simplified();
+        let mut engine = Engine::new(&d);
+        // `student` may not appear directly under `dept`.
+        let err = engine.load_xml("<dept><student/></dept>").unwrap_err();
+        assert!(matches!(err, EngineError::Validate(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn normalization_unifies_spelling_variants() {
+        let d = samples::dept_simplified();
+        let mut engine = Engine::new(&d);
+        engine
+            .load_xml("<dept><course><project/></course></dept>")
+            .unwrap();
+        let a = engine.prepare("dept//project").unwrap();
+        let b = engine.prepare("dept // project").unwrap();
+        assert_eq!(a.xpath(), b.xpath());
+        let stats = engine.stats();
+        assert_eq!((stats.plan_cache_misses, stats.plan_cache_hits), (1, 1));
+    }
+
+    #[test]
+    fn plan_cache_lru_evicts_least_recently_used() {
+        let mut cache = PlanCache::new(2);
+        let d = samples::dept_simplified();
+        let tr = |q: &str| {
+            Arc::new(
+                Translator::new(&d)
+                    .translate(&parse_xpath(q).unwrap())
+                    .unwrap(),
+            )
+        };
+        let key = |q: &str| PlanKey {
+            query: q.to_string(),
+            strategy: RecStrategy::CycleEx,
+            sql_options: SqlOptions::default(),
+        };
+        cache.insert(key("dept/course"), tr("dept/course"));
+        cache.insert(key("dept//project"), tr("dept//project"));
+        // touch the first entry so the second becomes LRU
+        assert!(cache.get(&key("dept/course")).is_some());
+        cache.insert(key("dept//course"), tr("dept//course"));
+        assert!(cache.get(&key("dept/course")).is_some());
+        assert!(cache.get(&key("dept//project")).is_none(), "LRU evicted");
+        assert!(cache.get(&key("dept//course")).is_some());
+    }
+}

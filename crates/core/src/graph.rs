@@ -114,7 +114,9 @@ impl<'a> TransGraph<'a> {
 
     /// All nodes reachable from `a` including `a` itself (the `//` targets).
     pub fn reach_or_self_set(&self, a: TNode) -> Vec<TNode> {
-        (0..self.len()).filter(|&b| self.reaches_or_self(a, b)).collect()
+        (0..self.len())
+            .filter(|&b| self.reaches_or_self(a, b))
+            .collect()
     }
 
     /// Nodes lying on some path `a →* x →* b` (used by the SQLGen-R

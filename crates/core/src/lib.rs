@@ -27,11 +27,15 @@
 //!   materialized identity relation, with the §5.2 optimizations (pushing
 //!   selections into LFP, root-filter pushdown, lazy programs);
 //! * [`pipeline`] — the end-to-end [`pipeline::Translator`];
-//! * [`views`] — query answering over virtual XML views (§3.4).
+//! * [`views`] — query answering over virtual XML views (§3.4);
+//! * [`engine`] — the session-level front door: [`engine::Engine`] wraps
+//!   the whole pipeline behind prepared queries, an LRU translation/plan
+//!   cache, and pluggable SQL dialects.
 
 pub mod cyclee;
 pub mod cycleex;
 pub mod e2sql;
+pub mod engine;
 pub mod graph;
 pub mod pipeline;
 pub mod views;
@@ -40,7 +44,8 @@ pub mod x2e;
 pub use cyclee::{rec_regular, CycleEError};
 pub use cycleex::RecTable;
 pub use e2sql::{exp_to_sql, SqlOptions};
+pub use engine::{Engine, EngineBuilder, EngineError, PreparedQuery};
 pub use graph::{TransGraph, DOC};
-pub use pipeline::{RecStrategy, TranslateError, Translator};
+pub use pipeline::{RecStrategy, TranslateError, Translation, Translator};
 pub use views::rewrite_for_view;
 pub use x2e::{xpath_to_exp, XpathTranslation};

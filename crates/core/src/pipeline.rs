@@ -6,11 +6,15 @@ use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use x2s_dtd::Dtd;
 use x2s_exp::ExtendedQuery;
-use x2s_rel::{Database, ExecOptions, Program, Stats};
+use x2s_rel::{Database, ExecError, ExecOptions, Program, Stats};
 use x2s_xpath::Path;
 
 /// Which algorithm instantiates `rec(A, B)` for the descendant axis.
-#[derive(Clone, Debug, Default)]
+///
+/// `Eq`/`Hash` allow the engine's plan cache to key translations by
+/// strategy, so CycleE- and CycleEX-translated plans of the same query
+/// occupy distinct cache entries.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub enum RecStrategy {
     /// CycleEX (the paper's contribution; default).
     #[default]
@@ -40,7 +44,10 @@ impl fmt::Display for TranslateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranslateError::RecBlowup { cap, reached } => {
-                write!(f, "rec(A,B) expression blew past the cap: {reached} > {cap}")
+                write!(
+                    f,
+                    "rec(A,B) expression blew past the cap: {reached} > {cap}"
+                )
             }
             TranslateError::UnboundVariable(v) => write!(f, "unbound variable X{v}"),
         }
@@ -61,15 +68,30 @@ pub struct Translation {
 
 impl Translation {
     /// Execute against an edge-shredded database; returns answer node ids.
+    ///
+    /// Execution can fail when the database does not carry the relations the
+    /// program scans — e.g. a store shredded under a different DTD, or a
+    /// hand-built [`Database`] missing `R_A` tables. Those are caller errors,
+    /// not translation bugs, so they surface as [`ExecError`] rather than a
+    /// panic.
+    pub fn try_run(
+        &self,
+        db: &Database,
+        opts: ExecOptions,
+        stats: &mut Stats,
+    ) -> Result<BTreeSet<u32>, ExecError> {
+        let rel = self.program.execute(db, opts, stats)?;
+        Ok(rel.tuples().iter().filter_map(|t| t[0].as_id()).collect())
+    }
+
+    /// Execute against an edge-shredded database; panics on execution errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_run`, which surfaces execution errors instead of panicking"
+    )]
     pub fn run(&self, db: &Database, opts: ExecOptions, stats: &mut Stats) -> BTreeSet<u32> {
-        let rel = self
-            .program
-            .execute(db, opts, stats)
-            .expect("translated programs execute on edge-shredded stores");
-        rel.tuples()
-            .iter()
-            .filter_map(|t| t[0].as_id())
-            .collect()
+        self.try_run(db, opts, stats)
+            .expect("translated programs execute on edge-shredded stores")
     }
 }
 
@@ -150,7 +172,7 @@ mod tests {
                         .translate(&path)
                         .unwrap();
                     let mut stats = Stats::default();
-                    let got = tr.run(&db, ExecOptions::default(), &mut stats);
+                    let got = tr.try_run(&db, ExecOptions::default(), &mut stats).unwrap();
                     assert_eq!(got, native, "query {q}, {strategy:?}, push={push}");
                 }
             }
@@ -181,7 +203,14 @@ mod tests {
         check_sql_equiv(
             &d,
             "<a><b><a><c><d/><a/></c></a></b><c><d/></c></a>",
-            &["a/b//c/d", "a[//c]//d", "a[not //c]", "a[not //c or (b and //d)]", "a//d", "a//a"],
+            &[
+                "a/b//c/d",
+                "a[//c]//d",
+                "a[not //c]",
+                "a[not //c or (b and //d)]",
+                "a//d",
+                "a//a",
+            ],
         );
     }
 
@@ -203,16 +232,18 @@ mod tests {
         let path = parse_xpath("dept//project").unwrap();
         let tr = Translator::new(&d).translate(&path).unwrap();
         let mut lazy_stats = Stats::default();
-        tr.run(&db, ExecOptions::default(), &mut lazy_stats);
+        tr.try_run(&db, ExecOptions::default(), &mut lazy_stats)
+            .unwrap();
         let mut eager_stats = Stats::default();
-        tr.run(
+        tr.try_run(
             &db,
             ExecOptions {
                 lazy: false,
                 ..Default::default()
             },
             &mut eager_stats,
-        );
+        )
+        .unwrap();
         assert!(lazy_stats.stmts_evaluated <= eager_stats.stmts_evaluated);
     }
 
@@ -225,6 +256,33 @@ mod tests {
         assert!(!tr.program.is_empty());
         let counts = tr.program.op_counts();
         assert!(counts.lfp >= 1, "descendant axis needs at least one LFP");
+    }
+
+    #[test]
+    fn try_run_surfaces_missing_relations() {
+        // Execute a dept-translated program against an empty store: the
+        // program scans relations that do not exist, and the error must
+        // come back as a Result, not a panic.
+        let d = samples::dept_simplified();
+        let path = parse_xpath("dept//project").unwrap();
+        let tr = Translator::new(&d).translate(&path).unwrap();
+        let mut stats = Stats::default();
+        let err = tr
+            .try_run(&Database::new(), ExecOptions::default(), &mut stats)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::UnknownRelation(_)), "got {err:?}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_shim_still_works() {
+        let d = samples::dept_simplified();
+        let tree = parse_xml(&d, "<dept><course><project/></course></dept>").unwrap();
+        let db = edge_database(&tree, &d);
+        let path = parse_xpath("dept//project").unwrap();
+        let tr = Translator::new(&d).translate(&path).unwrap();
+        let mut stats = Stats::default();
+        assert_eq!(tr.run(&db, ExecOptions::default(), &mut stats).len(), 1);
     }
 
     #[test]

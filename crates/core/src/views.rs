@@ -5,7 +5,7 @@
 //! σ extracts the sub-structure V ⊨ D₁ (same root, same paths). An XPath
 //! query Q on the virtual view V must be answered on T directly — but
 //! XPath is not closed under this rewriting, and regular XPath pays an
-//! exponential price (Examples 3.2/3.3, [22]).
+//! exponential price (Examples 3.2/3.3, \[22\]).
 //!
 //! The paper's observation: `XPathToEXp` already produces an extended XPath
 //! query equivalent to Q over *all* DTDs containing D₁ (Theorem 4.2) — in
@@ -104,13 +104,14 @@ mod tests {
         // return C children of B nodes.
         let view_dtd = samples::example_3_2_view();
         let source_dtd = samples::example_3_2_source();
-        let source = parse_xml(
-            &source_dtd,
-            "<A><B><A><C/></A><C/></B><C/></A>",
-        )
-        .unwrap();
+        let source = parse_xml(&source_dtd, "<A><B><A><C/></A><C/></B><C/></A>").unwrap();
         // B's C child exists only in the source
-        check_view_equiv(&view_dtd, &source_dtd, &source, &["//.", "//C", "//A", "A/B/A/C"]);
+        check_view_equiv(
+            &view_dtd,
+            &source_dtd,
+            &source,
+            &["//.", "//C", "//A", "A/B/A/C"],
+        );
         // explicit: the C under B is excluded
         let path = parse_xpath("//C").unwrap();
         let ans = answer_on_source(&path, &view_dtd, &source, &source_dtd).unwrap();
@@ -144,10 +145,7 @@ mod tests {
         // BIOML a ⊂ BIOML d: query the small view over full-data documents.
         let view_dtd = samples::bioml_a();
         let source_dtd = samples::bioml_d();
-        let gen = x2s_xml::Generator::new(
-            &source_dtd,
-            GeneratorConfig::shaped(6, 3, Some(400)),
-        );
+        let gen = x2s_xml::Generator::new(&source_dtd, GeneratorConfig::shaped(6, 3, Some(400)));
         let source = gen.generate();
         check_view_equiv(
             &view_dtd,
@@ -160,11 +158,7 @@ mod tests {
     #[test]
     fn identity_view_is_identity() {
         let d = samples::dept_simplified();
-        let t = parse_xml(
-            &d,
-            "<dept><course><student/><project/></course></dept>",
-        )
-        .unwrap();
+        let t = parse_xml(&d, "<dept><course><student/><project/></course></dept>").unwrap();
         let (view, origin) = extract_view(&t, &d, &d);
         assert_eq!(view.len(), t.len());
         assert_eq!(origin.len(), t.len());

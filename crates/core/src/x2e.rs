@@ -147,10 +147,12 @@ impl<'a> X2e<'a> {
                 if let Some(e) = self.cyclee_cache.get(&(a, c)) {
                     return Ok(e.clone());
                 }
-                let full = rec_regular(self.g, a, c, cap)
-                    .map_err(|CycleEError::TooLarge { cap, reached }| {
-                        TranslateError::RecBlowup { cap, reached }
-                    })?;
+                let full = rec_regular(self.g, a, c, cap).map_err(
+                    |CycleEError::TooLarge { cap, reached }| TranslateError::RecBlowup {
+                        cap,
+                        reached,
+                    },
+                )?;
                 let (_, eps_free) = split_eps(full);
                 self.cyclee_cache.insert((a, c), eps_free.clone());
                 Ok(eps_free)
@@ -170,7 +172,11 @@ impl<'a> X2e<'a> {
                         Exp::EmptySet,
                         format!("external rec({}, {})", self.g.name(a), self.g.name(c)),
                     );
-                    self.external_recs.push(ExternalRec { var, from: a, to: c });
+                    self.external_recs.push(ExternalRec {
+                        var,
+                        from: a,
+                        to: c,
+                    });
                     Exp::Var(var)
                 } else {
                     Exp::EmptySet
@@ -378,11 +384,7 @@ impl<'a> X2e<'a> {
             *exp = match simplified {
                 Exp::Epsilon | Exp::EmptySet | Exp::Label(_) | Exp::Var(_) => simplified,
                 other => {
-                    let note = format!(
-                        "x2e({what}) {} → {}",
-                        self.g.name(*a),
-                        self.g.name(*b)
-                    );
+                    let note = format!("x2e({what}) {} → {}", self.g.name(*a), self.g.name(*b));
                     Exp::Var(self.query.push_equation(other, note))
                 }
             };
@@ -579,11 +581,7 @@ mod tests {
     #[test]
     fn cross_exp1_queries_equivalent() {
         let d = samples::cross();
-        let t = parse_xml(
-            &d,
-            "<a><b><a><c><d/></c></a></b><c><a/><d/></c></a>",
-        )
-        .unwrap();
+        let t = parse_xml(&d, "<a><b><a><c><d/></c></a></b><c><a/><d/></c></a>").unwrap();
         for q in [
             "a/b//c/d",
             "a[//c]//d",

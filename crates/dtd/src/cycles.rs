@@ -159,11 +159,7 @@ mod tests {
 
     #[test]
     fn cycles_are_simple_and_canonical() {
-        let (_, g) = graph_of(
-            &[("a", "b"), ("b", "c"), ("c", "a")],
-            "a",
-            &["a", "b", "c"],
-        );
+        let (_, g) = graph_of(&[("a", "b"), ("b", "c"), ("c", "a")], "a", &["a", "b", "c"]);
         let cycles = simple_cycles(&g);
         assert_eq!(cycles.len(), 1);
         let c = &cycles[0];

@@ -77,9 +77,7 @@ impl ContentModel {
             ContentModel::Text => true,
             ContentModel::Empty | ContentModel::Elem(_) => false,
             ContentModel::Seq(ps) | ContentModel::Choice(ps) => ps.iter().any(|p| p.allows_text()),
-            ContentModel::Star(p) | ContentModel::Plus(p) | ContentModel::Opt(p) => {
-                p.allows_text()
-            }
+            ContentModel::Star(p) | ContentModel::Plus(p) | ContentModel::Opt(p) => p.allows_text(),
         }
     }
 }
@@ -396,7 +394,10 @@ mod tests {
     fn tiny() -> Dtd {
         DtdBuilder::new("a")
             .elem("a", ModelSpec::star_of("b"))
-            .elem("b", ModelSpec::Seq(vec![ModelSpec::elem("c"), ModelSpec::Text]))
+            .elem(
+                "b",
+                ModelSpec::Seq(vec![ModelSpec::elem("c"), ModelSpec::Text]),
+            )
             .elem("c", ModelSpec::Empty)
             .build()
             .unwrap()

@@ -116,7 +116,10 @@ impl<'a> Parser<'a> {
                 return Ok(());
             }
         }
-        Err(self.err(&format!("unterminated declaration, expected `{}`", c as char)))
+        Err(self.err(&format!(
+            "unterminated declaration, expected `{}`",
+            c as char
+        )))
     }
 
     fn name(&mut self) -> Result<String, DtdError> {
@@ -267,7 +270,10 @@ mod tests {
 
     #[test]
     fn choices_and_operators() {
-        let d = parse_dtd("<!ELEMENT a ((b | c)+, d?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>").unwrap();
+        let d = parse_dtd(
+            "<!ELEMENT a ((b | c)+, d?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>",
+        )
+        .unwrap();
         let g = DtdGraph::of(&d);
         let a = d.elem("a").unwrap();
         assert_eq!(g.children(a).len(), 3);

@@ -251,7 +251,11 @@ mod tests {
         let d = dept();
         let g = DtdGraph::of(&d);
         assert_eq!(g.node_count(), 14);
-        assert_eq!(cycle_count(&g), 3, "course↔prereq, course↔takenBy↔…, course↔project↔…");
+        assert_eq!(
+            cycle_count(&g),
+            3,
+            "course↔prereq, course↔takenBy↔…, course↔project↔…"
+        );
         assert!(d.is_recursive());
     }
 

@@ -173,9 +173,7 @@ impl Exp {
     pub fn size(&self) -> usize {
         match self {
             Exp::Epsilon | Exp::EmptySet | Exp::Label(_) | Exp::Var(_) => 1,
-            Exp::Seq(parts) | Exp::Union(parts) => {
-                1 + parts.iter().map(Exp::size).sum::<usize>()
-            }
+            Exp::Seq(parts) | Exp::Union(parts) => 1 + parts.iter().map(Exp::size).sum::<usize>(),
             Exp::Star(e) => 1 + e.size(),
             Exp::Qualified(e, q) => 1 + e.size() + q.size(),
         }
@@ -401,7 +399,10 @@ mod tests {
     #[test]
     fn op_counts_totals() {
         // (a/b ∪ c)* has 1 star, 1 seq, 1 union
-        let e = Exp::label("a").then(Exp::label("b")).or(Exp::label("c")).star();
+        let e = Exp::label("a")
+            .then(Exp::label("b"))
+            .or(Exp::label("c"))
+            .star();
         let c = e.op_counts();
         assert_eq!((c.stars, c.seqs, c.unions), (1, 1, 1));
         assert_eq!(c.total(), 3);

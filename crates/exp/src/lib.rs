@@ -19,9 +19,9 @@
 //!   evaluator over XML trees (binary-relation semantics) used both for
 //!   testing (Theorem 4.2's equivalence) and for answering queries on
 //!   virtual XML views natively (§3.4);
-//! * [`simplify`] — ε/∅ rewriting, flattening, operand deduplication;
+//! * [`simplify`](mod@simplify) — ε/∅ rewriting, flattening, operand deduplication;
 //! * [`regular`] — variable elimination into regular XPath (size-capped, to
-//!   demonstrate the exponential lower bound the paper cites from [18]);
+//!   demonstrate the exponential lower bound the paper cites from \[18\]);
 //! * operator counting ([`Exp::op_counts`]) matching the accounting of
 //!   Examples 4.1–4.2 and Table 5.
 

@@ -438,11 +438,7 @@ mod tests {
         (d, t)
     }
 
-    fn label_counts(
-        tree: &Tree,
-        dtd: &Dtd,
-        set: &BTreeSet<NodeId>,
-    ) -> HashMap<String, usize> {
+    fn label_counts(tree: &Tree, dtd: &Dtd, set: &BTreeSet<NodeId>) -> HashMap<String, usize> {
         let mut m = HashMap::new();
         for &n in set {
             *m.entry(dtd.name(tree.label(n)).to_string()).or_insert(0) += 1;
@@ -506,12 +502,9 @@ mod tests {
         );
         assert_eq!(q.eval_from_document(&t, &d).len(), 1);
         // negation
-        let q = ExtendedQuery::of(
-            Exp::label("dept").then(Exp::label("course")).then(
-                Exp::label("student")
-                    .qualified(EQual::Not(Box::new(EQual::exp(Exp::label("course"))))),
-            ),
-        );
+        let q = ExtendedQuery::of(Exp::label("dept").then(Exp::label("course")).then(
+            Exp::label("student").qualified(EQual::Not(Box::new(EQual::exp(Exp::label("course"))))),
+        ));
         assert_eq!(q.eval_from_document(&t, &d).len(), 1);
     }
 

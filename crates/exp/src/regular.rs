@@ -106,12 +106,11 @@ mod tests {
                 .star(),
             "closure",
         );
-        q.result = Exp::label("dept").then(Exp::label("course")).then(Exp::Var(x));
+        q.result = Exp::label("dept")
+            .then(Exp::label("course"))
+            .then(Exp::Var(x));
         let r = to_regular(&q, 10_000).unwrap();
         let q2 = ExtendedQuery::of(r);
-        assert_eq!(
-            q.eval_from_document(&t, &d),
-            q2.eval_from_document(&t, &d)
-        );
+        assert_eq!(q.eval_from_document(&t, &d), q2.eval_from_document(&t, &d));
     }
 }

@@ -144,7 +144,13 @@ mod tests {
     fn qualifier_folding() {
         let t = Exp::label("a").qualified(EQual::exp(Exp::Epsilon));
         // [ε] is always satisfied
-        assert_eq!(simplify(&Exp::Qualified(Box::new(Exp::label("a")), EQual::exp(Exp::Epsilon))), Exp::label("a"));
+        assert_eq!(
+            simplify(&Exp::Qualified(
+                Box::new(Exp::label("a")),
+                EQual::exp(Exp::Epsilon)
+            )),
+            Exp::label("a")
+        );
         let _ = t;
         let f = Exp::Qualified(Box::new(Exp::label("a")), EQual::exp(Exp::EmptySet));
         assert_eq!(simplify(&f), Exp::EmptySet);

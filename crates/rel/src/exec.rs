@@ -46,7 +46,7 @@ impl Database {
 }
 
 /// Execution options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ExecOptions {
     /// Use naive (full re-join) instead of semi-naive (delta) fixpoint
     /// iteration. Default false: semi-naive, which is what production
@@ -255,17 +255,13 @@ pub fn hash_join(
         stats.tuples_emitted += out.len() as u64;
         return out;
     }
-    let key_of = |t: &Tuple, cols: &[usize]| -> Vec<Value> {
-        cols.iter().map(|&c| t[c].clone()).collect()
-    };
+    let key_of =
+        |t: &Tuple, cols: &[usize]| -> Vec<Value> { cols.iter().map(|&c| t[c].clone()).collect() };
     let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
     let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
     let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(right.len());
     for (i, t) in right.tuples().iter().enumerate() {
-        table
-            .entry(key_of(t, &rcols))
-            .or_default()
-            .push(i as u32);
+        table.entry(key_of(t, &rcols)).or_default().push(i as u32);
     }
     for t in left.tuples() {
         let key = key_of(t, &lcols);

@@ -43,10 +43,7 @@ fn explain_into(plan: &Plan, level: usize, out: &mut String) {
             explain_into(input, level + 1, out);
         }
         Plan::Project { input, cols } => {
-            let cols_text: Vec<String> = cols
-                .iter()
-                .map(|(i, n)| format!("c{i}→{n}"))
-                .collect();
+            let cols_text: Vec<String> = cols.iter().map(|(i, n)| format!("c{i}→{n}")).collect();
             let _ = writeln!(out, "{pad}Project [{}]", cols_text.join(", "));
             explain_into(input, level + 1, out);
         }

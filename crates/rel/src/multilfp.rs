@@ -10,7 +10,7 @@
 //! performs k joins and k unions inside the recursion black box**, with an
 //! `Rid` tag on each tuple recording which relation the reached node belongs
 //! to so the next round joins "right parent/child tuples". This is the
-//! engine-level heart of the SQLGen-R baseline [39].
+//! engine-level heart of the SQLGen-R baseline \[39\].
 //!
 //! Tuples are `(S, T, Rid)`: the origin node `S` (so ancestor/descendant
 //! *pairs* are produced, as the evaluation requires), the reached node `T`,

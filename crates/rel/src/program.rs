@@ -90,9 +90,10 @@ impl Program {
         opts: ExecOptions,
         stats: &mut Stats,
     ) -> Result<Relation, ExecError> {
-        let result = self.result.ok_or(ExecError::UnknownTemp(TempId(u32::MAX)))?;
-        let by_target: HashMap<TempId, &Stmt> =
-            self.stmts.iter().map(|s| (s.target, s)).collect();
+        let result = self
+            .result
+            .ok_or(ExecError::UnknownTemp(TempId(u32::MAX)))?;
+        let by_target: HashMap<TempId, &Stmt> = self.stmts.iter().map(|s| (s.target, s)).collect();
         let mut env: HashMap<TempId, Relation> = HashMap::new();
         if opts.lazy {
             materialize(result, &by_target, db, opts, &mut env, stats)?;
@@ -232,7 +233,9 @@ mod tests {
         let mut prog = Program::new();
         let base = prog.push(Plan::Scan("E".into()), "base");
         let join = prog.push(
-            Plan::Temp(base).join_on(Plan::Temp(base), 1, 0).project(vec![(0, "F"), (3, "T")]),
+            Plan::Temp(base)
+                .join_on(Plan::Temp(base), 1, 0)
+                .project(vec![(0, "F"), (3, "T")]),
             "E∘E",
         );
         prog.result = Some(join);
@@ -258,7 +261,11 @@ mod tests {
         let mut prog = Program::new();
         let base = prog.push(
             Plan::Union {
-                inputs: vec![Plan::Scan("E".into()), Plan::Scan("E".into()), Plan::Scan("E".into())],
+                inputs: vec![
+                    Plan::Scan("E".into()),
+                    Plan::Scan("E".into()),
+                    Plan::Scan("E".into()),
+                ],
                 distinct: true,
             },
             "u",

@@ -18,9 +18,10 @@ use crate::program::Program;
 use std::fmt::Write as _;
 
 /// Target SQL dialect.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SqlDialect {
-    /// SQL'99 recursive CTEs.
+    /// SQL'99 recursive CTEs (the portable default).
+    #[default]
     Sql99,
     /// IBM DB2 `WITH…RECURSIVE` style.
     Db2,
@@ -78,10 +79,7 @@ pub fn render_plan(plan: &Plan, dialect: SqlDialect, level: usize) -> String {
             render_pred(pred, "s")
         ),
         Plan::Project { input, cols } => {
-            let exprs: Vec<String> = cols
-                .iter()
-                .map(|(i, n)| format!("p.c{i} AS {n}"))
-                .collect();
+            let exprs: Vec<String> = cols.iter().map(|(i, n)| format!("p.c{i} AS {n}")).collect();
             format!(
                 "{pad}SELECT {} FROM (\n{}\n{pad}) p",
                 exprs.join(", "),
@@ -94,10 +92,7 @@ pub fn render_plan(plan: &Plan, dialect: SqlDialect, level: usize) -> String {
             on,
             kind,
         } => {
-            let conds: Vec<String> = on
-                .iter()
-                .map(|(l, r)| format!("l.c{l} = r.c{r}"))
-                .collect();
+            let conds: Vec<String> = on.iter().map(|(l, r)| format!("l.c{l} = r.c{r}")).collect();
             let cond = conds.join(" AND ");
             match kind {
                 JoinKind::Inner => format!(
@@ -203,7 +198,9 @@ fn render_multilfp(spec: &crate::plan::MultiLfpSpec, dialect: SqlDialect, level:
     let mut init_parts = Vec::new();
     for (tag, plan) in &spec.init {
         let body = render_plan(plan, dialect, level + 1);
-        init_parts.push(format!("{pad}  SELECT i.c0 AS S, i.c1 AS T, '{tag}' AS Rid FROM (\n{body}\n{pad}  ) i"));
+        init_parts.push(format!(
+            "{pad}  SELECT i.c0 AS S, i.c1 AS T, '{tag}' AS Rid FROM (\n{body}\n{pad}  ) i"
+        ));
     }
     let init = init_parts.join(&format!("\n{pad}  UNION ALL\n"));
     let mut arms = String::new();

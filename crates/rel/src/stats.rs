@@ -35,6 +35,12 @@ pub struct Stats {
     pub stmts_evaluated: usize,
     /// Statements skipped by lazy evaluation.
     pub stmts_skipped: usize,
+    /// Prepared-query plan-cache hits (a prepare served an existing
+    /// translation, skipping CycleEX and SQL generation entirely).
+    pub plan_cache_hits: usize,
+    /// Prepared-query plan-cache misses (a prepare ran the full translation
+    /// pipeline).
+    pub plan_cache_misses: usize,
 }
 
 impl Stats {
@@ -52,6 +58,8 @@ impl Stats {
         self.tuples_emitted += other.tuples_emitted;
         self.stmts_evaluated += other.stmts_evaluated;
         self.stmts_skipped += other.stmts_skipped;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
     }
 }
 
@@ -59,7 +67,7 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped",
+            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss",
             self.joins,
             self.unions,
             self.lfp_invocations,
@@ -69,6 +77,8 @@ impl fmt::Display for Stats {
             self.tuples_emitted,
             self.stmts_evaluated,
             self.stmts_skipped,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
         )
     }
 }

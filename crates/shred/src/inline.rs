@@ -1,4 +1,4 @@
-//! The shared-inlining technique of Shanmugasundaram et al. [59]
+//! The shared-inlining technique of Shanmugasundaram et al. \[59\]
 //! (paper §2.3):
 //!
 //! "the inlining algorithm partitions a dtd graph G_D into subgraphs
@@ -30,7 +30,7 @@ pub struct InlineSchema {
     pub host: Vec<ElemId>,
     /// Relation name per root (`I_<name>`).
     pub relation_names: HashMap<ElemId, String>,
-    /// Column layout per root: `ID`, `parentId`, [`parentCode`], then one
+    /// Column layout per root: `ID`, `parentId`, optionally `parentCode`, then one
     /// column per inlined type (named by the inlined type).
     pub columns: HashMap<ElemId, Vec<String>>,
     /// Whether the root's relation carries a `parentCode` column.
@@ -291,7 +291,15 @@ mod tests {
         let s = InlineSchema::of(&d);
         let course = d.elem("course").unwrap();
         let cols = &s.columns[&course];
-        for expected in ["ID", "parentId", "parentCode", "cno", "title", "prereq", "takenBy"] {
+        for expected in [
+            "ID",
+            "parentId",
+            "parentCode",
+            "cno",
+            "title",
+            "prereq",
+            "takenBy",
+        ] {
             assert!(
                 cols.iter().any(|c| c == expected),
                 "missing column {expected} in {cols:?}"

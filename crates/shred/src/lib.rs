@@ -11,7 +11,7 @@
 //!   mapping τ maps each element type A to a relation R_A …  this assumption
 //!   does not lose generality.")
 //! * [`inline`] — the **shared-inlining** technique of Shanmugasundaram et
-//!   al. [59] that the simplification abstracts: the DTD graph is
+//!   al. \[59\] that the simplification abstracts: the DTD graph is
 //!   partitioned into subgraphs with no `*`-labelled internal edges, each
 //!   subgraph becomes one relation with `ID`/`parentId` (and `parentCode`
 //!   when a subgraph has several incoming edges), and non-repeating

@@ -1,5 +1,5 @@
 #![warn(missing_docs)]
-//! **SQLGen-R** — the baseline of Krishnamurthy et al. [39] (paper §3.1):
+//! **SQLGen-R** — the baseline of Krishnamurthy et al. \[39\] (paper §3.1):
 //! translating recursive path queries over recursive DTDs into SQL'99
 //! `WITH…RECURSIVE`.
 //!
@@ -13,7 +13,7 @@
 //! As in the paper's evaluation (§6), SQLGen-R is run *through the same
 //! translation framework* as the other approaches: `XPathToEXp` is invoked
 //! in `External` rec mode, and every opaque `rec(A,B)` placeholder is
-//! overridden with a [`MultiLfpSpec`] plan ("we tested SQLGen-R by
+//! overridden with a [`MultiLfpSpec`](x2s_rel::MultiLfpSpec) plan ("we tested SQLGen-R by
 //! generating a with…recursive query for each rec(A,B) in our translation
 //! framework"). This is what lets Figs. 12–17 compare R/E/X on identical
 //! query shapes.

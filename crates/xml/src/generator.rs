@@ -249,15 +249,14 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let d = samples::cross();
-        let a = Generator::new(&d, GeneratorConfig::shaped(8, 4, Some(2000)).with_seed(1))
-            .generate();
-        let b = Generator::new(&d, GeneratorConfig::shaped(8, 4, Some(2000)).with_seed(2))
-            .generate();
+        let a =
+            Generator::new(&d, GeneratorConfig::shaped(8, 4, Some(2000)).with_seed(1)).generate();
+        let b =
+            Generator::new(&d, GeneratorConfig::shaped(8, 4, Some(2000)).with_seed(2)).generate();
         // identical sizes possible, but shapes should differ somewhere
         let differs = a.len() != b.len()
-            || a.node_ids().any(|n| {
-                a.label(n) != b.label(n) || a.children(n).len() != b.children(n).len()
-            });
+            || a.node_ids()
+                .any(|n| a.label(n) != b.label(n) || a.children(n).len() != b.children(n).len());
         assert!(differs);
     }
 

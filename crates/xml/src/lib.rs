@@ -7,7 +7,7 @@
 //! * [`parser`] / [`writer`] — a minimal XML reader/writer for documents over
 //!   a given DTD (elements and text only; the paper does not consider
 //!   attributes);
-//! * [`validate`] — content-model conformance checking via Brzozowski
+//! * [`validate`](mod@validate) — content-model conformance checking via Brzozowski
 //!   derivatives (an "xml tree of the dtd" is a document conforming to it);
 //! * [`generator`] — a reimplementation of the IBM AlphaWorks XML Generator
 //!   semantics the paper's evaluation relies on (§6 "Testing data"):

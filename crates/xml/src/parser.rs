@@ -46,7 +46,11 @@ impl fmt::Display for XmlError {
             XmlError::UnknownElement { offset, name } => {
                 write!(f, "unknown element <{name}> at byte {offset}")
             }
-            XmlError::Mismatched { offset, open, close } => {
+            XmlError::Mismatched {
+                offset,
+                open,
+                close,
+            } => {
                 write!(f, "mismatched </{close}> for <{open}> at byte {offset}")
             }
         }

@@ -53,7 +53,10 @@ impl fmt::Display for ValidationError {
                 "children of node {node:?} (<{elem}>) do not match its content model: [{children}]"
             ),
             ValidationError::UnexpectedText { node, elem } => {
-                write!(f, "node {node:?} (<{elem}>) has text but no #PCDATA in its model")
+                write!(
+                    f,
+                    "node {node:?} (<{elem}>) has text but no #PCDATA in its model"
+                )
             }
         }
     }

@@ -254,9 +254,7 @@ mod tests {
         // give c3 a value
         let target = t
             .node_ids()
-            .find(|&n| {
-                t.label(n) == d.elem("course").unwrap() && t.children(n).is_empty()
-            })
+            .find(|&n| t.label(n) == d.elem("course").unwrap() && t.children(n).is_empty())
             .unwrap();
         t.set_value(target, Some("cs66"));
         let q = parse_xpath("dept//course[text()=\"cs66\"]").unwrap();

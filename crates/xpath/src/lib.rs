@@ -9,7 +9,7 @@
 //! This crate provides the AST ([`Path`], [`Qual`]), a parser
 //! ([`parse_xpath`]) accepting both ASCII (`|`, `not`, `and`, `or`) and the
 //! paper's symbols (`∪`, `¬`, `∧`, `∨`), and a direct in-memory evaluator
-//! ([`eval`], [`eval_from_document`]) over `x2s_xml::Tree` documents. The
+//! ([`eval()`](eval()), [`eval_from_document`]) over `x2s_xml::Tree` documents. The
 //! evaluator is the *correctness oracle* for the whole reproduction: every
 //! translation path (extended XPath, SQL over shredded relations, the
 //! SQLGen-R baseline) is tested against it.

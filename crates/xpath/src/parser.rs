@@ -25,7 +25,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XPath parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XPath parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -369,7 +373,10 @@ mod tests {
     #[test]
     fn simple_paths() {
         assert_eq!(p("dept"), Path::label("dept"));
-        assert_eq!(p("dept/course"), Path::label("dept").then(Path::label("course")));
+        assert_eq!(
+            p("dept/course"),
+            Path::label("dept").then(Path::label("course"))
+        );
         assert_eq!(
             p("dept//project"),
             Path::label("dept").then_descendant(Path::label("project"))
@@ -389,7 +396,12 @@ mod tests {
         let expect = Path::label("a").union(Path::label("b"));
         assert_eq!(p("a | b"), expect);
         assert_eq!(p("a ∪ b"), expect);
-        assert_eq!(p("(a | b)/c"), Path::label("a").union(Path::label("b")).then(Path::label("c")));
+        assert_eq!(
+            p("(a | b)/c"),
+            Path::label("a")
+                .union(Path::label("b"))
+                .then(Path::label("c"))
+        );
     }
 
     #[test]

@@ -4,28 +4,36 @@
 //! wins — joins and unions run once outside the fixpoint instead of once
 //! per iteration inside SQL'99 recursion.
 //!
+//! The two in-framework approaches (CycleE, CycleEX) go through one
+//! [`Engine`] session — same store, per-query strategy override, stats from
+//! the engine. The SQLGen-R baseline is a different translator entirely, so
+//! it uses the low-level `Translation::try_run` path against the engine's
+//! store.
+//!
 //! ```sh
 //! cargo run --release --example biology
 //! ```
 
 use std::time::Instant;
 use xpath2sql::dtd::samples;
-use xpath2sql::rel::{ExecOptions, Stats};
-use xpath2sql::shred::edge_database;
-use xpath2sql::xml::{Generator, GeneratorConfig};
-use xpath2sql::xpath::parse_xpath;
+use xpath2sql::prelude::*;
 
 fn main() {
     // the full 4-cycle BIOML graph of Fig. 11b
     let dtd = samples::bioml();
-    println!("BIOML DTD: {}", dtd.to_dtd_text().trim().replace('\n', "\n           "));
+    println!(
+        "BIOML DTD: {}",
+        dtd.to_dtd_text().trim().replace('\n', "\n           ")
+    );
 
     let cfg = GeneratorConfig::shaped(16, 6, Some(60_000));
     let tree = Generator::new(&dtd, cfg).generate();
-    let db = edge_database(&tree, &dtd);
+    let mut engine = Engine::new(&dtd);
+    engine.load(&tree);
+    let db = engine.database().expect("document is loaded");
     println!(
-        "\ngenerated {} elements (gene: {}, dna: {}, clone: {}, locus: {})",
-        tree.len(),
+        "\nloaded {} elements (gene: {}, dna: {}, clone: {}, locus: {})",
+        engine.doc_len(),
         db.get("R_gene").unwrap().len(),
         db.get("R_dna").unwrap().len(),
         db.get("R_clone").unwrap().len(),
@@ -35,41 +43,51 @@ fn main() {
     for query_text in ["gene//locus", "gene//dna", "gene//dna[clone]"] {
         let query = parse_xpath(query_text).unwrap();
         println!("\n== {query_text} ==");
-        let mut last_answers = None;
-        for (label, translation) in [
-            (
-                "R (SQLGen-R, SQL'99 recursion)",
-                xpath2sql::sqlgenr::SqlGenR::new(&dtd).translate(&query).unwrap(),
-            ),
-            (
-                "E (CycleE regular expressions)",
-                xpath2sql::core::Translator::new(&dtd)
-                    .with_strategy(xpath2sql::core::RecStrategy::CycleE { cap: 4_000_000 })
-                    .translate(&query)
-                    .unwrap(),
-            ),
-            (
-                "X (CycleEX + simple LFP)",
-                xpath2sql::core::Translator::new(&dtd).translate(&query).unwrap(),
-            ),
-        ] {
+        // R — the SQLGen-R baseline, via the low-level translation API.
+        let last_answers = {
+            let translation = xpath2sql::sqlgenr::SqlGenR::new(&dtd)
+                .translate(&query)
+                .unwrap();
             let mut stats = Stats::default();
             let started = Instant::now();
-            let answers = translation.run(&db, ExecOptions::default(), &mut stats);
-            let elapsed = started.elapsed();
-            println!(
-                "  {label:34} {:>8.1} ms  {:>6} answers  joins={:<5} unions={:<5} fixpoint iters={}",
-                elapsed.as_secs_f64() * 1e3,
-                answers.len(),
-                stats.joins,
-                stats.unions,
-                stats.lfp_iterations + stats.multilfp_iterations,
-            );
-            if let Some(prev) = &last_answers {
-                assert_eq!(prev, &answers, "all approaches agree");
-            }
-            last_answers = Some(answers);
+            let answers = translation
+                .try_run(
+                    engine.database().unwrap(),
+                    ExecOptions::default(),
+                    &mut stats,
+                )
+                .expect("SQLGen-R programs execute");
+            report("R (SQLGen-R, SQL'99 recursion)", started, &answers, &stats);
+            answers
+        };
+        // E and X — the same engine session, strategy chosen per prepare.
+        for (label, strategy) in [
+            (
+                "E (CycleE regular expressions)",
+                RecStrategy::CycleE { cap: 4_000_000 },
+            ),
+            ("X (CycleEX + simple LFP)", RecStrategy::CycleEx),
+        ] {
+            let prepared = engine
+                .prepare_with(&query, strategy, SqlOptions::default())
+                .unwrap();
+            engine.reset_stats();
+            let started = Instant::now();
+            let answers = prepared.execute().unwrap();
+            report(label, started, &answers, &engine.stats());
+            assert_eq!(last_answers, answers, "all approaches agree");
         }
     }
     println!("\nall three approaches returned identical answers ✓");
+}
+
+fn report(label: &str, started: Instant, answers: &std::collections::BTreeSet<u32>, stats: &Stats) {
+    println!(
+        "  {label:34} {:>8.1} ms  {:>6} answers  joins={:<5} unions={:<5} fixpoint iters={}",
+        started.elapsed().as_secs_f64() * 1e3,
+        answers.len(),
+        stats.joins,
+        stats.unions,
+        stats.lfp_iterations + stats.multilfp_iterations,
+    );
 }

@@ -7,8 +7,8 @@
 //! cargo run --example courseware
 //! ```
 
-use xpath2sql::core::Translator;
-use xpath2sql::rel::{render_program, ExecOptions, SqlDialect, Stats};
+use xpath2sql::core::Engine;
+use xpath2sql::rel::{ExecOptions, SqlDialect, Stats};
 use xpath2sql::shred::{edge_database, InlinedDatabase};
 use xpath2sql::sqlgenr::SqlGenR;
 use xpath2sql::xml::{paper_ids, parse_xml};
@@ -62,10 +62,7 @@ fn main() {
     roots.sort_unstable();
     println!("relation roots: {roots:?}");
     let course = dept_full.elem("course").unwrap();
-    println!(
-        "I_course columns: {:?}",
-        inlined.schema.columns[&course]
-    );
+    println!("I_course columns: {:?}", inlined.schema.columns[&course]);
 
     // ——— Q1 = dept//project via SQLGen-R (Fig. 2 / Table 2) ———
     let q1 = parse_xpath("dept//project").unwrap();
@@ -77,24 +74,36 @@ fn main() {
     );
     let tr_r = genr.translate(&q1).unwrap();
     let mut stats_r = Stats::default();
-    let answers_r = tr_r.run(&db, ExecOptions::default(), &mut stats_r);
+    let answers_r = tr_r
+        .try_run(&db, ExecOptions::default(), &mut stats_r)
+        .expect("SQLGen-R program executes");
     println!(
         "answers: {:?}  ({} fixpoint iterations, {} joins total)",
-        answers_r.iter().map(|&n| &ids[n as usize]).collect::<Vec<_>>(),
+        answers_r
+            .iter()
+            .map(|&n| &ids[n as usize])
+            .collect::<Vec<_>>(),
         stats_r.multilfp_iterations,
         stats_r.joins
     );
 
-    // ——— Q1 via CycleEX (Example 3.5 / Table 3) ———
+    // ——— Q1 via CycleEX, through an Engine session (Example 3.5 / Table 3) ———
     println!("\n== CycleEX on Q1 (Example 3.5) ==");
-    let translator = Translator::new(&dtd);
-    let tr_x = translator.translate(&q1).unwrap();
-    println!("extended XPath translation (pruned):\n{}", tr_x.extended);
-    let mut stats_x = Stats::default();
-    let answers_x = tr_x.run(&db, ExecOptions::default(), &mut stats_x);
+    let mut engine = Engine::new(&dtd);
+    engine.load(&tree);
+    let q1_prepared = engine.prepare("dept//project").unwrap();
+    println!(
+        "extended XPath translation (pruned):\n{}",
+        q1_prepared.translation().extended
+    );
+    let answers_x = q1_prepared.execute().unwrap();
+    let stats_x = engine.stats();
     println!(
         "\nR_f answers: {:?}  ({} LFP invocation(s), {} joins total)",
-        answers_x.iter().map(|&n| &ids[n as usize]).collect::<Vec<_>>(),
+        answers_x
+            .iter()
+            .map(|&n| &ids[n as usize])
+            .collect::<Vec<_>>(),
         stats_x.lfp_invocations,
         stats_x.joins
     );
@@ -102,12 +111,12 @@ fn main() {
 
     // ——— the generated SQL, in the three dialects of Fig. 4 ———
     println!("\n== Q1 SQL (Oracle CONNECT BY flavour, excerpt) ==");
-    let oracle = render_program(&tr_x.program, SqlDialect::Oracle);
+    let oracle = q1_prepared.sql(SqlDialect::Oracle);
     for line in oracle.lines().filter(|l| l.contains("CONNECT")).take(4) {
         println!("  {line}");
     }
     println!("== Q1 SQL (DB2 recursive CTE flavour, excerpt) ==");
-    let db2 = render_program(&tr_x.program, SqlDialect::Db2);
+    let db2 = q1_prepared.sql(SqlDialect::Db2);
     for line in db2.lines().filter(|l| l.contains("RECURSIVE")).take(4) {
         println!("  {line}");
     }
@@ -123,10 +132,9 @@ fn main() {
           <course><cno>cs02</cno><title/><prereq><course><cno>cs66</cno><title/><prereq/><takenBy/></course></prereq><takenBy/><project><pno/><ptitle/><required/></project></course>\
         </dept>";
     let tree2 = parse_xml(&dept_full, doc2).unwrap();
-    let db2_store = edge_database(&tree2, &dept_full);
-    let tr_q2 = Translator::new(&dept_full).translate(&q2).unwrap();
-    let mut stats2 = Stats::default();
-    let answers2 = tr_q2.run(&db2_store, ExecOptions::default(), &mut stats2);
+    let mut engine2 = Engine::new(&dept_full);
+    engine2.load(&tree2);
+    let answers2 = engine2.prepare_path(&q2).unwrap().execute().unwrap();
     let cno_of = |course_id: u32| -> String {
         let node = xpath2sql::xml::NodeId(course_id);
         let cno = tree2.children(node)[0];
@@ -136,6 +144,10 @@ fn main() {
         "courses with prereq cs66, no project, no cs66-qualified student: {:?}",
         answers2.iter().map(|&n| cno_of(n)).collect::<Vec<_>>()
     );
-    assert_eq!(answers2.len(), 1, "only cs01 qualifies (cs02 has a project)");
+    assert_eq!(
+        answers2.len(),
+        1,
+        "only cs01 qualifies (cs02 has a project)"
+    );
     println!("\nall checks passed ✓");
 }

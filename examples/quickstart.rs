@@ -1,20 +1,17 @@
-//! Quickstart: translate an XPath query over a recursive DTD to SQL with a
-//! simple LFP operator, run it on shredded XML, and check it against direct
-//! XPath evaluation.
+//! Quickstart: one `Engine` session — translate an XPath query over a
+//! recursive DTD to SQL with a simple LFP operator, run it on shredded XML,
+//! and check it against direct XPath evaluation.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use xpath2sql::core::{SqlOptions, Translator};
-use xpath2sql::rel::{render_program, ExecOptions, SqlDialect, Stats};
-use xpath2sql::shred::edge_database;
-use xpath2sql::xml::{Generator, GeneratorConfig};
-use xpath2sql::xpath::{eval_from_document, parse_xpath};
+use xpath2sql::prelude::*;
+use xpath2sql::xpath::eval_from_document;
 
 fn main() {
     // 1. A recursive DTD: parts contain sub-parts, arbitrarily deep.
-    let dtd = xpath2sql::dtd::parse_dtd(
+    let dtd = parse_dtd(
         r#"
         <!ELEMENT machine (part*)>
         <!ELEMENT part (serial, part*)>
@@ -24,29 +21,35 @@ fn main() {
     .expect("the DTD parses");
     assert!(dtd.is_recursive());
 
-    // 2. Generate a conforming document (IBM-generator semantics) and
-    //    shred it into one R_type(F, T, V) relation per element type.
+    // 2. Generate a conforming document (IBM-generator semantics) and load
+    //    it into an engine session: the engine shreds it into one
+    //    R_type(F, T, V) relation per element type and owns the store.
     let tree = Generator::new(&dtd, GeneratorConfig::shaped(8, 3, Some(5_000))).generate();
-    let db = edge_database(&tree, &dtd);
+    let mut engine = Engine::builder(&dtd).dialect(SqlDialect::Sql99).build();
+    engine.load(&tree);
     println!(
-        "generated {} elements; shredded into {} relations",
-        tree.len(),
-        db.names().len()
+        "loaded {} elements; shredded into {} relations",
+        engine.doc_len(),
+        engine.database().map_or(0, |db| db.names().len())
     );
 
-    // 3. Translate a recursive XPath query. The descendant axis over a
+    // 3. Prepare a recursive XPath query. The descendant axis over a
     //    recursive DTD is exactly the hard case: matching paths are
     //    infinitely many, yet the translation is polynomial (CycleEX).
-    let query = parse_xpath("machine//part[serial]").expect("the query parses");
-    let translation = Translator::new(&dtd)
-        .with_sql_options(SqlOptions::default())
-        .translate(&query)
-        .expect("translation succeeds");
+    //    Preparing caches the translation — later prepares of the same
+    //    query skip CycleEX and SQL generation entirely.
+    let prepared = engine
+        .prepare("machine//part[serial]")
+        .expect("the query prepares");
 
-    println!("\n-- extended XPath (step 1):\n{}", translation.extended);
+    println!(
+        "\n-- extended XPath (step 1):\n{}",
+        prepared.translation().extended
+    );
     println!(
         "\n-- SQL (step 2, first 30 lines, SQL'99 dialect):\n{}",
-        render_program(&translation.program, SqlDialect::Sql99)
+        prepared
+            .sql_text()
             .lines()
             .take(30)
             .collect::<Vec<_>>()
@@ -54,16 +57,23 @@ fn main() {
     );
 
     // 4. Execute on the relational engine.
-    let mut stats = Stats::default();
-    let answers = translation.run(&db, ExecOptions::default(), &mut stats);
+    let answers = prepared.execute().expect("the program executes");
     println!("\nanswers: {} part elements", answers.len());
-    println!("engine stats: {stats}");
+    println!("engine stats: {}", engine.stats());
 
     // 5. Cross-check against the native XPath oracle.
+    let query = parse_xpath("machine//part[serial]").unwrap();
     let native: std::collections::BTreeSet<u32> = eval_from_document(&query, &tree, &dtd)
         .into_iter()
         .map(|n| n.0)
         .collect();
     assert_eq!(answers, native, "SQL result equals direct XPath evaluation");
     println!("verified against the in-memory XPath evaluator ✓");
+
+    // 6. The same query again is a plan-cache hit: zero translation work.
+    engine.query("machine//part[serial]").unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.plan_cache_misses, 1);
+    assert_eq!(stats.plan_cache_hits, 1);
+    println!("second run served from the plan cache ✓");
 }

@@ -64,7 +64,10 @@ fn main() {
 
     // the polynomial/exponential contrast, measured
     println!("\n== the size gap, as n grows (Example 4.2) ==");
-    println!("{:>3} {:>22} {:>22}", "n", "extended XPath size", "regular XPath size");
+    println!(
+        "{:>3} {:>22} {:>22}",
+        "n", "extended XPath size", "regular XPath size"
+    );
     for n in [4usize, 6, 8, 10, 12] {
         let view = samples::complete_dag(n);
         let q = parse_xpath(&format!("//A{n}")).unwrap();

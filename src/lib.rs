@@ -5,8 +5,38 @@
 //! Translation from XPath to SQL in the Presence of Recursive DTDs"**
 //! (VLDB 2005; extended version in The VLDB Journal 18(4), 2009).
 //!
-//! This facade crate re-exports the workspace's public API. See the README
-//! for a tour, `DESIGN.md` for the system inventory, and `examples/` for
+//! ## The front door: [`Engine`](x2s_core::Engine)
+//!
+//! An [`Engine`](x2s_core::Engine) is a query-serving session over one DTD:
+//! it owns the shredded store, caches translations behind prepared-query
+//! handles, and renders SQL in pluggable dialects.
+//!
+//! ```
+//! use xpath2sql::prelude::*;
+//!
+//! let dtd = parse_dtd(
+//!     "<!ELEMENT machine (part*)> <!ELEMENT part (part*)>",
+//! )?;
+//! let mut engine = Engine::builder(&dtd)
+//!     .dialect(SqlDialect::Sql99)
+//!     .build();
+//! engine.load_xml("<machine><part><part/></part></machine>")?;
+//!
+//! let q = engine.prepare("machine//part")?; // translated once, cached
+//! assert_eq!(q.execute()?.len(), 2);
+//! assert!(q.sql(SqlDialect::Oracle).contains("CONNECT BY"));
+//!
+//! engine.query("machine//part")?; // served from the plan cache
+//! assert_eq!(engine.stats().plan_cache_hits, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## The low-level layer
+//!
+//! Every stage stays public for code that needs one piece in isolation:
+//! `parse_dtd` → [`Translator`](x2s_core::Translator) → `edge_database` →
+//! `Program::execute` → `render_program`. See the README's "advanced" tour
+//! section, `DESIGN.md` for the system inventory, and `examples/` for
 //! runnable walkthroughs.
 
 pub use x2s_core as core;
@@ -20,15 +50,21 @@ pub use x2s_xpath as xpath;
 
 /// Commonly used items, for `use xpath2sql::prelude::*`.
 ///
-/// Covers the whole pipeline: parse a DTD and a query, translate
+/// Leads with the session API ([`Engine`](x2s_core::Engine),
+/// [`PreparedQuery`](x2s_core::PreparedQuery),
+/// [`EngineError`](x2s_core::EngineError)) and still covers the low-level
+/// pipeline: parse a DTD and a query, translate
 /// ([`Translator`](x2s_core::Translator)), shred a document
 /// ([`edge_database`](x2s_shred::edge_database)), render
 /// ([`render_program`](x2s_rel::render_program)) and execute the SQL'(LFP)
 /// program — without importing the per-stage crates directly.
 pub mod prelude {
-    pub use x2s_core::{SqlOptions, TranslateError, Translator};
+    pub use x2s_core::{
+        Engine, EngineBuilder, EngineError, PreparedQuery, RecStrategy, SqlOptions, TranslateError,
+        Translator,
+    };
     pub use x2s_dtd::{parse_dtd, Dtd, DtdGraph, ElemId};
-    pub use x2s_rel::{render_program, ExecOptions, SqlDialect, Stats};
+    pub use x2s_rel::{render_program, ExecError, ExecOptions, SqlDialect, Stats};
     pub use x2s_shred::edge_database;
     pub use x2s_xml::{parse_xml, validate, Generator, GeneratorConfig, Tree};
     pub use x2s_xpath::{parse_xpath, Path, Qual};

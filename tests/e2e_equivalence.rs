@@ -49,7 +49,7 @@ fn check_all_paths(dtd: &Dtd, tree: &Tree, queries: &[&str]) {
                 .translate(&path)
                 .unwrap();
             let mut stats = Stats::default();
-            let got = tr.run(&db, ExecOptions::default(), &mut stats);
+            let got = tr.try_run(&db, ExecOptions::default(), &mut stats).unwrap();
             assert_eq!(got, native, "CycleEX SQL differs: {q} (push={push})");
         }
 
@@ -59,28 +59,34 @@ fn check_all_paths(dtd: &Dtd, tree: &Tree, queries: &[&str]) {
             .translate(&path)
             .unwrap();
         let mut stats = Stats::default();
-        let got = tr.run(&db, ExecOptions::default(), &mut stats);
+        let got = tr.try_run(&db, ExecOptions::default(), &mut stats).unwrap();
         assert_eq!(got, native, "CycleE SQL differs: {q}");
 
         // SQL via SQLGen-R (both fixpoint modes)
         let tr = SqlGenR::new(dtd).translate(&path).unwrap();
         for naive in [false, true] {
             let mut stats = Stats::default();
-            let got = tr.run(
-                &db,
-                ExecOptions {
-                    naive_fixpoint: naive,
-                    lazy: true,
-                },
-                &mut stats,
-            );
+            let got = tr
+                .try_run(
+                    &db,
+                    ExecOptions {
+                        naive_fixpoint: naive,
+                        lazy: true,
+                    },
+                    &mut stats,
+                )
+                .unwrap();
             assert_eq!(got, native, "SQLGen-R differs: {q} (naive={naive})");
         }
     }
 }
 
 fn generated(dtd: &Dtd, xl: usize, xr: usize, n: usize, seed: u64) -> Tree {
-    Generator::new(dtd, GeneratorConfig::shaped(xl, xr, Some(n)).with_seed(seed)).generate()
+    Generator::new(
+        dtd,
+        GeneratorConfig::shaped(xl, xr, Some(n)).with_seed(seed),
+    )
+    .generate()
 }
 
 #[test]
@@ -204,7 +210,15 @@ fn trimmed_documents_still_agree() {
     let d = samples::dept();
     let big = generated(&d, 9, 3, 5000, 11);
     let t = big.trim_bfs(700);
-    check_all_paths(&d, &t, &["dept//project", "dept//course[cno]", "dept//qualified//course"]);
+    check_all_paths(
+        &d,
+        &t,
+        &[
+            "dept//project",
+            "dept//course[cno]",
+            "dept//qualified//course",
+        ],
+    );
 }
 
 #[test]

@@ -1,0 +1,211 @@
+//! Integration tests for the `Engine` session API: the prepared-query plan
+//! cache (hit/miss accounting, option-keyed entries, LRU eviction) and
+//! end-to-end equivalence of the engine path with the native XPath oracle
+//! on the three sample DTDs.
+
+use std::collections::BTreeSet;
+use xpath2sql::dtd::samples;
+use xpath2sql::prelude::*;
+use xpath2sql::xpath::eval_from_document;
+
+/// (dtd, document, queries) triples mirroring the pipeline's end-to-end
+/// suites, so the engine path is held to the same oracle as the low-level
+/// path.
+fn sample_workloads() -> Vec<(Dtd, &'static str, Vec<&'static str>)> {
+    vec![
+        (
+            samples::dept_simplified(),
+            "<dept><course><course><course/><project><course><project/></course></project></course><student/><student><course/></student></course></dept>",
+            vec![
+                "dept//project",
+                "dept/course",
+                "dept//course",
+                "dept/course/student[course]",
+                "dept//course[not //project]",
+                "dept//course[project or student]",
+            ],
+        ),
+        (
+            samples::cross(),
+            "<a><b><a><c><d/><a/></c></a></b><c><d/></c></a>",
+            vec!["a/b//c/d", "a[//c]//d", "a[not //c]", "a//d", "a//a"],
+        ),
+        (
+            samples::gedml(),
+            "<Even><Sour><Data><Even><Sour/></Even></Data><Note><Obje/></Note></Sour><Obje><Sour><Data/></Sour></Obje></Even>",
+            vec!["Even//Data", "//Even", "Even//Even", "Even/Sour/Data", "Even//Obje[Sour]"],
+        ),
+    ]
+}
+
+#[test]
+fn engine_results_match_native_oracle_on_all_samples() {
+    for (dtd, xml, queries) in sample_workloads() {
+        let tree = parse_xml(&dtd, xml).unwrap();
+        let mut engine = Engine::new(&dtd);
+        engine.load(&tree);
+        for q in queries {
+            let native: BTreeSet<u32> = eval_from_document(&parse_xpath(q).unwrap(), &tree, &dtd)
+                .into_iter()
+                .map(|n| n.0)
+                .collect();
+            let got = engine.query(q).unwrap();
+            assert_eq!(got, native, "engine differs from oracle on {q}");
+        }
+    }
+}
+
+#[test]
+fn same_query_n_times_translates_exactly_once() {
+    for (dtd, xml, queries) in sample_workloads() {
+        // parse without strict content-model validation: the hand-written
+        // sample docs exercise structure, not conformance
+        let tree = parse_xml(&dtd, xml).unwrap();
+        let mut engine = Engine::new(&dtd);
+        engine.load(&tree);
+        let q = queries[0];
+        let first = engine.query(q).unwrap();
+        for _ in 0..4 {
+            assert_eq!(engine.query(q).unwrap(), first);
+        }
+        let stats = engine.stats();
+        assert_eq!(
+            stats.plan_cache_misses, 1,
+            "5 executions of {q} must cost exactly one translation"
+        );
+        assert_eq!(stats.plan_cache_hits, 4, "the other 4 are cache hits");
+        assert_eq!(engine.cached_plans(), 1);
+    }
+}
+
+#[test]
+fn distinct_options_occupy_distinct_cache_entries() {
+    let dtd = samples::cross();
+    let tree = parse_xml(&dtd, "<a><b><a><c><d/><a/></c></a></b><c><d/></c></a>").unwrap();
+    let mut engine = Engine::new(&dtd);
+    engine.load(&tree);
+    let path = parse_xpath("a//d").unwrap();
+    let no_push = SqlOptions {
+        push_selections: false,
+        root_filter_pushdown: false,
+    };
+    let cyclee = RecStrategy::CycleE { cap: 1_000_000 };
+
+    // Same query under three different option sets: three translations.
+    let default = engine
+        .prepare_with(&path, RecStrategy::CycleEx, SqlOptions::default())
+        .unwrap();
+    let plain = engine
+        .prepare_with(&path, RecStrategy::CycleEx, no_push)
+        .unwrap();
+    let tarjan = engine
+        .prepare_with(&path, cyclee.clone(), SqlOptions::default())
+        .unwrap();
+    assert_eq!(engine.cached_plans(), 3);
+    assert_eq!(engine.stats().plan_cache_misses, 3);
+    assert_eq!(engine.stats().plan_cache_hits, 0);
+
+    // Re-preparing each variant hits its own entry.
+    engine
+        .prepare_with(&path, RecStrategy::CycleEx, SqlOptions::default())
+        .unwrap();
+    engine
+        .prepare_with(&path, RecStrategy::CycleEx, no_push)
+        .unwrap();
+    engine
+        .prepare_with(&path, cyclee, SqlOptions::default())
+        .unwrap();
+    assert_eq!(engine.cached_plans(), 3);
+    assert_eq!(engine.stats().plan_cache_hits, 3);
+
+    // All three plans agree on the answers.
+    let answers = default.execute().unwrap();
+    assert_eq!(plain.execute().unwrap(), answers);
+    assert_eq!(tarjan.execute().unwrap(), answers);
+    assert!(!answers.is_empty());
+}
+
+#[test]
+fn lru_eviction_at_capacity() {
+    let dtd = samples::dept_simplified();
+    let engine = Engine::builder(&dtd).plan_cache_capacity(2).build();
+    engine.prepare("dept/course").unwrap(); // miss
+    engine.prepare("dept//project").unwrap(); // miss
+    engine.prepare("dept/course").unwrap(); // hit; //project becomes LRU
+    engine.prepare("dept//course").unwrap(); // miss, evicts dept//project
+    assert_eq!(engine.cached_plans(), 2);
+    engine.prepare("dept/course").unwrap(); // still cached: hit
+    engine.prepare("dept//project").unwrap(); // evicted: miss again
+    let stats = engine.stats();
+    assert_eq!((stats.plan_cache_misses, stats.plan_cache_hits), (4, 2));
+}
+
+#[test]
+fn dialect_rendering_and_one_shot_sql() {
+    let dtd = samples::dept_simplified();
+    let engine = Engine::builder(&dtd).dialect(SqlDialect::Db2).build();
+    let prepared = engine.prepare("dept//project").unwrap();
+    assert!(prepared.sql(SqlDialect::Oracle).contains("CONNECT BY"));
+    assert!(prepared.sql(SqlDialect::Sql99).contains("WITH RECURSIVE"));
+    assert_eq!(prepared.sql_text(), prepared.sql(SqlDialect::Db2));
+    // `Engine::sql` renders without a loaded document, through the cache.
+    let sql = engine.sql("dept//project").unwrap();
+    assert_eq!(sql, prepared.sql(SqlDialect::Db2));
+    assert_eq!(engine.stats().plan_cache_hits, 1);
+}
+
+#[test]
+fn engine_error_covers_every_stage() {
+    let dtd = samples::dept_simplified();
+    let mut engine = Engine::new(&dtd);
+    // xpath parse
+    assert!(matches!(
+        engine.prepare("dept//["),
+        Err(EngineError::Xpath(_))
+    ));
+    // xml parse
+    assert!(matches!(
+        engine.load_xml("<dept><unclosed>"),
+        Err(EngineError::Xml(_))
+    ));
+    // validation
+    assert!(matches!(
+        engine.load_xml("<dept><student/></dept>"),
+        Err(EngineError::Validate(_))
+    ));
+    // translation (CycleE blowup)
+    let blowup = samples::complete_dag(14);
+    let tiny = Engine::builder(&blowup).build();
+    let path = parse_xpath("//A14").unwrap();
+    assert!(matches!(
+        tiny.prepare_with(
+            &path,
+            RecStrategy::CycleE { cap: 500 },
+            SqlOptions::default()
+        ),
+        Err(EngineError::Translate(TranslateError::RecBlowup { .. }))
+    ));
+    // execution without a document
+    let prepared = engine.prepare("dept//project").unwrap();
+    assert_eq!(prepared.execute().unwrap_err(), EngineError::NoDocument);
+}
+
+#[test]
+fn stats_accumulate_and_reset() {
+    let dtd = samples::dept_simplified();
+    let mut engine = Engine::new(&dtd);
+    engine
+        .load_xml("<dept><course><project/></course></dept>")
+        .unwrap();
+    engine.query("dept//project").unwrap();
+    let s1 = engine.stats();
+    assert!(s1.lfp_invocations >= 1, "descendant axis ran an LFP: {s1}");
+    assert!(s1.stmts_evaluated > 0);
+    engine.reset_stats();
+    let s2 = engine.stats();
+    assert_eq!(s2.plan_cache_misses, 0);
+    assert_eq!(s2.stmts_evaluated, 0);
+    // the cache itself survives a stats reset
+    engine.query("dept//project").unwrap();
+    assert_eq!(engine.stats().plan_cache_hits, 1);
+}

@@ -88,14 +88,21 @@ fn example_3_1_and_table_2_sqlgenr() {
     let q1 = parse_xpath("dept//project").unwrap();
     let tr = genr.translate(&q1).unwrap();
     let mut stats = Stats::default();
-    let answers = tr.run(&db, ExecOptions::default(), &mut stats);
+    let answers = tr.try_run(&db, ExecOptions::default(), &mut stats).unwrap();
     let names: BTreeSet<&str> = answers.iter().map(|&n| ids[n as usize].as_str()).collect();
-    assert_eq!(names, BTreeSet::from(["p1", "p2"]), "Table 2's final Rid='p' rows");
+    assert_eq!(
+        names,
+        BTreeSet::from(["p1", "p2"]),
+        "Table 2's final Rid='p' rows"
+    );
     assert!(stats.multilfp_invocations >= 1);
     // Fig. 2's shape in SQL text: one UNION ALL arm per SCC edge
     let sql = render_program(&tr.program, SqlDialect::Sql99);
     assert!(sql.contains("WITH RECURSIVE R (S, T, Rid)"));
-    assert!(sql.matches("AS Rid").count() >= 5, "arms tag reached relations");
+    assert!(
+        sql.matches("AS Rid").count() >= 5,
+        "arms tag reached relations"
+    );
 }
 
 #[test]
@@ -107,7 +114,7 @@ fn example_3_5_and_table_3_cycleex() {
     let q1 = parse_xpath("dept//project").unwrap();
     let tr = Translator::new(&d).translate(&q1).unwrap();
     let mut stats = Stats::default();
-    let answers = tr.run(&db, ExecOptions::default(), &mut stats);
+    let answers = tr.try_run(&db, ExecOptions::default(), &mut stats).unwrap();
     let names: BTreeSet<&str> = answers.iter().map(|&n| ids[n as usize].as_str()).collect();
     assert_eq!(names, BTreeSet::from(["p1", "p2"]), "Table 3's R_f");
     assert!(
@@ -213,16 +220,17 @@ fn example_5_1_intermediates() {
     let tr = Translator::new(&d).translate(&q1).unwrap();
     assert!(tr.program.len() >= 3, "R, Φ(R), final join chain at least");
     let mut lazy = Stats::default();
-    tr.run(&db, ExecOptions::default(), &mut lazy);
+    tr.try_run(&db, ExecOptions::default(), &mut lazy).unwrap();
     let mut eager = Stats::default();
-    tr.run(
+    tr.try_run(
         &db,
         ExecOptions {
             lazy: false,
             ..Default::default()
         },
         &mut eager,
-    );
+    )
+    .unwrap();
     assert!(lazy.stmts_evaluated <= eager.stmts_evaluated);
 }
 

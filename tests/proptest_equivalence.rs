@@ -70,10 +70,18 @@ fn arb_qual(rng: &mut SplitMix64, labels: &[&str], depth: u32, qdepth: u32) -> Q
     if qdepth > 0 && rng.gen_bool(0.4) {
         return match rng.gen_range(0..4) {
             0..=1 => Qual::not(arb_qual(rng, labels, depth, qdepth - 1)),
-            2 => arb_qual(rng, labels, depth, qdepth - 1)
-                .and(arb_qual(rng, labels, depth, qdepth - 1)),
-            _ => arb_qual(rng, labels, depth, qdepth - 1)
-                .or(arb_qual(rng, labels, depth, qdepth - 1)),
+            2 => arb_qual(rng, labels, depth, qdepth - 1).and(arb_qual(
+                rng,
+                labels,
+                depth,
+                qdepth - 1,
+            )),
+            _ => arb_qual(rng, labels, depth, qdepth - 1).or(arb_qual(
+                rng,
+                labels,
+                depth,
+                qdepth - 1,
+            )),
         };
     }
     if rng.gen_range(0..5) < 4 {
@@ -110,7 +118,7 @@ fn check_one(dtd: &Dtd, tree: &xpath2sql::xml::Tree, db: &Database, query: &Path
             .translate(query)
             .unwrap();
         let mut stats = Stats::default();
-        let got = tr.run(db, ExecOptions::default(), &mut stats);
+        let got = tr.try_run(db, ExecOptions::default(), &mut stats).unwrap();
         assert_eq!(
             got, native,
             "SQL mismatch for {query} (push={push}, doc seed {seed})"
@@ -119,8 +127,11 @@ fn check_one(dtd: &Dtd, tree: &xpath2sql::xml::Tree, db: &Database, query: &Path
     // baseline equivalence
     let tr = SqlGenR::new(dtd).translate(query).unwrap();
     let mut stats = Stats::default();
-    let got = tr.run(db, ExecOptions::default(), &mut stats);
-    assert_eq!(got, native, "SQLGen-R mismatch for {query} (doc seed {seed})");
+    let got = tr.try_run(db, ExecOptions::default(), &mut stats).unwrap();
+    assert_eq!(
+        got, native,
+        "SQLGen-R mismatch for {query} (doc seed {seed})"
+    );
 }
 
 /// Distinct query-generator seed per (property, document seed, case index).
@@ -226,11 +237,8 @@ fn pruning_preserves_semantics() {
 fn generator_produces_valid_documents() {
     let dtd = samples::dept();
     for seed in 0u64..24 {
-        let tree = Generator::new(
-            &dtd,
-            GeneratorConfig::shaped(6, 2, None).with_seed(seed),
-        )
-        .generate();
+        let tree =
+            Generator::new(&dtd, GeneratorConfig::shaped(6, 2, None).with_seed(seed)).generate();
         assert!(
             xpath2sql::xml::validate(&tree, &dtd).is_ok(),
             "invalid document for seed {seed}"

@@ -16,7 +16,13 @@ fn view_answering_on_generated_bioml_documents() {
         (samples::bioml_b(), samples::bioml_d()),
         (samples::bioml_c(), samples::bioml_d()),
     ];
-    let queries = ["gene//locus", "gene//dna", "//clone", "gene/dna[clone]", "gene//dna[not clone]"];
+    let queries = [
+        "gene//locus",
+        "gene//dna",
+        "//clone",
+        "gene/dna[clone]",
+        "gene//dna[not clone]",
+    ];
     for (view_dtd, source_dtd) in pairs {
         assert!(is_contained_in(&view_dtd, &source_dtd));
         for seed in [1u64, 2] {
@@ -32,8 +38,7 @@ fn view_answering_on_generated_bioml_documents() {
                     .into_iter()
                     .map(|n| origin[n.index()])
                     .collect();
-                let on_source =
-                    answer_on_source(&path, &view_dtd, &source, &source_dtd).unwrap();
+                let on_source = answer_on_source(&path, &view_dtd, &source, &source_dtd).unwrap();
                 assert_eq!(on_source, on_view, "view query {q} seed {seed}");
             }
         }
@@ -60,15 +65,15 @@ fn view_answers_can_differ_from_direct_answers() {
 #[test]
 fn rendered_sql_covers_all_dialects_for_complex_query() {
     let d = samples::dept();
-    let q = parse_xpath(
-        r#"dept/course[//prereq/course[cno = "cs66"] and not //project]"#,
-    )
-    .unwrap();
+    let q = parse_xpath(r#"dept/course[//prereq/course[cno = "cs66"] and not //project]"#).unwrap();
     let tr = Translator::new(&d).translate(&q).unwrap();
     for dialect in [SqlDialect::Sql99, SqlDialect::Db2, SqlDialect::Oracle] {
         let sql = render_program(&tr.program, dialect);
         assert!(sql.contains("CREATE TEMPORARY TABLE"));
-        assert!(sql.contains("SELECT * FROM T"), "script ends with the answer");
+        assert!(
+            sql.contains("SELECT * FROM T"),
+            "script ends with the answer"
+        );
         assert!(sql.contains("NOT EXISTS"), "negation rendered as anti-join");
         // every temp referenced is defined earlier
         for (i, line) in sql.lines().enumerate() {

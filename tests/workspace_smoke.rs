@@ -46,15 +46,19 @@ fn prelude_covers_the_whole_pipeline() {
         .expect("recursive query translates");
     let sql = render_program(&translation.program, SqlDialect::Sql99);
     assert!(!sql.is_empty(), "generated SQL must be non-empty");
-    assert!(sql.contains("SELECT"), "generated SQL has SELECT statements:\n{sql}");
+    assert!(
+        sql.contains("SELECT"),
+        "generated SQL has SELECT statements:\n{sql}"
+    );
 
     // 4. generate a conforming document, shred it, and execute the program
-    let tree: Tree = Generator::new(&dtd, GeneratorConfig::shaped(8, 3, Some(1_500)))
-        .generate();
+    let tree: Tree = Generator::new(&dtd, GeneratorConfig::shaped(8, 3, Some(1_500))).generate();
     validate(&tree, &dtd).expect("generated documents conform to the DTD");
     let db = edge_database(&tree, &dtd);
     let mut stats = Stats::default();
-    let answers = translation.run(&db, ExecOptions::default(), &mut stats);
+    let answers = translation
+        .try_run(&db, ExecOptions::default(), &mut stats)
+        .unwrap();
 
     // 5. the SQL answers must agree with the native XPath oracle
     let oracle: std::collections::BTreeSet<u32> =
@@ -72,6 +76,30 @@ fn prelude_roundtrips_xml_text() {
     let text = xpath2sql::xml::to_xml_string(&tree, &dtd);
     let back: Tree = parse_xml(&dtd, &text).expect("writer output reparses");
     assert_eq!(back.len(), tree.len());
+}
+
+#[test]
+fn prelude_covers_the_engine_session_api() {
+    // The session API crosses the facade seam: builder, prepared queries,
+    // the unified error, and cache counters must all be reachable from the
+    // prelude alone.
+    let dtd: Dtd = parse_dtd(DEPT_DTD).expect("dept DTD parses");
+    let tree = Generator::new(&dtd, GeneratorConfig::shaped(8, 3, Some(1_000))).generate();
+    let mut engine: Engine<'_> = Engine::builder(&dtd)
+        .strategy(RecStrategy::CycleEx)
+        .dialect(SqlDialect::Oracle)
+        .build();
+    engine.load(&tree);
+    let prepared: PreparedQuery<'_, '_> = engine.prepare("dept//project").expect("prepares");
+    let answers: Result<_, EngineError> = prepared.execute();
+    let oracle: std::collections::BTreeSet<u32> =
+        xpath2sql::xpath::eval_from_document(&parse_xpath("dept//project").unwrap(), &tree, &dtd)
+            .into_iter()
+            .map(|n| n.0)
+            .collect();
+    assert_eq!(answers.unwrap(), oracle, "engine path matches the oracle");
+    assert!(prepared.sql_text().contains("CONNECT BY"), "Oracle dialect");
+    assert_eq!(engine.stats().plan_cache_misses, 1);
 }
 
 #[test]
