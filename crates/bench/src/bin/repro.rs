@@ -1,8 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|sql|exp1|exp2|exp3|exp4|exp5|table5|tables123]
-//!       [--scale F] [--reps N] [--dtd NAME] [--query XPATH]
+//! repro [all|sql|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]
+//!       [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH]
 //! ```
 //!
 //! `--scale 1.0` uses the paper's element counts (minutes of runtime);
@@ -10,24 +10,47 @@
 //! The `sql` section translates `--query` (default `dept//project`) over
 //! `--dtd` (default `dept`) and prints the generated SQL'(LFP) script before
 //! executing it against a freshly generated document.
+//!
+//! `--threads N` (default: available parallelism, capped at 8) sizes the
+//! `throughput` section: N worker threads share one `Engine` on the
+//! fig12-style closure workload (aggregate QPS + speedup over 1 worker),
+//! and the parallel-LFP ablation compares `ExecOptions::threads` 1 vs N on
+//! one warm prepared query. `1` forces everything single-threaded.
 
 use std::env;
-use x2s_bench::{exp1, exp2, exp3, exp4, exp5, measure_prepared, table5, tables123, Table};
+use x2s_bench::{
+    exp1, exp2, exp3, exp4, exp5, measure_prepared, table5, tables123, throughput, Table,
+};
 use x2s_core::Engine;
 use x2s_dtd::{samples, Dtd};
 use x2s_rel::SqlDialect;
 use x2s_xml::{Generator, GeneratorConfig};
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut scale = 0.25f64;
     let mut reps = 3usize;
+    let mut threads = default_threads();
     let mut dtd_name = "dept".to_string();
     let mut query = "dept//project".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs an integer"));
+            }
             "--dtd" => {
                 i += 1;
                 dtd_name = args
@@ -66,13 +89,21 @@ fn main() {
     }
 
     println!("# xpath2sql — regenerated evaluation artifacts");
-    println!("scale = {scale}, reps = {reps} (fastest of N timings per cell)\n");
+    println!(
+        "scale = {scale}, reps = {reps} (fastest of N timings per cell), threads = {threads}\n"
+    );
 
     let run_all = which.iter().any(|w| w == "all");
     let wants = |name: &str| run_all || which.iter().any(|w| w == name);
 
     if wants("sql") {
         sql_section(&dtd_name, &query);
+    }
+    if wants("throughput") {
+        emit(
+            &format!("Throughput (concurrent serving, --threads {threads})"),
+            throughput(scale, threads),
+        );
     }
     if wants("tables123") {
         emit("Tables 1–3 (running example)", tables123());
@@ -179,8 +210,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [all|sql|exp1|exp2|exp3|exp4|exp5|table5|tables123]… \
-         [--scale F] [--reps N] [--dtd NAME] [--query XPATH]"
+        "usage: repro [all|sql|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]… \
+         [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

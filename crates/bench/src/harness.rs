@@ -1,5 +1,10 @@
-//! Approaches, datasets, and measurement.
+//! Approaches, datasets, and measurement — single-shot timings for the
+//! paper's figures, plus a multi-worker throughput harness for the serving
+//! path (M threads × K prepared queries against one shared [`Engine`]).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
 use std::time::{Duration, Instant};
 use x2s_core::pipeline::{RecStrategy, TranslateError, Translation, Translator};
 use x2s_core::{Engine, SqlOptions};
@@ -112,7 +117,7 @@ impl Measured {
 pub fn exec_options_for(approach: Approach) -> ExecOptions {
     ExecOptions {
         naive_fixpoint: approach == Approach::SqlGenR,
-        lazy: true,
+        ..ExecOptions::default()
     }
 }
 
@@ -179,8 +184,34 @@ pub fn measure_with_options(
 /// deployment pays per query once the plan cache is warm — and `stats` are
 /// the engine's accumulated counters, including the cache hit/miss split.
 pub fn measure_prepared(dtd: &Dtd, query: &str, db: &Database, reps: usize) -> Measured {
-    let mut engine = Engine::builder(dtd).build();
-    engine.load_database(db.clone());
+    measure_prepared_opts(dtd, query, db, reps, ExecOptions::default())
+}
+
+/// [`measure_prepared`] with explicit execution options — e.g.
+/// `ExecOptions::default().with_threads(n)` to time the parallel LFP/join
+/// paths. Copies the store once; repeated measurements over the same big
+/// dataset should use [`measure_prepared_shared`].
+pub fn measure_prepared_opts(
+    dtd: &Dtd,
+    query: &str,
+    db: &Database,
+    reps: usize,
+    exec: ExecOptions,
+) -> Measured {
+    measure_prepared_shared(dtd, query, Arc::new(db.clone()), reps, exec)
+}
+
+/// [`measure_prepared_opts`] over an already-shared store: the engine
+/// adopts the `Arc` without copying a single tuple.
+pub fn measure_prepared_shared(
+    dtd: &Dtd,
+    query: &str,
+    db: Arc<Database>,
+    reps: usize,
+    exec: ExecOptions,
+) -> Measured {
+    let mut engine = Engine::builder(dtd).exec_options(exec).build();
+    engine.load_shared(db);
     let prepared = engine.prepare(query).expect("benchmark queries prepare");
     let mut best: Option<Duration> = None;
     let mut answers = 0;
@@ -196,6 +227,77 @@ pub fn measure_prepared(dtd: &Dtd, query: &str, db: &Database, reps: usize) -> M
         elapsed: best.expect("reps >= 1"),
         stats: engine.stats(),
         answers,
+    }
+}
+
+/// Aggregate result of one multi-worker throughput run.
+#[derive(Clone, Debug)]
+pub struct Throughput {
+    /// Worker threads that shared the engine.
+    pub workers: usize,
+    /// Total queries served across all workers.
+    pub total_queries: u64,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Engine statistics after the run (hit/miss split, exec counters).
+    pub stats: Stats,
+}
+
+impl Throughput {
+    /// Aggregate queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.total_queries as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Serving-path throughput: `workers` threads hammer ONE shared [`Engine`]
+/// (sharded plan cache, atomic stats, `Arc`-shared store), each running
+/// `rounds` passes over `queries` via `prepare` + `execute`. Workers start
+/// at staggered offsets in the query list so they do not march over the
+/// same cache shard in lockstep. Returns wall-clock aggregate QPS — the
+/// number a serving deployment cares about.
+pub fn measure_throughput(
+    dtd: &Dtd,
+    queries: &[&str],
+    db: Arc<Database>,
+    workers: usize,
+    rounds: usize,
+    exec: ExecOptions,
+) -> Throughput {
+    assert!(!queries.is_empty(), "throughput needs at least one query");
+    let workers = workers.max(1);
+    let rounds = rounds.max(1);
+    let mut engine = Engine::builder(dtd).exec_options(exec).build();
+    engine.load_shared(db);
+    let engine = &engine;
+    let total = AtomicU64::new(0);
+    let started = Instant::now();
+    thread::scope(|s| {
+        for w in 0..workers {
+            let total = &total;
+            s.spawn(move || {
+                let mut served = 0u64;
+                for r in 0..rounds {
+                    let offset = (w + r) % queries.len();
+                    for qi in 0..queries.len() {
+                        let q = queries[(offset + qi) % queries.len()];
+                        let prepared = engine.prepare(q).expect("throughput queries prepare");
+                        prepared.execute().expect("throughput queries execute");
+                        served += 1;
+                    }
+                }
+                total.fetch_add(served, Ordering::Relaxed);
+            });
+        }
+    });
+    Throughput {
+        workers,
+        total_queries: total.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        stats: engine.stats(),
     }
 }
 
@@ -237,6 +339,34 @@ mod tests {
         assert_eq!(m.stats.plan_cache_hits, 0, "prepare was called once");
         let direct = measure(Approach::CycleEx, &d, "a//d", &ds.db, 1);
         assert_eq!(m.answers, direct.answers);
+    }
+
+    #[test]
+    fn throughput_counts_every_query_and_every_prepare() {
+        let d = samples::cross();
+        let ds = dataset(&d, 8, 3, Some(1_500), 11);
+        let queries = ["a//d", "a/b//c/d", "a//a"];
+        let db = Arc::new(ds.db);
+        let t = measure_throughput(&d, &queries, Arc::clone(&db), 3, 2, ExecOptions::default());
+        assert_eq!(t.workers, 3);
+        assert_eq!(t.total_queries, 3 * 2 * queries.len() as u64);
+        assert_eq!(
+            (t.stats.plan_cache_hits + t.stats.plan_cache_misses) as u64,
+            t.total_queries,
+            "every served query is exactly one prepare"
+        );
+        assert!(t.stats.plan_cache_misses >= queries.len());
+        assert!(t.qps() > 0.0);
+        // parallel-exec options produce the same accounting
+        let tp = measure_throughput(
+            &d,
+            &queries,
+            db,
+            2,
+            1,
+            ExecOptions::default().with_threads(2),
+        );
+        assert_eq!(tp.total_queries, 2 * queries.len() as u64);
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! a scale chosen to finish in minutes on a laptop while preserving every
 //! qualitative shape.
 
-use crate::harness::{dataset, measure, measure_with_options, Approach};
+use crate::harness::{
+    dataset, measure, measure_prepared_shared, measure_throughput, measure_with_options, Approach,
+};
 use std::fmt;
+use std::sync::Arc;
 use x2s_core::SqlOptions;
 use x2s_dtd::{cycles, samples, Dtd, DtdGraph};
 use x2s_exp::to_regular;
@@ -323,6 +326,112 @@ pub fn exp5(scale: f64, reps: usize) -> Vec<Table> {
     out
 }
 
+/// Concurrent-serving throughput on the fig12-style closure workload: the
+/// four Cross-DTD queries + `a//d`, served by one shared `Engine` from 1 up
+/// to `threads` workers, and the parallel-LFP ablation (1 worker,
+/// `ExecOptions::threads` 1 vs `threads`) on the scalability dataset.
+pub fn throughput(scale: f64, threads: usize) -> Vec<Table> {
+    let d = samples::cross();
+    let threads = threads.max(1);
+    let queries = ["a//d", "a/b//c/d", "a[//c]//d", "a[not //c]", "a//a"];
+    let elements = scaled(60_000, scale);
+    let ds = dataset(&d, 12, 4, Some(elements), 23);
+    let db = Arc::new(ds.db);
+    let rounds = 6;
+    let mut sweep: Vec<usize> = vec![1, 2, threads.div_ceil(2), threads];
+    sweep.retain(|&w| w <= threads);
+    sweep.sort_unstable();
+    sweep.dedup();
+    let mut rows = Vec::new();
+    let mut base_qps = 0.0f64;
+    for &workers in &sweep {
+        let t = measure_throughput(
+            &d,
+            &queries,
+            Arc::clone(&db),
+            workers,
+            rounds,
+            ExecOptions::default(),
+        );
+        if workers == 1 {
+            base_qps = t.qps();
+        }
+        let speedup = if base_qps > 0.0 {
+            t.qps() / base_qps
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            workers.to_string(),
+            t.total_queries.to_string(),
+            ms(t.elapsed.as_secs_f64() * 1e3),
+            format!("{:.0}", t.qps()),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    let mut out = vec![Table {
+        title: format!(
+            "Throughput — fig12-style closure workload on Cross \
+             ({elements} elements, {rounds} rounds x {} queries per worker)",
+            queries.len()
+        ),
+        headers: vec![
+            "workers".into(),
+            "queries".into(),
+            "elapsed (ms)".into(),
+            "QPS".into(),
+            "speedup".into(),
+        ],
+        rows,
+        note: "one shared Engine: sharded plan cache + atomic stats; \
+               aggregate QPS should grow with workers until cores saturate"
+            .into(),
+    }];
+    // Parallel LFP/join ablation: same prepared query, one worker,
+    // ExecOptions::threads 1 vs N.
+    let big = dataset(&d, 16, 4, Some(scaled(240_000, scale)), 7);
+    let big_elements = big.tree.len();
+    let big_db = Arc::new(big.db);
+    let mut rows = Vec::new();
+    for q in ["a//d", "a/b//c/d"] {
+        let seq = measure_prepared_shared(&d, q, Arc::clone(&big_db), 3, ExecOptions::default());
+        let par = measure_prepared_shared(
+            &d,
+            q,
+            Arc::clone(&big_db),
+            3,
+            ExecOptions::default().with_threads(threads),
+        );
+        assert_eq!(
+            seq.answers, par.answers,
+            "parallel execution must not change answers"
+        );
+        rows.push(vec![
+            q.to_string(),
+            ms(seq.ms()),
+            ms(par.ms()),
+            format!("{:.2}x", seq.ms() / par.ms().max(1e-9)),
+        ]);
+    }
+    out.push(Table {
+        title: format!(
+            "Parallel LFP/joins — warm-cache execution, ExecOptions::threads = 1 vs {threads} \
+             ({big_elements} elements)"
+        ),
+        headers: vec![
+            "query".into(),
+            "1 thread (ms)".into(),
+            format!("{threads} threads (ms)"),
+            "speedup".into(),
+        ],
+        rows,
+        note: "partitioned frontier expansion + partitioned hash joins kick in above \
+               the tuple-count thresholds; answers are asserted identical"
+            .into(),
+    });
+    out
+}
+
 /// Table 5: LFP / ALL operator counts (min/max/avg over all reachable node
 /// pairs) of the SQL programs produced via CycleE vs CycleEX.
 pub fn table5() -> Vec<Table> {
@@ -604,6 +713,21 @@ mod tests {
                 assert!(v >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn throughput_smoke_scales_shape() {
+        let tables = throughput(0.01, 2);
+        assert_eq!(tables.len(), 2);
+        let t = &tables[0];
+        assert!(t.rows.len() >= 2, "at least workers = 1 and 2");
+        assert_eq!(t.rows[0][0], "1");
+        for row in &t.rows {
+            let qps: f64 = row[3].parse().unwrap();
+            assert!(qps > 0.0);
+        }
+        // the ablation table asserted answer equality internally
+        assert_eq!(tables[1].rows.len(), 2);
     }
 
     #[test]

@@ -27,6 +27,37 @@
 //! (`plan_cache_hits` / `plan_cache_misses`), merged with the execution
 //! counters of every query the engine runs.
 //!
+//! # Threading model
+//!
+//! A loaded `Engine` is built for concurrent serving — share `&Engine`
+//! across worker threads (e.g. under `std::thread::scope`) and call
+//! [`prepare`](Engine::prepare) / [`PreparedQuery::execute`] /
+//! [`Engine::query`] freely:
+//!
+//! * **Sharded plan cache** — translations live in N independent LRU shards
+//!   selected by the hash of the plan key, so concurrent prepares only
+//!   contend when they race for the *same* shard; there is no engine-wide
+//!   lock anywhere on the serving path. (At small configured capacities the
+//!   cache collapses to a single shard so global LRU order stays exact.)
+//! * **Atomic statistics** — hit/miss and execution counters are lock-free
+//!   atomics ([`x2s_rel::SharedStats`]); `hits + misses` always equals the
+//!   number of prepares, with no lost updates under contention.
+//! * **Shared read-only store** — the loaded edge database sits behind an
+//!   `Arc` ([`Engine::load_shared`] adopts an existing one without copying);
+//!   loading requires `&mut self`, so queries never observe a store swap.
+//! * **Parallel execution** — [`ExecOptions::threads`] > 1 additionally
+//!   parallelizes *inside* one query: partitioned build/probe hash joins
+//!   and partitioned per-round frontier expansion in the semi-naive LFP,
+//!   both only past tuple-count thresholds
+//!   ([`x2s_rel::PARALLEL_JOIN_THRESHOLD`],
+//!   [`x2s_rel::PARALLEL_LFP_THRESHOLD`]) so small relations keep the exact
+//!   single-thread fast path. The default (`threads = 1`) is byte-identical
+//!   to the sequential engine.
+//!
+//! Two racing prepares of the same new query may both translate; the later
+//! insert refreshes the cache entry and both count as misses — wasted work
+//! bounded by one translation, never a wrong answer.
+//!
 //! The low-level pieces remain public: the engine is a front door, not a
 //! wall. Code that needs one stage in isolation (view rewriting, the
 //! SQLGen-R baseline, the benchmarks' per-stage timings) keeps using the
@@ -36,15 +67,24 @@ use crate::e2sql::SqlOptions;
 use crate::pipeline::{RecStrategy, TranslateError, Translation, Translator};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 use x2s_dtd::Dtd;
-use x2s_rel::{render_program, Database, ExecError, ExecOptions, SqlDialect, Stats};
+use x2s_rel::{render_program, Database, ExecError, ExecOptions, SharedStats, SqlDialect, Stats};
 use x2s_shred::edge_database;
 use x2s_xml::{parse_xml, validate, Tree, ValidationError, XmlError};
 use x2s_xpath::{parse_xpath, ParseError, Path};
 
 /// Default number of cached translations per engine.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+/// Upper bound on plan-cache shards.
+const MAX_CACHE_SHARDS: usize = 16;
+
+/// Minimum per-shard capacity worth sharding for: below
+/// `MIN_SHARD_CAPACITY` entries per shard the cache stays on one shard so
+/// the global LRU eviction order is exact.
+const MIN_SHARD_CAPACITY: usize = 8;
 
 /// Unified error type for every stage the engine drives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,11 +217,65 @@ impl PlanCache {
     }
 }
 
-/// Cache + counters behind one lock so a prepare updates both atomically.
+/// A sharded plan cache: N independent [`PlanCache`] shards selected by the
+/// key's hash. Concurrent prepares of different queries land on different
+/// shards with high probability and proceed without contention; the shard
+/// lock is held only for the O(1) map operation (translation happens
+/// outside any lock).
+///
+/// The shard count scales with capacity — one shard per
+/// [`MIN_SHARD_CAPACITY`] entries, capped at [`MAX_CACHE_SHARDS`] — so
+/// small caches keep exact global LRU order while big ones trade a little
+/// eviction precision (LRU is per-shard) for lock-free-in-practice reads.
 #[derive(Debug)]
-struct EngineInner {
-    cache: PlanCache,
-    stats: Stats,
+struct ShardedPlanCache {
+    shards: Vec<Mutex<PlanCache>>,
+}
+
+impl ShardedPlanCache {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shard_count = (capacity / MIN_SHARD_CAPACITY).clamp(1, MAX_CACHE_SHARDS);
+        // Round down so the shard capacities never sum past the configured
+        // total (sacrificing up to shard_count - 1 slots, never exceeding);
+        // shard_count <= capacity / MIN_SHARD_CAPACITY keeps this >= 1.
+        let per_shard = capacity / shard_count;
+        ShardedPlanCache {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(PlanCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Mutex<PlanCache> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    fn get(&self, key: &PlanKey) -> Option<Arc<Translation>> {
+        self.shard(key).lock().expect("plan cache shard").get(key)
+    }
+
+    fn insert(&self, key: PlanKey, tr: Arc<Translation>) {
+        self.shard(&key)
+            .lock()
+            .expect("plan cache shard")
+            .insert(key, tr);
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache shard").entries.len())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("plan cache shard").entries.clear();
+        }
+    }
 }
 
 /// Configures and constructs an [`Engine`]. Created by [`Engine::builder`].
@@ -240,10 +334,8 @@ impl<'d> EngineBuilder<'d> {
             dialect: self.dialect,
             db: None,
             doc_len: 0,
-            inner: Mutex::new(EngineInner {
-                cache: PlanCache::new(self.cache_capacity),
-                stats: Stats::default(),
-            }),
+            cache: ShardedPlanCache::new(self.cache_capacity),
+            stats: SharedStats::new(),
         }
     }
 }
@@ -277,22 +369,22 @@ pub struct Engine<'d> {
     sql_options: SqlOptions,
     exec_options: ExecOptions,
     dialect: SqlDialect,
-    db: Option<Database>,
+    db: Option<Arc<Database>>,
     doc_len: usize,
-    inner: Mutex<EngineInner>,
+    cache: ShardedPlanCache,
+    stats: SharedStats,
 }
 
 impl fmt::Debug for Engine<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock().expect("engine lock");
         f.debug_struct("Engine")
             .field("strategy", &self.strategy)
             .field("sql_options", &self.sql_options)
             .field("exec_options", &self.exec_options)
             .field("dialect", &self.dialect)
             .field("doc_len", &self.doc_len)
-            .field("cached_plans", &inner.cache.entries.len())
-            .field("stats", &inner.stats)
+            .field("cached_plans", &self.cache.len())
+            .field("stats", &self.stats.snapshot())
             .finish_non_exhaustive()
     }
 }
@@ -336,7 +428,7 @@ impl<'d> Engine<'d> {
     /// [`EngineError::Validate`]; a tree shredded under a different DTD
     /// yields wrong answers, not an error.
     pub fn load(&mut self, tree: &Tree) -> &mut Self {
-        self.db = Some(edge_database(tree, self.dtd));
+        self.db = Some(Arc::new(edge_database(tree, self.dtd)));
         self.doc_len = tree.len();
         self
     }
@@ -353,6 +445,14 @@ impl<'d> Engine<'d> {
     /// replacing any previous document. Like [`load`](Engine::load), the
     /// store is trusted to be an edge shredding under this engine's DTD.
     pub fn load_database(&mut self, db: Database) -> &mut Self {
+        self.load_shared(Arc::new(db))
+    }
+
+    /// Adopt a *shared* edge store without copying it — multiple engines
+    /// (or a throughput harness and its oracle) can serve the same
+    /// `Arc<Database>` read-only. The store is trusted to be an edge
+    /// shredding under this engine's DTD.
+    pub fn load_shared(&mut self, db: Arc<Database>) -> &mut Self {
         self.doc_len = 0;
         self.db = Some(db);
         self
@@ -360,7 +460,13 @@ impl<'d> Engine<'d> {
 
     /// The loaded edge store, if any.
     pub fn database(&self) -> Option<&Database> {
-        self.db.as_ref()
+        self.db.as_deref()
+    }
+
+    /// The loaded edge store as a shareable handle, if any (see
+    /// [`Engine::load_shared`]).
+    pub fn database_shared(&self) -> Option<Arc<Database>> {
+        self.db.clone()
     }
 
     /// Element count of the loaded document (0 when loaded via
@@ -396,20 +502,17 @@ impl<'d> Engine<'d> {
             strategy: strategy.clone(),
             sql_options,
         };
-        {
-            let mut inner = self.inner.lock().expect("engine lock");
-            if let Some(translation) = inner.cache.get(&key) {
-                inner.stats.plan_cache_hits += 1;
-                return Ok(PreparedQuery {
-                    engine: self,
-                    translation,
-                    query: normalized,
-                });
-            }
-            inner.stats.plan_cache_misses += 1;
+        if let Some(translation) = self.cache.get(&key) {
+            self.stats.plan_cache_hit();
+            return Ok(PreparedQuery {
+                engine: self,
+                translation,
+                query: normalized,
+            });
         }
-        // Translate outside the lock: CycleEX is the expensive part, and a
-        // concurrent prepare of a *different* query should not wait on it.
+        self.stats.plan_cache_miss();
+        // Translate outside any lock: CycleEX is the expensive part, and a
+        // concurrent prepare of a *different* query must not wait on it.
         // Two racing prepares of the same query both translate; the later
         // insert simply refreshes the entry.
         let translation = Arc::new(
@@ -418,8 +521,7 @@ impl<'d> Engine<'d> {
                 .with_sql_options(sql_options)
                 .translate(path)?,
         );
-        let mut inner = self.inner.lock().expect("engine lock");
-        inner.cache.insert(key, Arc::clone(&translation));
+        self.cache.insert(key, Arc::clone(&translation));
         Ok(PreparedQuery {
             engine: self,
             translation,
@@ -440,33 +542,30 @@ impl<'d> Engine<'d> {
     }
 
     /// Snapshot of the engine's accumulated statistics: plan-cache hit/miss
-    /// counters plus the merged execution counters of every query run.
+    /// counters plus the merged execution counters of every query run. The
+    /// counters are atomics — the snapshot is lock-free and can be taken
+    /// while other threads serve queries.
     pub fn stats(&self) -> Stats {
-        self.inner.lock().expect("engine lock").stats.clone()
+        self.stats.snapshot()
     }
 
     /// Zero the accumulated statistics (the plan cache itself is kept).
     pub fn reset_stats(&self) {
-        self.inner.lock().expect("engine lock").stats = Stats::default();
+        self.stats.reset();
     }
 
-    /// Number of currently cached translations.
+    /// Number of currently cached translations (across all cache shards).
     pub fn cached_plans(&self) -> usize {
-        self.inner.lock().expect("engine lock").cache.entries.len()
+        self.cache.len()
     }
 
     /// Drop every cached translation (counters are kept).
     pub fn clear_plan_cache(&self) {
-        self.inner
-            .lock()
-            .expect("engine lock")
-            .cache
-            .entries
-            .clear();
+        self.cache.clear();
     }
 
     fn record(&self, stats: &Stats) {
-        self.inner.lock().expect("engine lock").stats.merge(stats);
+        self.stats.record(stats);
     }
 }
 
@@ -584,6 +683,66 @@ mod tests {
         assert_eq!(a.xpath(), b.xpath());
         let stats = engine.stats();
         assert_eq!((stats.plan_cache_misses, stats.plan_cache_hits), (1, 1));
+    }
+
+    #[test]
+    fn small_capacity_stays_on_one_shard_for_exact_lru() {
+        assert_eq!(ShardedPlanCache::new(2).shards.len(), 1);
+        assert_eq!(ShardedPlanCache::new(7).shards.len(), 1);
+        let big = ShardedPlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY);
+        assert_eq!(big.shards.len(), MAX_CACHE_SHARDS);
+    }
+
+    #[test]
+    fn sharded_cache_respects_total_capacity() {
+        let d = samples::dept_simplified();
+        // one real translation reused under many distinct keys: capacity
+        // enforcement is a property of the cache, not the translations
+        let tr = Arc::new(
+            Translator::new(&d)
+                .translate(&parse_xpath("dept//project").unwrap())
+                .unwrap(),
+        );
+        // a capacity that does not divide evenly across shards must still
+        // be an upper bound, not a rounding suggestion
+        for capacity in [128usize, 100, 37] {
+            let cache = ShardedPlanCache::new(capacity);
+            for i in 0..400 {
+                let key = PlanKey {
+                    query: format!("q{i}"),
+                    strategy: RecStrategy::CycleEx,
+                    sql_options: SqlOptions::default(),
+                };
+                cache.insert(key, Arc::clone(&tr));
+            }
+            assert!(
+                cache.len() <= capacity,
+                "capacity {capacity}: got {}",
+                cache.len()
+            );
+            assert!(
+                cache.len() >= cache.shards.len(),
+                "every shard retains entries"
+            );
+            cache.clear();
+            assert_eq!(cache.len(), 0);
+        }
+    }
+
+    #[test]
+    fn load_shared_serves_the_same_store_without_copying() {
+        let d = samples::dept_simplified();
+        let mut a = Engine::new(&d);
+        a.load_xml("<dept><course><project/></course></dept>")
+            .unwrap();
+        let store = a.database_shared().unwrap();
+        let mut b = Engine::new(&d);
+        b.load_shared(Arc::clone(&store));
+        assert_eq!(
+            a.query("dept//project").unwrap(),
+            b.query("dept//project").unwrap()
+        );
+        assert!(std::ptr::eq(b.database().unwrap(), store.as_ref()));
     }
 
     #[test]

@@ -83,16 +83,6 @@ impl Translation {
         let rel = self.program.execute(db, opts, stats)?;
         Ok(rel.tuples().iter().filter_map(|t| t[0].as_id()).collect())
     }
-
-    /// Execute against an edge-shredded database; panics on execution errors.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_run`, which surfaces execution errors instead of panicking"
-    )]
-    pub fn run(&self, db: &Database, opts: ExecOptions, stats: &mut Stats) -> BTreeSet<u32> {
-        self.try_run(db, opts, stats)
-            .expect("translated programs execute on edge-shredded stores")
-    }
 }
 
 /// The translator: fixes a DTD, a rec strategy, and SQL options.
@@ -273,16 +263,24 @@ mod tests {
         assert!(matches!(err, ExecError::UnknownRelation(_)), "got {err:?}");
     }
 
+    /// Execution with worker threads must agree with the single-thread path
+    /// across the whole pipeline (the thresholds keep small inputs
+    /// sequential, but the options must at minimum round-trip unchanged).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_shim_still_works() {
+    fn threaded_exec_options_agree_with_sequential() {
         let d = samples::dept_simplified();
         let tree = parse_xml(&d, "<dept><course><project/></course></dept>").unwrap();
         let db = edge_database(&tree, &d);
         let path = parse_xpath("dept//project").unwrap();
         let tr = Translator::new(&d).translate(&path).unwrap();
         let mut stats = Stats::default();
-        assert_eq!(tr.run(&db, ExecOptions::default(), &mut stats).len(), 1);
+        let seq = tr.try_run(&db, ExecOptions::default(), &mut stats).unwrap();
+        let mut stats = Stats::default();
+        let par = tr
+            .try_run(&db, ExecOptions::default().with_threads(4), &mut stats)
+            .unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 1);
     }
 
     #[test]

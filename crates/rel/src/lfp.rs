@@ -30,6 +30,15 @@ use crate::intern::{pack, unpack, Interner};
 use crate::plan::{LfpSpec, PushSpec};
 use crate::relation::Relation;
 use std::collections::HashSet;
+use std::thread;
+
+/// Frontier size above which a semi-naive round with
+/// [`crate::ExecOptions::threads`] > 1 expands the frontier on multiple
+/// scoped threads. Each round is a barrier: workers read the closure
+/// snapshot of the previous round and their candidate deltas are merged into
+/// the shared closure between rounds, so small frontiers stay on the exact
+/// single-thread path.
+pub const PARALLEL_LFP_THRESHOLD: usize = 4_096;
 
 /// Evaluate `Φ(R)`: closure pairs `(F, T)` over the edge set produced by
 /// `spec.input`, possibly seed-/target-restricted.
@@ -122,18 +131,60 @@ fn semi_naive_closure(
             frontier.push((f, t));
         }
     }
+    let threads = ctx.opts.threads.max(1);
     while !frontier.is_empty() {
         ctx.stats.lfp_iterations += 1;
         ctx.stats.joins += 1; // one join per iteration: Δ ⋈ R0
         ctx.stats.unions += 1; // one union per iteration: R ∪ new
         let mut next = Vec::new();
-        for &(x, y) in &frontier {
-            // forward: extend y by an out-edge; backward: extend x by an in-edge
-            let probe = if backward { x } else { y };
-            for &z in &heads[probe as usize] {
-                let (nf, nt) = if backward { (z, y) } else { (x, z) };
-                if closure.insert(pack(nf, nt)) {
-                    next.push((nf, nt));
+        if threads > 1 && frontier.len() >= PARALLEL_LFP_THRESHOLD {
+            // Partitioned delta expansion: each worker extends a chunk of
+            // the frontier against the closure as of the *previous* round
+            // (read-only), pre-filtering already-known pairs; the merge into
+            // the shared closure below is the per-round barrier and
+            // deduplicates candidates produced by different workers.
+            let chunk = frontier.len().div_ceil(threads);
+            let candidates: Vec<Vec<(u32, u32)>> = thread::scope(|s| {
+                let closure = &closure;
+                let handles: Vec<_> = frontier
+                    .chunks(chunk)
+                    .map(|part| {
+                        s.spawn(move || {
+                            let mut local = Vec::new();
+                            for &(x, y) in part {
+                                let probe = if backward { x } else { y };
+                                for &z in &heads[probe as usize] {
+                                    let (nf, nt) = if backward { (z, y) } else { (x, z) };
+                                    if !closure.contains(&pack(nf, nt)) {
+                                        local.push((nf, nt));
+                                    }
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("lfp worker panicked"))
+                    .collect()
+            });
+            for list in candidates {
+                for (nf, nt) in list {
+                    if closure.insert(pack(nf, nt)) {
+                        next.push((nf, nt));
+                    }
+                }
+            }
+        } else {
+            for &(x, y) in &frontier {
+                // forward: extend y by an out-edge; backward: extend x by an in-edge
+                let probe = if backward { x } else { y };
+                for &z in &heads[probe as usize] {
+                    let (nf, nt) = if backward { (z, y) } else { (x, z) };
+                    if closure.insert(pack(nf, nt)) {
+                        next.push((nf, nt));
+                    }
                 }
             }
         }
@@ -208,7 +259,12 @@ mod tests {
         r
     }
 
-    fn run_lfp(pairs: &[(u32, u32)], push: Option<PushSpec>, naive: bool) -> (Relation, Stats) {
+    fn run_lfp_threads(
+        pairs: &[(u32, u32)],
+        push: Option<PushSpec>,
+        naive: bool,
+        threads: usize,
+    ) -> (Relation, Stats) {
         let mut db = Database::new();
         db.insert("E", edge_rel(pairs));
         let spec = LfpSpec {
@@ -225,11 +281,16 @@ mod tests {
             opts: ExecOptions {
                 naive_fixpoint: naive,
                 lazy: true,
+                threads,
             },
             stats: &mut stats,
         };
         let rel = eval_lfp(&spec, &mut ctx).unwrap();
         (rel, stats)
+    }
+
+    fn run_lfp(pairs: &[(u32, u32)], push: Option<PushSpec>, naive: bool) -> (Relation, Stats) {
+        run_lfp_threads(pairs, push, naive, 1)
     }
 
     fn pairs_of(rel: &Relation) -> HashSet<(u32, u32)> {
@@ -342,6 +403,119 @@ mod tests {
             let expect: HashSet<(u32, u32)> =
                 full.iter().copied().filter(|&(_, t)| t == 1).collect();
             assert_eq!(pairs_of(&rel), expect, "naive={naive}");
+        }
+    }
+
+    /// Partitioned frontier expansion must produce exactly the same closure
+    /// (and the same per-round stats) as the single-thread path, on a graph
+    /// large enough that rounds cross [`PARALLEL_LFP_THRESHOLD`].
+    #[test]
+    fn parallel_closure_matches_single_thread() {
+        // a wide bipartite-ish random graph: frontier explodes past the
+        // threshold in round one
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..12_000 {
+            edges.push(((step() % 300) as u32, (step() % 300) as u32));
+        }
+        let (seq, seq_stats) = run_lfp_threads(&edges, None, false, 1);
+        let (par, par_stats) = run_lfp_threads(&edges, None, false, 4);
+        assert!(seq.set_eq(&par), "parallel closure differs");
+        assert_eq!(seq.len(), par.len(), "same pair count (sets, no dupes)");
+        assert_eq!(seq_stats.lfp_iterations, par_stats.lfp_iterations);
+        assert_eq!(seq_stats.joins, par_stats.joins);
+
+        // pushed variants agree too, both directions
+        let mut seeds = Relation::new(vec!["S".into()]);
+        for v in [0u32, 7, 13] {
+            seeds.push(vec![Value::Id(v)]);
+        }
+        let fwd = |threads| {
+            run_lfp_threads(
+                &edges,
+                Some(PushSpec::Forward {
+                    seeds: Box::new(Plan::Values(seeds.clone())),
+                    col: 0,
+                }),
+                false,
+                threads,
+            )
+            .0
+        };
+        assert!(fwd(1).set_eq(&fwd(4)));
+        let bwd = |threads| {
+            run_lfp_threads(
+                &edges,
+                Some(PushSpec::Backward {
+                    targets: Box::new(Plan::Values(seeds.clone())),
+                    col: 0,
+                }),
+                false,
+                threads,
+            )
+            .0
+        };
+        assert!(bwd(1).set_eq(&bwd(4)));
+    }
+
+    /// Satellite oracle (ISSUE 3): naive == semi-naive == unpushed-then-
+    /// filtered, for forward and backward pushes, on graphs with cycles.
+    /// (The cross-crate version over shredded sample documents lives in
+    /// `tests/lfp_push_parity.rs`.)
+    #[test]
+    fn naive_and_semi_naive_push_parity() {
+        let edges = [
+            (1u32, 2u32),
+            (2, 3),
+            (3, 1),
+            (2, 4),
+            (4, 4),
+            (5, 1),
+            (6, 7),
+            (4, 6),
+        ];
+        let full = reference_closure(&edges);
+        for naive in [false, true] {
+            for restrict in [vec![2u32], vec![1, 4], vec![9]] {
+                let mut rel = Relation::new(vec!["S".into()]);
+                for &v in &restrict {
+                    rel.push(vec![Value::Id(v)]);
+                }
+                let (fwd, _) = run_lfp(
+                    &edges,
+                    Some(PushSpec::Forward {
+                        seeds: Box::new(Plan::Values(rel.clone())),
+                        col: 0,
+                    }),
+                    naive,
+                );
+                let expect: HashSet<(u32, u32)> = full
+                    .iter()
+                    .copied()
+                    .filter(|(f, _)| restrict.contains(f))
+                    .collect();
+                assert_eq!(pairs_of(&fwd), expect, "forward naive={naive}");
+                let (bwd, _) = run_lfp(
+                    &edges,
+                    Some(PushSpec::Backward {
+                        targets: Box::new(Plan::Values(rel)),
+                        col: 0,
+                    }),
+                    naive,
+                );
+                let expect: HashSet<(u32, u32)> = full
+                    .iter()
+                    .copied()
+                    .filter(|(_, t)| restrict.contains(t))
+                    .collect();
+                assert_eq!(pairs_of(&bwd), expect, "backward naive={naive}");
+            }
         }
     }
 

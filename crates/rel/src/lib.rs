@@ -35,11 +35,12 @@ pub mod sql;
 pub mod stats;
 pub mod value;
 
-pub use exec::{Database, ExecError, ExecOptions};
+pub use exec::{Database, ExecError, ExecOptions, PARALLEL_JOIN_THRESHOLD};
 pub use explain::{explain_plan, explain_program};
+pub use lfp::PARALLEL_LFP_THRESHOLD;
 pub use plan::{JoinKind, LfpSpec, MultiLfpEdge, MultiLfpSpec, Plan, Pred, PushSpec};
 pub use program::{OpCounts, Program, Stmt, TempId};
 pub use relation::Relation;
 pub use sql::{render_program, SqlDialect};
-pub use stats::Stats;
+pub use stats::{SharedStats, Stats};
 pub use value::Value;

@@ -230,7 +230,7 @@ mod tests {
                 env: &env,
                 opts: ExecOptions {
                     naive_fixpoint: naive,
-                    lazy: true,
+                    ..ExecOptions::default()
                 },
                 stats: &mut stats,
             };

@@ -29,6 +29,17 @@ impl Relation {
         Relation::new(vec!["F".into(), "T".into(), "V".into()])
     }
 
+    /// Relation over pre-built rows — the bulk constructor partitioned
+    /// operators use to adopt per-worker outputs without re-pushing row by
+    /// row. Every row must match the arity of `columns`.
+    pub fn from_tuples(columns: Vec<String>, tuples: Vec<Tuple>) -> Self {
+        debug_assert!(
+            tuples.iter().all(|t| t.len() == columns.len()),
+            "arity mismatch"
+        );
+        Relation { columns, tuples }
+    }
+
     /// Column names.
     #[inline]
     pub fn columns(&self) -> &[String] {
@@ -172,6 +183,17 @@ mod tests {
         assert_eq!(r.col("T"), Some(1));
         assert_eq!(r.col("zzz"), None);
         assert_eq!(r.arity(), 2);
+    }
+
+    #[test]
+    fn from_tuples_adopts_rows() {
+        let rows = vec![
+            vec![Value::Id(1), Value::Id(2)],
+            vec![Value::Id(2), Value::Id(3)],
+        ];
+        let r = Relation::from_tuples(vec!["F".into(), "T".into()], rows);
+        assert_eq!(r.len(), 2);
+        assert!(r.set_eq(&ft(&[(1, 2), (2, 3)])));
     }
 
     #[test]

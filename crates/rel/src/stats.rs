@@ -6,6 +6,7 @@
 //! how many LFP operators execute and how many iterations they take.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters accumulated during execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -63,6 +64,116 @@ impl Stats {
     }
 }
 
+/// A thread-safe [`Stats`] accumulator: one atomic counter per field.
+///
+/// Concurrent serving paths (the `Engine`'s prepare/execute counters) record
+/// into a `SharedStats` without taking any lock; [`SharedStats::snapshot`]
+/// reads the counters back out as a plain [`Stats`]. All operations use
+/// relaxed ordering — the counters are independent monotonic tallies, and
+/// the only cross-thread guarantee required is that no increment is lost
+/// (which `fetch_add` provides regardless of ordering).
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    joins: AtomicU64,
+    unions: AtomicU64,
+    selects: AtomicU64,
+    projects: AtomicU64,
+    set_ops: AtomicU64,
+    lfp_invocations: AtomicU64,
+    lfp_iterations: AtomicU64,
+    multilfp_invocations: AtomicU64,
+    multilfp_iterations: AtomicU64,
+    tuples_emitted: AtomicU64,
+    stmts_evaluated: AtomicU64,
+    stmts_skipped: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+}
+
+impl SharedStats {
+    /// New zeroed accumulator.
+    pub fn new() -> Self {
+        SharedStats::default()
+    }
+
+    /// Count one plan-cache hit.
+    pub fn plan_cache_hit(&self) {
+        self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one plan-cache miss.
+    pub fn plan_cache_miss(&self) {
+        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add a finished run's counters (the lock-free analogue of
+    /// [`Stats::merge`]).
+    pub fn record(&self, s: &Stats) {
+        self.joins.fetch_add(s.joins as u64, Ordering::Relaxed);
+        self.unions.fetch_add(s.unions as u64, Ordering::Relaxed);
+        self.selects.fetch_add(s.selects as u64, Ordering::Relaxed);
+        self.projects
+            .fetch_add(s.projects as u64, Ordering::Relaxed);
+        self.set_ops.fetch_add(s.set_ops as u64, Ordering::Relaxed);
+        self.lfp_invocations
+            .fetch_add(s.lfp_invocations as u64, Ordering::Relaxed);
+        self.lfp_iterations
+            .fetch_add(s.lfp_iterations as u64, Ordering::Relaxed);
+        self.multilfp_invocations
+            .fetch_add(s.multilfp_invocations as u64, Ordering::Relaxed);
+        self.multilfp_iterations
+            .fetch_add(s.multilfp_iterations as u64, Ordering::Relaxed);
+        self.tuples_emitted
+            .fetch_add(s.tuples_emitted, Ordering::Relaxed);
+        self.stmts_evaluated
+            .fetch_add(s.stmts_evaluated as u64, Ordering::Relaxed);
+        self.stmts_skipped
+            .fetch_add(s.stmts_skipped as u64, Ordering::Relaxed);
+        self.plan_cache_hits
+            .fetch_add(s.plan_cache_hits as u64, Ordering::Relaxed);
+        self.plan_cache_misses
+            .fetch_add(s.plan_cache_misses as u64, Ordering::Relaxed);
+    }
+
+    /// Read the counters out as a plain [`Stats`] value.
+    pub fn snapshot(&self) -> Stats {
+        Stats {
+            joins: self.joins.load(Ordering::Relaxed) as usize,
+            unions: self.unions.load(Ordering::Relaxed) as usize,
+            selects: self.selects.load(Ordering::Relaxed) as usize,
+            projects: self.projects.load(Ordering::Relaxed) as usize,
+            set_ops: self.set_ops.load(Ordering::Relaxed) as usize,
+            lfp_invocations: self.lfp_invocations.load(Ordering::Relaxed) as usize,
+            lfp_iterations: self.lfp_iterations.load(Ordering::Relaxed) as usize,
+            multilfp_invocations: self.multilfp_invocations.load(Ordering::Relaxed) as usize,
+            multilfp_iterations: self.multilfp_iterations.load(Ordering::Relaxed) as usize,
+            tuples_emitted: self.tuples_emitted.load(Ordering::Relaxed),
+            stmts_evaluated: self.stmts_evaluated.load(Ordering::Relaxed) as usize,
+            stmts_skipped: self.stmts_skipped.load(Ordering::Relaxed) as usize,
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed) as usize,
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed) as usize,
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.joins.store(0, Ordering::Relaxed);
+        self.unions.store(0, Ordering::Relaxed);
+        self.selects.store(0, Ordering::Relaxed);
+        self.projects.store(0, Ordering::Relaxed);
+        self.set_ops.store(0, Ordering::Relaxed);
+        self.lfp_invocations.store(0, Ordering::Relaxed);
+        self.lfp_iterations.store(0, Ordering::Relaxed);
+        self.multilfp_invocations.store(0, Ordering::Relaxed);
+        self.multilfp_iterations.store(0, Ordering::Relaxed);
+        self.tuples_emitted.store(0, Ordering::Relaxed);
+        self.stmts_evaluated.store(0, Ordering::Relaxed);
+        self.stmts_skipped.store(0, Ordering::Relaxed);
+        self.plan_cache_hits.store(0, Ordering::Relaxed);
+        self.plan_cache_misses.store(0, Ordering::Relaxed);
+    }
+}
+
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -109,5 +220,50 @@ mod tests {
     fn display_is_compact() {
         let s = Stats::default().to_string();
         assert!(s.contains("joins=0"));
+    }
+
+    #[test]
+    fn shared_stats_round_trip() {
+        let shared = SharedStats::new();
+        let a = Stats {
+            joins: 2,
+            tuples_emitted: 10,
+            stmts_evaluated: 3,
+            ..Default::default()
+        };
+        shared.record(&a);
+        shared.record(&a);
+        shared.plan_cache_hit();
+        shared.plan_cache_miss();
+        shared.plan_cache_miss();
+        let snap = shared.snapshot();
+        assert_eq!(snap.joins, 4);
+        assert_eq!(snap.tuples_emitted, 20);
+        assert_eq!(snap.stmts_evaluated, 6);
+        assert_eq!((snap.plan_cache_hits, snap.plan_cache_misses), (1, 2));
+        shared.reset();
+        assert_eq!(shared.snapshot(), Stats::default());
+    }
+
+    #[test]
+    fn shared_stats_concurrent_increments_are_not_lost() {
+        let shared = SharedStats::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let shared = &shared;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        shared.plan_cache_hit();
+                        shared.record(&Stats {
+                            joins: 1,
+                            ..Default::default()
+                        });
+                    }
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.plan_cache_hits, 8000);
+        assert_eq!(snap.joins, 8000);
     }
 }

@@ -39,7 +39,9 @@ fn check_all_paths(dtd: &Dtd, tree: &Tree, queries: &[&str]) {
             .collect();
         assert_eq!(via_extended, native, "extended XPath eval differs: {q}");
 
-        // SQL via CycleEX, both optimization settings
+        // SQL via CycleEX, both optimization settings, sequential and
+        // parallel execution (threads = 1 must be byte-identical to the old
+        // engine; threads = 4 must be set-equal)
         for push in [true, false] {
             let tr = Translator::new(dtd)
                 .with_sql_options(SqlOptions {
@@ -48,9 +50,20 @@ fn check_all_paths(dtd: &Dtd, tree: &Tree, queries: &[&str]) {
                 })
                 .translate(&path)
                 .unwrap();
-            let mut stats = Stats::default();
-            let got = tr.try_run(&db, ExecOptions::default(), &mut stats).unwrap();
-            assert_eq!(got, native, "CycleEX SQL differs: {q} (push={push})");
+            for threads in [1, 4] {
+                let mut stats = Stats::default();
+                let got = tr
+                    .try_run(
+                        &db,
+                        ExecOptions::default().with_threads(threads),
+                        &mut stats,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    got, native,
+                    "CycleEX SQL differs: {q} (push={push}, threads={threads})"
+                );
+            }
         }
 
         // SQL via CycleE
@@ -71,7 +84,7 @@ fn check_all_paths(dtd: &Dtd, tree: &Tree, queries: &[&str]) {
                     &db,
                     ExecOptions {
                         naive_fixpoint: naive,
-                        lazy: true,
+                        ..ExecOptions::default()
                     },
                     &mut stats,
                 )

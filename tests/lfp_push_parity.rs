@@ -1,0 +1,151 @@
+//! Pushed-selection parity oracle (ISSUE 3): on the child-edge graphs of
+//! generated documents of the recursive sample DTDs (dept, gedml, cross),
+//! the restricted closure must come out identical along every route:
+//!
+//! ```text
+//! semi-naive pushed == naive pushed == unpushed closure, post-filtered
+//! ```
+//!
+//! for both forward (seed-restricted) and backward (target-restricted)
+//! `PushSpec`, and again with parallel frontier expansion
+//! (`ExecOptions::threads` > 1).
+//!
+//! This pins the §5.2 push-selection rewrite to an implementation-free
+//! definition: pushing a selection into `Φ(R)` is only an *optimization* if
+//! the answer equals filtering the full closure after the fact.
+
+use std::collections::HashSet;
+use xpath2sql::dtd::samples;
+use xpath2sql::rel::{
+    Database, ExecOptions, LfpSpec, Plan, Program, PushSpec, Relation, Stats, Value,
+};
+use xpath2sql::shred::edge_database;
+use xpath2sql::xml::{Generator, GeneratorConfig};
+
+/// All child edges (F, T) of a shredded store, as one relation.
+fn all_edges(db: &Database) -> Relation {
+    let mut out = Relation::new(vec!["F".into(), "T".into()]);
+    for name in db.names() {
+        let rel = db.get(name).unwrap();
+        let (f, t) = (rel.col("F").unwrap(), rel.col("T").unwrap());
+        for tuple in rel.tuples() {
+            out.push(vec![tuple[f].clone(), tuple[t].clone()]);
+        }
+    }
+    out
+}
+
+fn closure(
+    edges: &Relation,
+    push: Option<PushSpec>,
+    naive: bool,
+    threads: usize,
+) -> HashSet<(Value, Value)> {
+    let mut db = Database::new();
+    db.insert("E", edges.clone());
+    let mut prog = Program::new();
+    let t = prog.push(
+        Plan::Lfp(LfpSpec {
+            input: Box::new(Plan::Scan("E".into())),
+            from_col: 0,
+            to_col: 1,
+            push,
+        }),
+        "Φ(E)",
+    );
+    prog.result = Some(t);
+    let mut stats = Stats::default();
+    let rel = prog
+        .execute(
+            &db,
+            ExecOptions {
+                naive_fixpoint: naive,
+                lazy: true,
+                threads,
+            },
+            &mut stats,
+        )
+        .unwrap();
+    rel.tuples()
+        .iter()
+        .map(|t| (t[0].clone(), t[1].clone()))
+        .collect()
+}
+
+fn check_parity(dtd: &xpath2sql::dtd::Dtd, elements: usize, seed: u64) {
+    let tree = Generator::new(
+        dtd,
+        GeneratorConfig::shaped(8, 3, Some(elements)).with_seed(seed),
+    )
+    .generate();
+    let db = edge_database(&tree, dtd);
+    let edges = all_edges(&db);
+    assert!(!edges.is_empty(), "generated document has edges");
+
+    let full = closure(&edges, None, false, 1);
+    assert_eq!(full, closure(&edges, None, true, 1), "naive full closure");
+
+    // restriction sets: a spread of node values that actually occur
+    let mut restrict = Relation::new(vec!["S".into()]);
+    for (i, t) in edges.tuples().iter().enumerate() {
+        if i % 7 == 0 {
+            restrict.push(vec![t[0].clone()]);
+        }
+    }
+    let members: HashSet<Value> = restrict.tuples().iter().map(|t| t[0].clone()).collect();
+
+    let fwd = |naive: bool, threads: usize| {
+        closure(
+            &edges,
+            Some(PushSpec::Forward {
+                seeds: Box::new(Plan::Values(restrict.clone())),
+                col: 0,
+            }),
+            naive,
+            threads,
+        )
+    };
+    let expect_fwd: HashSet<(Value, Value)> = full
+        .iter()
+        .filter(|(f, _)| members.contains(f))
+        .cloned()
+        .collect();
+    assert_eq!(fwd(false, 1), expect_fwd, "semi-naive forward push");
+    assert_eq!(fwd(true, 1), expect_fwd, "naive forward push");
+    assert_eq!(fwd(false, 4), expect_fwd, "parallel forward push");
+
+    let bwd = |naive: bool, threads: usize| {
+        closure(
+            &edges,
+            Some(PushSpec::Backward {
+                targets: Box::new(Plan::Values(restrict.clone())),
+                col: 0,
+            }),
+            naive,
+            threads,
+        )
+    };
+    let expect_bwd: HashSet<(Value, Value)> = full
+        .iter()
+        .filter(|(_, t)| members.contains(t))
+        .cloned()
+        .collect();
+    assert_eq!(bwd(false, 1), expect_bwd, "semi-naive backward push");
+    assert_eq!(bwd(true, 1), expect_bwd, "naive backward push");
+    assert_eq!(bwd(false, 4), expect_bwd, "parallel backward push");
+}
+
+#[test]
+fn dept_push_parity() {
+    check_parity(&samples::dept(), 1_200, 31);
+}
+
+#[test]
+fn gedml_push_parity() {
+    check_parity(&samples::gedml(), 1_200, 32);
+}
+
+#[test]
+fn cross_push_parity() {
+    check_parity(&samples::cross(), 1_200, 33);
+}
