@@ -26,6 +26,7 @@ fn bench_fig13(c: &mut Criterion) {
             let opts = SqlOptions {
                 push_selections: push,
                 root_filter_pushdown: push,
+                ..SqlOptions::default()
             };
             group.bench_with_input(BenchmarkId::new(label, marked), &db, |b, db| {
                 b.iter(|| measure_with_options(&dtd, "a[text()='sel']/b//c/d", db, opts, 1).answers)

@@ -1,12 +1,17 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|sql|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]
+//! repro [all|sql|opt|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]
 //!       [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH]
+//!       [--quick]
 //! ```
 //!
 //! `--scale 1.0` uses the paper's element counts (minutes of runtime);
 //! the default 0.25 preserves every qualitative shape at laptop scale.
+//! `--quick` forces the smallest useful configuration (scale 0.02, one
+//! rep) so CI can smoke-run every section without real benchmarking cost.
+//! The `opt` section is the logical-optimizer ablation: Table-5 operator
+//! counts and native-exec timings with the optimizer on vs off.
 //! The `sql` section translates `--query` (default `dept//project`) over
 //! `--dtd` (default `dept`) and prints the generated SQL'(LFP) script before
 //! executing it against a freshly generated document.
@@ -19,7 +24,8 @@
 
 use std::env;
 use x2s_bench::{
-    exp1, exp2, exp3, exp4, exp5, measure_prepared, table5, tables123, throughput, Table,
+    exp1, exp2, exp3, exp4, exp5, measure_prepared, opt_ablation, table5, tables123, throughput,
+    Table,
 };
 use x2s_core::Engine;
 use x2s_dtd::{samples, Dtd};
@@ -41,6 +47,7 @@ fn main() {
     let mut threads = default_threads();
     let mut dtd_name = "dept".to_string();
     let mut query = "dept//project".to_string();
+    let mut quick = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -79,6 +86,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--reps needs an integer"));
             }
+            "--quick" => quick = true,
             "--help" | "-h" => usage(""),
             other => which.push(other.to_string()),
         }
@@ -86,6 +94,12 @@ fn main() {
     }
     if which.is_empty() {
         which.push("all".to_string());
+    }
+    if quick {
+        // applied after the parse loop so it wins regardless of flag order:
+        // --quick *forces* the smallest useful configuration
+        scale = 0.02;
+        reps = 1;
     }
 
     println!("# xpath2sql — regenerated evaluation artifacts");
@@ -98,6 +112,9 @@ fn main() {
 
     if wants("sql") {
         sql_section(&dtd_name, &query);
+    }
+    if wants("opt") {
+        emit("Optimizer ablation (on vs off)", opt_ablation(scale, reps));
     }
     if wants("throughput") {
         emit(
@@ -160,7 +177,11 @@ fn sql_section(dtd_name: &str, query: &str) {
             "\nextended XPath (step 1, pruned):\n    {}",
             prepared.translation().extended
         );
-        println!("\nSQL'(LFP) script (step 2, SQL'99 dialect):\n");
+        println!("\nlogical optimizer (between steps 2 and execution):\n");
+        for line in x2s_rel::explain_opt_report(&prepared.translation().opt).lines() {
+            println!("    {line}");
+        }
+        println!("\nSQL'(LFP) script (step 2, SQL'99 dialect, optimized):\n");
         for line in prepared.sql_text().lines() {
             println!("    {line}");
         }
@@ -210,8 +231,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [all|sql|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]… \
-         [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH]"
+        "usage: repro [all|sql|opt|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]… \
+         [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH] [--quick]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

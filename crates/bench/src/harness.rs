@@ -380,6 +380,7 @@ mod tests {
             SqlOptions {
                 push_selections: true,
                 root_filter_pushdown: true,
+                ..SqlOptions::default()
             },
             1,
         );
@@ -390,6 +391,7 @@ mod tests {
             SqlOptions {
                 push_selections: false,
                 root_filter_pushdown: false,
+                ..SqlOptions::default()
             },
             1,
         );

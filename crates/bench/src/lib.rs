@@ -9,8 +9,8 @@
 //!   paper's generator protocol, and wall-clock + operator-count
 //!   measurement;
 //! * [`workloads`] — one function per experiment (Exp-1 … Exp-5 / Table 5,
-//!   plus the concurrent-serving throughput sweep) returning printable
-//!   series tables;
+//!   plus the concurrent-serving throughput sweep and the logical-optimizer
+//!   ablation) returning printable series tables;
 //! * `src/bin/repro.rs` — the command-line runner that prints the
 //!   regenerated rows for every artifact;
 //! * `benches/` — Criterion micro-benchmarks of representative points of
@@ -27,4 +27,6 @@ pub use harness::{
     dataset, measure, measure_prepared, measure_prepared_opts, measure_prepared_shared,
     measure_throughput, translate_with, Approach, Dataset, Measured, Throughput,
 };
-pub use workloads::{exp1, exp2, exp3, exp4, exp5, table5, tables123, throughput, Table};
+pub use workloads::{
+    exp1, exp2, exp3, exp4, exp5, opt_ablation, table5, tables123, throughput, Table,
+};

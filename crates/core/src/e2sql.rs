@@ -21,6 +21,7 @@
 use crate::pipeline::TranslateError;
 use std::collections::HashMap;
 use x2s_exp::{EQual, Exp, ExtendedQuery, VarId};
+use x2s_rel::opt::{optimize, OptLevel, OptReport};
 use x2s_rel::{JoinKind, LfpSpec, Plan, Pred, Program, PushSpec, TempId, Value};
 
 /// Name of the all-nodes relation provided by edge shredding.
@@ -31,7 +32,9 @@ const ALL_NODES: &str = "R__nodes";
 /// `Eq`/`Hash` matter beyond plain comparison: the engine's plan cache keys
 /// translations by (normalized XPath, [`RecStrategy`](crate::RecStrategy),
 /// `SqlOptions`), so two option sets compare equal exactly when they produce
-/// the same program.
+/// the same program. `optimize` is part of the key like everything else: an
+/// `OptLevel::None` plan never masquerades as an optimized plan of the same
+/// query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SqlOptions {
     /// Push selections into LFP operators (§5.2). Default true.
@@ -40,6 +43,11 @@ pub struct SqlOptions {
     /// its leading scans (instead of only filtering at the end). Default
     /// true.
     pub root_filter_pushdown: bool,
+    /// Logical-optimizer level applied to the translated program
+    /// ([`x2s_rel::opt`]). Default [`OptLevel::Full`];
+    /// [`OptLevel::None`] preserves the raw `EXpToSQL` output
+    /// byte-identical.
+    pub optimize: OptLevel,
 }
 
 impl Default for SqlOptions {
@@ -47,6 +55,7 @@ impl Default for SqlOptions {
         SqlOptions {
             push_selections: true,
             root_filter_pushdown: true,
+            optimize: OptLevel::default(),
         }
     }
 }
@@ -54,7 +63,45 @@ impl Default for SqlOptions {
 /// Translate an extended XPath query into a statement program over the
 /// edge-shredded store. `overrides` maps opaque variables (External rec
 /// placeholders) to plans producing `(F, T)` pairs.
+///
+/// This is the single choke point of the relational layer: the program it
+/// returns has already been through the logical optimizer at
+/// `opts.optimize`, so the native executor, every SQL dialect renderer and
+/// `explain` all consume the same optimized program. Use
+/// [`exp_to_sql_with_report`] to also obtain the optimizer's
+/// [`OptReport`].
 pub fn exp_to_sql(
+    query: &ExtendedQuery,
+    opts: &SqlOptions,
+    overrides: &HashMap<VarId, Plan>,
+) -> Result<Program, TranslateError> {
+    Ok(exp_to_sql_with_report(query, opts, overrides)?.0)
+}
+
+/// [`exp_to_sql`] plus the optimizer's before/after report.
+pub fn exp_to_sql_with_report(
+    query: &ExtendedQuery,
+    opts: &SqlOptions,
+    overrides: &HashMap<VarId, Plan>,
+) -> Result<(Program, OptReport), TranslateError> {
+    let raw = exp_to_sql_raw(query, opts, overrides)?;
+    if opts.optimize == OptLevel::None {
+        // skip the optimizer entirely — `raw` is returned byte-identical,
+        // without even the clone `optimize` would make
+        let counts = raw.op_counts();
+        let report = OptReport {
+            level: OptLevel::None,
+            before: counts,
+            after: counts,
+            ..OptReport::default()
+        };
+        return Ok((raw, report));
+    }
+    Ok(optimize(&raw, opts.optimize))
+}
+
+/// The raw `EXpToSQL` compiler (Fig. 10), without the optimizer.
+fn exp_to_sql_raw(
     query: &ExtendedQuery,
     opts: &SqlOptions,
     overrides: &HashMap<VarId, Plan>,
@@ -780,6 +827,7 @@ mod tests {
             let opts = SqlOptions {
                 push_selections: push,
                 root_filter_pushdown: push,
+                ..SqlOptions::default()
             };
             let prog = exp_to_sql(&q, &opts, &HashMap::new()).unwrap();
             let ids = run(&prog, &db);
@@ -873,6 +921,7 @@ mod tests {
                 &SqlOptions {
                     push_selections: true,
                     root_filter_pushdown: true,
+                    ..SqlOptions::default()
                 },
                 &HashMap::new(),
             )
@@ -885,6 +934,7 @@ mod tests {
                 &SqlOptions {
                     push_selections: false,
                     root_filter_pushdown: false,
+                    ..SqlOptions::default()
                 },
                 &HashMap::new(),
             )

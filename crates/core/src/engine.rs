@@ -521,6 +521,10 @@ impl<'d> Engine<'d> {
                 .with_sql_options(sql_options)
                 .translate(path)?,
         );
+        // Pass-level optimizer counters accumulate with the execution
+        // counters — only on misses, since a cache hit re-serves the same
+        // already-optimized program.
+        self.stats.record_opt(&translation.opt.stats);
         self.cache.insert(key, Arc::clone(&translation));
         Ok(PreparedQuery {
             engine: self,

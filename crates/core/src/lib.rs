@@ -25,7 +25,11 @@
 //! * [`e2sql`] — `EXpToSQL` (Fig. 10): compilation to a statement program
 //!   over the shredded store, ε handled by reflexivity flags instead of a
 //!   materialized identity relation, with the §5.2 optimizations (pushing
-//!   selections into LFP, root-filter pushdown, lazy programs);
+//!   selections into LFP, root-filter pushdown, lazy programs); the
+//!   emitted program goes through the logical optimizer
+//!   ([`x2s_rel::opt`]) at [`SqlOptions::optimize`], making `exp_to_sql`
+//!   the single choke point the executor and every dialect renderer sit
+//!   behind;
 //! * [`pipeline`] — the end-to-end [`pipeline::Translator`];
 //! * [`views`] — query answering over virtual XML views (§3.4);
 //! * [`engine`] — the session-level front door: [`engine::Engine`] wraps
@@ -43,9 +47,10 @@ pub mod x2e;
 
 pub use cyclee::{rec_regular, CycleEError};
 pub use cycleex::RecTable;
-pub use e2sql::{exp_to_sql, SqlOptions};
+pub use e2sql::{exp_to_sql, exp_to_sql_with_report, SqlOptions};
 pub use engine::{Engine, EngineBuilder, EngineError, PreparedQuery};
 pub use graph::{TransGraph, DOC};
 pub use pipeline::{RecStrategy, TranslateError, Translation, Translator};
 pub use views::rewrite_for_view;
 pub use x2e::{xpath_to_exp, XpathTranslation};
+pub use x2s_rel::{OptLevel, OptReport};

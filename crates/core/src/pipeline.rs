@@ -1,11 +1,12 @@
 //! The end-to-end translator (paper Fig. 5): XPath → extended XPath → SQL.
 
-use crate::e2sql::{exp_to_sql, SqlOptions};
+use crate::e2sql::{exp_to_sql_with_report, SqlOptions};
 use crate::x2e::{xpath_to_exp, RecMode};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use x2s_dtd::Dtd;
 use x2s_exp::ExtendedQuery;
+use x2s_rel::opt::OptReport;
 use x2s_rel::{Database, ExecError, ExecOptions, Program, Stats};
 use x2s_xpath::Path;
 
@@ -62,8 +63,13 @@ impl std::error::Error for TranslateError {}
 pub struct Translation {
     /// Pruned extended XPath query (step 1, Theorem 4.2).
     pub extended: ExtendedQuery,
-    /// The SQL statement program (step 2, Corollary 5.1).
+    /// The SQL statement program (step 2, Corollary 5.1), already through
+    /// the logical optimizer at [`SqlOptions::optimize`] — the executor,
+    /// every dialect renderer and `explain` all consume this one program.
     pub program: Program,
+    /// What the optimizer did: operator counts before/after and pass-level
+    /// counters ([`x2s_rel::opt::OptStats`]).
+    pub opt: OptReport,
 }
 
 impl Translation {
@@ -125,11 +131,16 @@ impl<'a> Translator<'a> {
         Ok(tr.query.pruned())
     }
 
-    /// Full pipeline: XPath → extended XPath → SQL program.
+    /// Full pipeline: XPath → extended XPath → SQL program (optimized at
+    /// [`SqlOptions::optimize`]).
     pub fn translate(&self, path: &Path) -> Result<Translation, TranslateError> {
         let extended = self.to_extended(path)?;
-        let program = exp_to_sql(&extended, &self.sql_options, &HashMap::new())?;
-        Ok(Translation { extended, program })
+        let (program, opt) = exp_to_sql_with_report(&extended, &self.sql_options, &HashMap::new())?;
+        Ok(Translation {
+            extended,
+            program,
+            opt,
+        })
     }
 }
 
@@ -153,17 +164,28 @@ mod tests {
                 .collect();
             for strategy in [RecStrategy::CycleEx, RecStrategy::CycleE { cap: 1_000_000 }] {
                 for push in [true, false] {
-                    let tr = Translator::new(dtd)
-                        .with_strategy(strategy.clone())
-                        .with_sql_options(SqlOptions {
-                            push_selections: push,
-                            root_filter_pushdown: push,
-                        })
-                        .translate(&path)
-                        .unwrap();
-                    let mut stats = Stats::default();
-                    let got = tr.try_run(&db, ExecOptions::default(), &mut stats).unwrap();
-                    assert_eq!(got, native, "query {q}, {strategy:?}, push={push}");
+                    for optimize in [x2s_rel::OptLevel::Full, x2s_rel::OptLevel::None] {
+                        let tr = Translator::new(dtd)
+                            .with_strategy(strategy.clone())
+                            .with_sql_options(SqlOptions {
+                                push_selections: push,
+                                root_filter_pushdown: push,
+                                optimize,
+                            })
+                            .translate(&path)
+                            .unwrap();
+                        assert!(
+                            tr.opt.after.total() <= tr.opt.before.total(),
+                            "optimizer grew {q}: {}",
+                            tr.opt
+                        );
+                        let mut stats = Stats::default();
+                        let got = tr.try_run(&db, ExecOptions::default(), &mut stats).unwrap();
+                        assert_eq!(
+                            got, native,
+                            "query {q}, {strategy:?}, push={push}, {optimize:?}"
+                        );
+                    }
                 }
             }
         }

@@ -2,9 +2,46 @@
 //! operator tree, independent of SQL dialect. Useful for inspecting what a
 //! translation produced (`examples/`, debugging) without reading full SQL.
 
+use crate::opt::OptReport;
 use crate::plan::{JoinKind, Plan, Pred, PushSpec};
-use crate::program::Program;
+use crate::program::{OpCounts, Program};
 use std::fmt::Write as _;
+
+/// Render an optimizer report as a before/after operator-count table plus
+/// the pass-level counters — what `explain`-style output prepends so a
+/// reader sees at a glance what the optimizer bought (§5.2's Table 5
+/// quantities).
+pub fn explain_opt_report(report: &OptReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "optimizer: {:?}", report.level);
+    let row = |label: &str, c: &OpCounts| {
+        format!(
+            "  {label:<9} lfp={} joins={} unions={} other={} | ALL={} ALL+fixpoint-iter-ops={}",
+            c.lfp,
+            c.joins,
+            c.unions,
+            c.other,
+            c.total(),
+            c.total_with_fixpoint_ops(),
+        )
+    };
+    let _ = writeln!(out, "{}", row("before:", &report.before));
+    let _ = writeln!(out, "{}", row("after:", &report.after));
+    let s = &report.stats;
+    let _ = writeln!(
+        out,
+        "  passes:   stmts-eliminated={} plans-hash-consed={} preds-pushed={} \
+         preds-simplified={} projections-narrowed={} lfps-merged={} rounds={}",
+        s.stmts_eliminated,
+        s.plans_hash_consed,
+        s.preds_pushed,
+        s.preds_simplified,
+        s.projections_narrowed,
+        s.lfps_merged,
+        s.rounds,
+    );
+    out
+}
 
 /// Render a whole program as indented operator trees.
 pub fn explain_program(prog: &Program) -> String {
@@ -199,6 +236,26 @@ mod tests {
         let text = explain_program(&prog);
         assert!(text.contains("T0 := base"));
         assert!(text.contains("result: T0"));
+    }
+
+    #[test]
+    fn opt_report_renders_before_after_counts() {
+        let mut prog = Program::new();
+        let t = prog.push(
+            Plan::Scan("E".into())
+                .select(Pred::True)
+                .project(vec![(0, "F"), (1, "T")])
+                .project(vec![(0, "F")]),
+            "messy",
+        );
+        prog.result = Some(t);
+        let (_, report) = crate::opt::optimize(&prog, crate::opt::OptLevel::Full);
+        let text = explain_opt_report(&report);
+        assert!(text.contains("optimizer: Full"));
+        assert!(text.contains("before:"));
+        assert!(text.contains("after:"));
+        assert!(text.contains("ALL="));
+        assert!(text.contains("preds-pushed="));
     }
 
     #[test]

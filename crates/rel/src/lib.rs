@@ -20,6 +20,10 @@
 //! * execution statistics ([`stats`]) counting joins, unions, LFP
 //!   invocations and iterations — the quantities behind Table 5 and the
 //!   relative timings of Figs. 12–17;
+//! * a **logical optimizer** ([`opt`]): an arena-based, hash-consed program
+//!   IR with a deterministic rewrite-pass pipeline (CSE, dead-statement
+//!   elimination, predicate simplification/pushdown, projection narrowing,
+//!   LFP dedup) applied between translation and execution/rendering;
 //! * SQL text rendering in three dialects ([`sql`]): SQL'99 recursive CTEs,
 //!   Oracle `CONNECT BY`, and DB2 `WITH…RECURSIVE` (Fig. 4).
 
@@ -28,6 +32,7 @@ pub mod explain;
 pub mod intern;
 pub mod lfp;
 pub mod multilfp;
+pub mod opt;
 pub mod plan;
 pub mod program;
 pub mod relation;
@@ -36,8 +41,9 @@ pub mod stats;
 pub mod value;
 
 pub use exec::{Database, ExecError, ExecOptions, PARALLEL_JOIN_THRESHOLD};
-pub use explain::{explain_plan, explain_program};
+pub use explain::{explain_opt_report, explain_plan, explain_program};
 pub use lfp::PARALLEL_LFP_THRESHOLD;
+pub use opt::{optimize, OptLevel, OptReport, OptStats};
 pub use plan::{JoinKind, LfpSpec, MultiLfpEdge, MultiLfpSpec, Plan, Pred, PushSpec};
 pub use program::{OpCounts, Program, Stmt, TempId};
 pub use relation::Relation;

@@ -9,7 +9,10 @@ use crate::relation::Relation;
 use crate::value::Value;
 
 /// A predicate over a single tuple.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// `Eq`/`Hash` let the optimizer ([`crate::opt`]) hash-cons `Select` nodes
+/// structurally; [`Value`] is already `Eq + Hash`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Pred {
     /// Always true.
     True,
@@ -41,7 +44,7 @@ impl Pred {
 
 /// Join kinds. Inner joins output `left.cols ++ right.cols`; semi and anti
 /// joins output the left tuple unchanged.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum JoinKind {
     /// Matching pairs, concatenated.
     Inner,

@@ -9,7 +9,12 @@ pub type Tuple = Vec<Value>;
 /// A relation with named columns. Duplicate rows are permitted (bags);
 /// set semantics are applied explicitly via [`Relation::dedup`] or the
 /// `Distinct` plan node, mirroring SQL.
-#[derive(Clone, Debug, Default)]
+///
+/// `Eq`/`Hash` compare columns and rows *in order* — two relations are equal
+/// exactly when they would render identically. The optimizer relies on this
+/// to hash-cons inline `Values` plans (which are always small: seed markers
+/// and empty relations).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Relation {
     columns: Vec<String>,
     tuples: Vec<Tuple>,

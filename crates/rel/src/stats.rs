@@ -42,6 +42,14 @@ pub struct Stats {
     /// Prepared-query plan-cache misses (a prepare ran the full translation
     /// pipeline).
     pub plan_cache_misses: usize,
+    /// Optimizer: statements eliminated across all optimized translations
+    /// (dead-statement elimination + CSE merging + temp inlining).
+    pub opt_stmts_eliminated: usize,
+    /// Optimizer: structurally duplicate subplans hash-consed onto one
+    /// shared node.
+    pub opt_plans_hash_consed: usize,
+    /// Optimizer: selections pushed through projections/`Distinct`/joins.
+    pub opt_preds_pushed: usize,
 }
 
 impl Stats {
@@ -61,6 +69,9 @@ impl Stats {
         self.stmts_skipped += other.stmts_skipped;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        self.opt_stmts_eliminated += other.opt_stmts_eliminated;
+        self.opt_plans_hash_consed += other.opt_plans_hash_consed;
+        self.opt_preds_pushed += other.opt_preds_pushed;
     }
 }
 
@@ -88,6 +99,9 @@ pub struct SharedStats {
     stmts_skipped: AtomicU64,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    opt_stmts_eliminated: AtomicU64,
+    opt_plans_hash_consed: AtomicU64,
+    opt_preds_pushed: AtomicU64,
 }
 
 impl SharedStats {
@@ -133,6 +147,24 @@ impl SharedStats {
             .fetch_add(s.plan_cache_hits as u64, Ordering::Relaxed);
         self.plan_cache_misses
             .fetch_add(s.plan_cache_misses as u64, Ordering::Relaxed);
+        self.opt_stmts_eliminated
+            .fetch_add(s.opt_stmts_eliminated as u64, Ordering::Relaxed);
+        self.opt_plans_hash_consed
+            .fetch_add(s.opt_plans_hash_consed as u64, Ordering::Relaxed);
+        self.opt_preds_pushed
+            .fetch_add(s.opt_preds_pushed as u64, Ordering::Relaxed);
+    }
+
+    /// Record the pass-level counters of one optimized translation (the
+    /// lock-free path [`crate::opt::OptStats`] reaches the engine's
+    /// accumulated statistics through).
+    pub fn record_opt(&self, o: &crate::opt::OptStats) {
+        self.opt_stmts_eliminated
+            .fetch_add(o.stmts_eliminated as u64, Ordering::Relaxed);
+        self.opt_plans_hash_consed
+            .fetch_add(o.plans_hash_consed as u64, Ordering::Relaxed);
+        self.opt_preds_pushed
+            .fetch_add(o.preds_pushed as u64, Ordering::Relaxed);
     }
 
     /// Read the counters out as a plain [`Stats`] value.
@@ -152,6 +184,9 @@ impl SharedStats {
             stmts_skipped: self.stmts_skipped.load(Ordering::Relaxed) as usize,
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed) as usize,
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed) as usize,
+            opt_stmts_eliminated: self.opt_stmts_eliminated.load(Ordering::Relaxed) as usize,
+            opt_plans_hash_consed: self.opt_plans_hash_consed.load(Ordering::Relaxed) as usize,
+            opt_preds_pushed: self.opt_preds_pushed.load(Ordering::Relaxed) as usize,
         }
     }
 
@@ -171,6 +206,9 @@ impl SharedStats {
         self.stmts_skipped.store(0, Ordering::Relaxed);
         self.plan_cache_hits.store(0, Ordering::Relaxed);
         self.plan_cache_misses.store(0, Ordering::Relaxed);
+        self.opt_stmts_eliminated.store(0, Ordering::Relaxed);
+        self.opt_plans_hash_consed.store(0, Ordering::Relaxed);
+        self.opt_preds_pushed.store(0, Ordering::Relaxed);
     }
 }
 
@@ -178,7 +216,7 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss",
+            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed",
             self.joins,
             self.unions,
             self.lfp_invocations,
@@ -190,6 +228,9 @@ impl fmt::Display for Stats {
             self.stmts_skipped,
             self.plan_cache_hits,
             self.plan_cache_misses,
+            self.opt_stmts_eliminated,
+            self.opt_plans_hash_consed,
+            self.opt_preds_pushed,
         )
     }
 }
@@ -241,6 +282,29 @@ mod tests {
         assert_eq!(snap.tuples_emitted, 20);
         assert_eq!(snap.stmts_evaluated, 6);
         assert_eq!((snap.plan_cache_hits, snap.plan_cache_misses), (1, 2));
+        shared.reset();
+        assert_eq!(shared.snapshot(), Stats::default());
+    }
+
+    #[test]
+    fn record_opt_accumulates_pass_counters() {
+        let shared = SharedStats::new();
+        let o = crate::opt::OptStats {
+            stmts_eliminated: 3,
+            plans_hash_consed: 2,
+            preds_pushed: 5,
+            ..Default::default()
+        };
+        shared.record_opt(&o);
+        shared.record_opt(&o);
+        let snap = shared.snapshot();
+        assert_eq!(snap.opt_stmts_eliminated, 6);
+        assert_eq!(snap.opt_plans_hash_consed, 4);
+        assert_eq!(snap.opt_preds_pushed, 10);
+        let mut merged = Stats::default();
+        merged.merge(&snap);
+        merged.merge(&snap);
+        assert_eq!(merged.opt_preds_pushed, 20);
         shared.reset();
         assert_eq!(shared.snapshot(), Stats::default());
     }

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use x2s_core::graph::{TNode, TransGraph};
 use x2s_core::pipeline::{TranslateError, Translation};
 use x2s_core::x2e::{xpath_to_exp, RecMode};
-use x2s_core::{exp_to_sql, SqlOptions};
+use x2s_core::SqlOptions;
 use x2s_dtd::Dtd;
 use x2s_rel::{MultiLfpEdge, MultiLfpSpec, Plan, Pred, Relation, Value};
 use x2s_xpath::Path;
@@ -84,6 +84,10 @@ impl<'a> SqlGenR<'a> {
             sql_options: SqlOptions {
                 push_selections: false,
                 root_filter_pushdown: false,
+                // the program *around* the recursion boxes still goes
+                // through the logical optimizer — only the boxes themselves
+                // are opaque, which is the §3.1 limitation being modelled
+                ..SqlOptions::default()
             },
         }
     }
@@ -98,12 +102,14 @@ impl<'a> SqlGenR<'a> {
             overrides.insert(er.var, build_rec_plan(&g, er.from, er.to));
         }
         // Note: the query is deliberately NOT pruned — pruning would fold
-        // the opaque placeholders away. Lazy evaluation skips unused
-        // statements at run time.
-        let program = exp_to_sql(&tr.query, &self.sql_options, &overrides)?;
+        // the opaque placeholders away. The optimizer's dead-statement
+        // elimination drops whatever the result does not reach.
+        let (program, opt) =
+            x2s_core::exp_to_sql_with_report(&tr.query, &self.sql_options, &overrides)?;
         Ok(Translation {
             extended: tr.query,
             program,
+            opt,
         })
     }
 

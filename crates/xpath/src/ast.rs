@@ -113,6 +113,29 @@ impl Qual {
     }
 }
 
+/// Whether a path *renders* with a leading slash (a `Descendant` at its
+/// left edge). Such operands must be parenthesized after `/` or `//`, or
+/// the rendering would contain `///`, which does not re-parse.
+fn renders_with_leading_slash(p: &Path) -> bool {
+    match p {
+        Path::Descendant(_) => true,
+        Path::Seq(a, _) => renders_with_leading_slash(a),
+        // Qualified parenthesizes Seq/Descendant bases itself, so its
+        // rendering never starts with a slash
+        _ => false,
+    }
+}
+
+/// Write a path after a `/` or `//` axis, parenthesizing when its own
+/// rendering would start with a slash.
+fn write_operand(f: &mut fmt::Formatter<'_>, p: &Path) -> fmt::Result {
+    if renders_with_leading_slash(p) {
+        write!(f, "({p})")
+    } else {
+        write!(f, "{p}")
+    }
+}
+
 impl fmt::Display for Path {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -120,12 +143,27 @@ impl fmt::Display for Path {
             Path::Label(a) => write!(f, "{a}"),
             Path::Wildcard => write!(f, "*"),
             Path::Seq(a, b) => match &**b {
-                Path::Descendant(inner) => write!(f, "{a}//{inner}"),
-                _ => write!(f, "{a}/{b}"),
+                Path::Descendant(inner) => {
+                    write!(f, "{a}//")?;
+                    write_operand(f, inner)
+                }
+                _ => {
+                    write!(f, "{a}/")?;
+                    write_operand(f, b)
+                }
             },
-            Path::Descendant(p) => write!(f, "//{p}"),
+            Path::Descendant(p) => {
+                write!(f, "//")?;
+                write_operand(f, p)
+            }
             Path::Union(a, b) => write!(f, "({a} | {b})"),
-            Path::Qualified(p, q) => write!(f, "{p}[{q}]"),
+            // the parser attaches `[q]` to the innermost step, so a
+            // qualifier over a composite path must parenthesize its base to
+            // reparse as the same shape: `(a/b)[q]`, not `a/b[q]`
+            Path::Qualified(p, q) => match &**p {
+                Path::Seq(..) | Path::Descendant(_) => write!(f, "({p})[{q}]"),
+                _ => write!(f, "{p}[{q}]"),
+            },
             Path::EmptySet => write!(f, "∅"),
         }
     }

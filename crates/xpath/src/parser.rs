@@ -185,13 +185,17 @@ impl P {
         }
     }
 
-    /// atom := '*' | '.' | 'ε' | '(' union ')' | name
+    /// atom := '*' | '.' | 'ε' | '∅' | '(' union ')' | name
     fn atom(&mut self) -> Result<Path, ParseError> {
         self.skip_ws();
         match self.peek() {
             Some('*') => {
                 self.pos += 1;
                 Ok(Path::Wildcard)
+            }
+            Some('∅') => {
+                self.pos += 1;
+                Ok(Path::EmptySet)
             }
             Some('.') => {
                 self.pos += 1;
@@ -492,10 +496,58 @@ mod tests {
             "(a | b)/c",
             "a[b and text()=\"v\"]",
             "a/b//c/d",
+            "∅",
+            "a/∅",
         ] {
             let once = p(s);
             let again = p(&once.to_string());
             assert_eq!(once, again, "round-trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn empty_set_parses() {
+        assert_eq!(p("∅"), Path::EmptySet);
+        assert_eq!(p("a/∅"), Path::label("a").then(Path::EmptySet));
+    }
+
+    /// Slash-leading operands render parenthesized, so nested descendants
+    /// built programmatically still round-trip through the parser instead
+    /// of printing an unparseable `///`.
+    #[test]
+    fn nested_descendant_rendering_reparses() {
+        let shapes = [
+            Path::Empty.then(Path::descendant(Path::descendant(Path::label("z")))),
+            Path::descendant(Path::descendant(Path::label("z"))),
+            Path::label("a").then(Path::descendant(Path::label("x")).then(Path::label("y"))),
+            Path::label("a")
+                .then(Path::descendant(Path::label("x")).with_qual(Qual::path(Path::label("q")))),
+        ];
+        for shape in shapes {
+            let printed = shape.to_string();
+            let reparsed = parse_xpath(&printed).unwrap_or_else(|e| panic!("{printed:?}: {e}"));
+            assert_eq!(
+                parse_xpath(&reparsed.to_string()).unwrap(),
+                reparsed,
+                "round trip is not the identity on parser-shaped ASTs ({printed:?})"
+            );
+        }
+    }
+
+    /// Qualifiers over composite bases parenthesize, so the exact shape
+    /// survives the round trip.
+    #[test]
+    fn qualified_composite_bases_round_trip_structurally() {
+        let shapes = [
+            Path::label("a")
+                .then(Path::label("b"))
+                .with_qual(Qual::path(Path::label("q"))),
+            Path::descendant(Path::label("x")).with_qual(Qual::TextEq("v".into())),
+        ];
+        for shape in shapes {
+            let printed = shape.to_string();
+            assert!(printed.starts_with('('), "composite base parenthesized");
+            assert_eq!(parse_xpath(&printed).unwrap(), shape, "{printed:?}");
         }
     }
 

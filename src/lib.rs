@@ -60,11 +60,14 @@ pub use x2s_xpath as xpath;
 /// program — without importing the per-stage crates directly.
 pub mod prelude {
     pub use x2s_core::{
-        Engine, EngineBuilder, EngineError, PreparedQuery, RecStrategy, SqlOptions, TranslateError,
-        Translator,
+        Engine, EngineBuilder, EngineError, OptLevel, OptReport, PreparedQuery, RecStrategy,
+        SqlOptions, TranslateError, Translator,
     };
     pub use x2s_dtd::{parse_dtd, Dtd, DtdGraph, ElemId};
-    pub use x2s_rel::{render_program, ExecError, ExecOptions, SqlDialect, Stats};
+    pub use x2s_rel::{
+        explain_opt_report, explain_program, render_program, ExecError, ExecOptions, SqlDialect,
+        Stats,
+    };
     pub use x2s_shred::edge_database;
     pub use x2s_xml::{parse_xml, validate, Generator, GeneratorConfig, Tree};
     pub use x2s_xpath::{parse_xpath, Path, Qual};

@@ -47,6 +47,7 @@ fn check_all_paths(dtd: &Dtd, tree: &Tree, queries: &[&str]) {
                 .with_sql_options(SqlOptions {
                     push_selections: push,
                     root_filter_pushdown: push,
+                    ..SqlOptions::default()
                 })
                 .translate(&path)
                 .unwrap();

@@ -88,6 +88,7 @@ fn distinct_options_occupy_distinct_cache_entries() {
     let no_push = SqlOptions {
         push_selections: false,
         root_filter_pushdown: false,
+        ..SqlOptions::default()
     };
     let cyclee = RecStrategy::CycleE { cap: 1_000_000 };
 

@@ -11,7 +11,7 @@
 //! replayed by rerunning the test.
 
 use std::collections::BTreeSet;
-use xpath2sql::core::{SqlOptions, Translator};
+use xpath2sql::core::{OptLevel, SqlOptions, Translator};
 use xpath2sql::dtd::{samples, Dtd};
 use xpath2sql::rel::{Database, ExecOptions, Stats};
 use xpath2sql::shred::edge_database;
@@ -108,21 +108,30 @@ fn check_one(dtd: &Dtd, tree: &xpath2sql::xml::Tree, db: &Database, query: &Path
         via_extended, native,
         "extended mismatch for {query} (doc seed {seed})"
     );
-    // step 2 equivalence, optimizations on and off
+    // step 2 equivalence, §5.2 pushing and the logical optimizer each on
+    // and off — the optimizer must never change an answer
     for push in [true, false] {
-        let tr = Translator::new(dtd)
-            .with_sql_options(SqlOptions {
-                push_selections: push,
-                root_filter_pushdown: push,
-            })
-            .translate(query)
-            .unwrap();
-        let mut stats = Stats::default();
-        let got = tr.try_run(db, ExecOptions::default(), &mut stats).unwrap();
-        assert_eq!(
-            got, native,
-            "SQL mismatch for {query} (push={push}, doc seed {seed})"
-        );
+        for optimize in [OptLevel::Full, OptLevel::None] {
+            let tr = Translator::new(dtd)
+                .with_sql_options(SqlOptions {
+                    push_selections: push,
+                    root_filter_pushdown: push,
+                    optimize,
+                })
+                .translate(query)
+                .unwrap();
+            assert!(
+                tr.opt.after.total() <= tr.opt.before.total(),
+                "optimizer grew {query} (doc seed {seed}): {}",
+                tr.opt
+            );
+            let mut stats = Stats::default();
+            let got = tr.try_run(db, ExecOptions::default(), &mut stats).unwrap();
+            assert_eq!(
+                got, native,
+                "SQL mismatch for {query} (push={push}, {optimize:?}, doc seed {seed})"
+            );
+        }
     }
     // baseline equivalence
     let tr = SqlGenR::new(dtd).translate(query).unwrap();
@@ -227,6 +236,58 @@ fn pruning_preserves_semantics() {
                 raw.eval_from_document(&tree, &dtd),
                 pruned.eval_from_document(&tree, &dtd),
                 "pruning changed semantics for {query} (doc seed {seed})"
+            );
+        }
+    }
+}
+
+/// Parser/Display round trip over the seeded random query generator.
+///
+/// `Display` is not injective on AST *shape* — `Seq` prints without
+/// parentheses, so `a/(b/c)` and `(a/b)/c` both print `a/b/c` and the
+/// parser (left-associative) can only give one of them back. The honest
+/// round-trip properties are therefore:
+///
+/// 1. every generated query's rendering re-parses;
+/// 2. on parser-shaped ASTs the round trip is the identity:
+///    `parse(p.to_string()) == p` for every `p` the parser produced (one
+///    round trip canonicalizes, after which text and shape are stable);
+/// 3. the reparsed query is semantically identical to the original on real
+///    documents (nothing was lost in printing).
+#[test]
+fn display_round_trip_over_random_queries() {
+    use xpath2sql::xpath::parse_xpath;
+    let labels = ["a", "b", "c", "d", "zzz"];
+    let dtd = samples::cross();
+    let tree =
+        Generator::new(&dtd, GeneratorConfig::shaped(7, 3, Some(300)).with_seed(77)).generate();
+    for seed in 40u64..44 {
+        for case in 0..CASES_PER_SEED {
+            let mut rng = case_rng(5, seed, case);
+            let query = arb_path(&mut rng, &labels, 3);
+            let printed = query.to_string();
+            let reparsed = parse_xpath(&printed)
+                .unwrap_or_else(|e| panic!("rendering {printed:?} did not re-parse: {e}"));
+            // (2): the parser-shaped AST round-trips exactly
+            let reprinted = reparsed.to_string();
+            assert_eq!(
+                parse_xpath(&reprinted).unwrap(),
+                reparsed,
+                "parse(p.to_string()) != p for parser-shaped {reprinted:?} \
+                 (case {case}, seed {seed})"
+            );
+            // (3): printing lost nothing semantically
+            let native: BTreeSet<u32> = eval_from_document(&query, &tree, &dtd)
+                .into_iter()
+                .map(|n| n.0)
+                .collect();
+            let via_reparse: BTreeSet<u32> = eval_from_document(&reparsed, &tree, &dtd)
+                .into_iter()
+                .map(|n| n.0)
+                .collect();
+            assert_eq!(
+                via_reparse, native,
+                "reparse changed semantics for {printed:?} (case {case}, seed {seed})"
             );
         }
     }
