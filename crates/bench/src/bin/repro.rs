@@ -1,9 +1,9 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|sql|opt|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]
+//! repro [all|sql|opt|bench|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]
 //!       [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH]
-//!       [--quick]
+//!       [--quick] [--json]
 //! ```
 //!
 //! `--scale 1.0` uses the paper's element counts (minutes of runtime);
@@ -24,8 +24,8 @@
 
 use std::env;
 use x2s_bench::{
-    exp1, exp2, exp3, exp4, exp5, measure_prepared, opt_ablation, table5, tables123, throughput,
-    Table,
+    bench_all, bench_json, bench_table, exp1, exp2, exp3, exp4, exp5, measure_prepared,
+    opt_ablation, table5, tables123, throughput, Table,
 };
 use x2s_core::Engine;
 use x2s_dtd::{samples, Dtd};
@@ -48,6 +48,7 @@ fn main() {
     let mut dtd_name = "dept".to_string();
     let mut query = "dept//project".to_string();
     let mut quick = false;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -86,6 +87,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--reps needs an integer"));
             }
+            "--json" => json = true,
             "--quick" => quick = true,
             "--help" | "-h" => usage(""),
             other => which.push(other.to_string()),
@@ -112,6 +114,9 @@ fn main() {
 
     if wants("sql") {
         sql_section(&dtd_name, &query);
+    }
+    if which.iter().any(|w| w == "bench") {
+        bench_section(scale, reps, threads, json);
     }
     if wants("opt") {
         emit("Optimizer ablation (on vs off)", opt_ablation(scale, reps));
@@ -219,6 +224,23 @@ fn sql_section(dtd_name: &str, query: &str) {
     );
 }
 
+/// The perf-trajectory section: run the Table-5 execute-phase workloads and
+/// either print them as a table or write the machine-readable
+/// `BENCH_5.json` (the file future PRs diff against).
+fn bench_section(scale: f64, reps: usize, threads: usize, json: bool) {
+    let records = bench_all(scale, reps, threads);
+    if json {
+        let doc = bench_json(&records, scale, reps, threads);
+        let path = "BENCH_5.json";
+        std::fs::write(path, &doc).unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        println!(
+            "\n## Perf trajectory\nwrote {path} ({} workloads)",
+            records.len()
+        );
+    }
+    emit("Perf trajectory (bench)", vec![bench_table(&records)]);
+}
+
 fn emit(section: &str, tables: Vec<Table>) {
     println!("\n## {section}");
     for t in tables {
@@ -231,8 +253,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [all|sql|opt|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]… \
-         [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH] [--quick]"
+        "usage: repro [all|sql|opt|bench|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]… \
+         [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH] [--quick] [--json]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

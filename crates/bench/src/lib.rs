@@ -21,12 +21,14 @@
 //! factor, where behaviour crosses over).
 
 pub mod harness;
+pub mod jsonbench;
 pub mod workloads;
 
 pub use harness::{
     dataset, measure, measure_prepared, measure_prepared_opts, measure_prepared_shared,
     measure_throughput, translate_with, Approach, Dataset, Measured, Throughput,
 };
+pub use jsonbench::{bench_all, bench_json, bench_table, BenchRecord};
 pub use workloads::{
     exp1, exp2, exp3, exp4, exp5, opt_ablation, table5, tables123, throughput, Table,
 };

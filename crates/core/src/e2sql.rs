@@ -780,8 +780,7 @@ mod tests {
         let rel = program
             .execute(db, ExecOptions::default(), &mut stats)
             .unwrap();
-        rel.tuples()
-            .iter()
+        rel.rows()
             .map(|t| t[0].as_id().expect("answer ids"))
             .collect()
     }

@@ -444,14 +444,20 @@ impl<'d> Engine<'d> {
     /// Adopt an already-shredded edge store (e.g. a benchmark dataset),
     /// replacing any previous document. Like [`load`](Engine::load), the
     /// store is trusted to be an edge shredding under this engine's DTD.
+    /// Builds any missing base-edge indexes before the store becomes
+    /// shared (idempotent — stores from `edge_database` already carry
+    /// them).
     pub fn load_database(&mut self, db: Database) -> &mut Self {
+        let mut db = db;
+        db.build_indexes();
         self.load_shared(Arc::new(db))
     }
 
     /// Adopt a *shared* edge store without copying it — multiple engines
     /// (or a throughput harness and its oracle) can serve the same
     /// `Arc<Database>` read-only. The store is trusted to be an edge
-    /// shredding under this engine's DTD.
+    /// shredding under this engine's DTD, and is served exactly as given
+    /// (its dictionary and cached indexes are immutable under the `Arc`).
     pub fn load_shared(&mut self, db: Arc<Database>) -> &mut Self {
         self.doc_len = 0;
         self.db = Some(db);

@@ -87,7 +87,7 @@ impl Translation {
         stats: &mut Stats,
     ) -> Result<BTreeSet<u32>, ExecError> {
         let rel = self.program.execute(db, opts, stats)?;
-        Ok(rel.tuples().iter().filter_map(|t| t[0].as_id()).collect())
+        Ok(rel.rows().filter_map(|t| t[0].as_id()).collect())
     }
 }
 

@@ -1,0 +1,176 @@
+//! The load-time string dictionary: every distinct text value in a shredded
+//! store is encoded into a dense `u32` code **once**, at load, so the hot
+//! execution path — equality joins, `Distinct`, set difference, selections —
+//! compares and hashes plain integers instead of strings. Values are only
+//! un-interned when rendering results for humans.
+//!
+//! This generalizes the fixpoint-local [`crate::intern::Interner`] (which
+//! re-interned per invocation) to the whole pipeline: the dictionary lives on
+//! the [`crate::Database`], is immutable once the store sits behind an
+//! `Arc`, and its codes appear in relations as [`Value::Code`].
+//!
+//! # Invariants
+//!
+//! * Codes are **load-scoped**: `Code(c)` is meaningful only against the
+//!   dictionary of the database it was loaded into. Relations from two
+//!   different loads must never be mixed (the engine replaces the whole
+//!   store on every load, so this cannot happen through the public API).
+//! * Encoding is injective per dictionary: equal strings always map to the
+//!   same code and distinct strings to distinct codes, so `Code` equality
+//!   *is* string equality within one store.
+//! * Runtime-produced strings (e.g. the multi-fixpoint's `Rid` tags) stay
+//!   as [`Value::Str`]; the executor's compiled predicates match a string
+//!   literal against both forms.
+//!
+//! The `dict-verify` cargo feature adds cross-checks that decode every code
+//! the executor resolves and compares it against the literal it stands for —
+//! cheap insurance used by the test suites.
+
+use crate::fxhash::FxHashMap;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// A dense, append-only string dictionary.
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    codes: FxHashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Dictionary {
+    /// New empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Intern a string, returning its dense code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.codes.get(s) {
+            return c;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let c = u32::try_from(self.strings.len()).expect("dictionary overflow");
+        self.codes.insert(Arc::clone(&arc), c);
+        self.strings.push(arc);
+        c
+    }
+
+    /// Look up a string's code without interning.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.codes.get(s).copied()
+    }
+
+    /// Resolve a code back to its string. Panics on a foreign code — by the
+    /// load-scoping invariant that is a logic error, not a data error.
+    pub fn resolve(&self, code: u32) -> &str {
+        &self.strings[code as usize]
+    }
+
+    /// Resolve a code to its shared string, if the code belongs to this
+    /// dictionary.
+    pub fn get(&self, code: u32) -> Option<&Arc<str>> {
+        self.strings.get(code as usize)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Encode a value for storage: strings become [`Value::Code`]s, every
+    /// other variant passes through.
+    pub fn encode(&mut self, v: Value) -> Value {
+        match v {
+            Value::Str(s) => Value::Code(self.intern(&s)),
+            other => other,
+        }
+    }
+
+    /// Decode a value for rendering: [`Value::Code`]s become the strings
+    /// they stand for, every other variant passes through. Foreign codes
+    /// panic (load-scoping invariant).
+    pub fn decode(&self, v: &Value) -> Value {
+        match v {
+            Value::Code(c) => Value::Str(Arc::clone(
+                self.get(*c).expect("code from a different dictionary"),
+            )),
+            other => other.clone(),
+        }
+    }
+
+    /// `dict-verify` cross-check: assert that `code` decodes back to `lit`.
+    /// Compiled to nothing unless the feature (or tests) enable it.
+    #[inline]
+    pub fn verify_code(&self, code: u32, lit: &str) {
+        #[cfg(any(test, feature = "dict-verify"))]
+        {
+            assert_eq!(
+                self.resolve(code),
+                lit,
+                "dictionary code {code} does not round-trip"
+            );
+        }
+        #[cfg(not(any(test, feature = "dict-verify")))]
+        {
+            let _ = (code, lit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_round_trip() {
+        let mut d = Dictionary::new();
+        let a = d.intern("cs66");
+        let b = d.intern("ann");
+        let a2 = d.intern("cs66");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.resolve(a), "cs66");
+        assert_eq!(d.resolve(b), "ann");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.code_of("cs66"), Some(a));
+        assert_eq!(d.code_of("zzz"), None);
+        d.verify_code(a, "cs66");
+    }
+
+    #[test]
+    fn encode_decode_are_inverse_on_strings() {
+        let mut d = Dictionary::new();
+        let coded = d.encode(Value::str("hello"));
+        assert!(matches!(coded, Value::Code(_)));
+        assert_eq!(d.decode(&coded), Value::str("hello"));
+        // non-strings pass through untouched
+        for v in [Value::Null, Value::Doc, Value::Id(7), Value::Int(-3)] {
+            assert_eq!(d.encode(v.clone()), v);
+            assert_eq!(d.decode(&v), v);
+        }
+    }
+
+    #[test]
+    fn equal_strings_share_codes() {
+        let mut d = Dictionary::new();
+        let a = d.encode(Value::str("x"));
+        let b = d.encode(Value::str("x"));
+        assert_eq!(a, b, "code equality is string equality");
+        let c = d.encode(Value::str("y"));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "round-trip")]
+    fn verify_code_catches_mismatch() {
+        let mut d = Dictionary::new();
+        let a = d.intern("right");
+        d.intern("wrong");
+        d.verify_code(a + 1, "right");
+    }
+}

@@ -1,22 +1,91 @@
 //! Plan execution: databases, the evaluator, and execution options.
+//!
+//! # Columnar execution core
+//!
+//! Three decisions shape this module's hot path (and the whole PR-5 perf
+//! story):
+//!
+//! * **Borrowed scans** — [`eval_plan`] returns `Cow<Relation>`: a `Scan`
+//!   or `Temp` borrows the stored relation instead of cloning it, so
+//!   operators read base relations in place and only materialize what they
+//!   actually produce.
+//! * **Load-time base-edge indexes** — the [`Database`] carries per-relation
+//!   hash indexes on the edge columns (`F` → rows, `T` → rows), built once
+//!   at load under the `Arc`. A join whose build side is a plain base-table
+//!   scan probes the cached index instead of rebuilding the same hash table
+//!   on every execution ([`Stats::join_index_reuses`] counts the wins).
+//! * **Integer-dominated keys** — text values are dictionary-coded at load
+//!   ([`crate::dict`]), executor tables hash with the internal Fx hasher
+//!   ([`crate::fxhash`]), and multi-column join keys pack into a single
+//!   `u128` when every component is a node id / code / small int.
 
+use crate::dict::Dictionary;
+use crate::fxhash::{fx_hash_one, fx_map_with_capacity, fx_set_with_capacity, FxHashMap};
 use crate::lfp::eval_lfp;
 use crate::multilfp::eval_multilfp;
-use crate::plan::{JoinKind, Plan};
+use crate::plan::{JoinKind, Plan, Pred};
 use crate::program::TempId;
-use crate::relation::{Relation, Tuple};
+use crate::relation::Relation;
 use crate::stats::Stats;
 use crate::value::Value;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
+use std::borrow::Cow;
+use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::thread;
 
-/// A database: named base relations (the shredded store).
+/// A per-column hash index over a stored relation: value → row indexes.
+/// NULL keys are excluded (they can never compare equal in a join).
+#[derive(Clone, Debug, Default)]
+pub struct ColIndex {
+    map: FxHashMap<Value, Vec<u32>>,
+}
+
+impl ColIndex {
+    fn build(rel: &Relation, col: usize) -> Self {
+        let mut map: FxHashMap<Value, Vec<u32>> = fx_map_with_capacity(rel.len());
+        for (i, t) in rel.rows().enumerate() {
+            if t[col] != Value::Null {
+                map.entry(t[col].clone()).or_default().push(i as u32);
+            }
+        }
+        ColIndex { map }
+    }
+
+    /// Row indexes holding `v` in the indexed column.
+    #[inline]
+    pub fn get(&self, v: &Value) -> Option<&[u32]> {
+        self.map.get(v).map(Vec::as_slice)
+    }
+
+    /// Number of distinct indexed values.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A database: named base relations (the shredded store), their load-time
+/// string [`Dictionary`], and cached per-relation edge indexes.
+///
+/// # Invariants
+///
+/// * Dictionary codes ([`Value::Code`]) stored in the relations are
+///   load-scoped to this database's dictionary;
+/// * the cached indexes are immutable once the store sits behind an `Arc`
+///   — [`Database::insert`] drops the stale index for the replaced
+///   relation, and [`Database::build_indexes`] (idempotent) rebuilds
+///   whatever is missing.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     relations: HashMap<String, Relation>,
+    dict: Dictionary,
+    /// name → (index on col 0, index on col 1), for arity ≥ 2 relations.
+    indexes: HashMap<String, [ColIndex; 2]>,
 }
 
 impl Database {
@@ -25,8 +94,10 @@ impl Database {
         Database::default()
     }
 
-    /// Register a base relation.
+    /// Register a base relation (drops any cached index for that name —
+    /// call [`Database::build_indexes`] after bulk loading).
     pub fn insert(&mut self, name: &str, rel: Relation) {
+        self.indexes.remove(name);
         self.relations.insert(name.to_string(), rel);
     }
 
@@ -45,6 +116,66 @@ impl Database {
     /// Total number of tuples across base relations.
     pub fn total_tuples(&self) -> usize {
         self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// The load-time string dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable dictionary access (loaders only; executions never mutate).
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Intern a text value into the dictionary, returning its coded form.
+    pub fn intern_str(&mut self, s: &str) -> Value {
+        Value::Code(self.dict.intern(s))
+    }
+
+    /// Decode a value for rendering ([`Value::Code`] → [`Value::Str`]).
+    pub fn decode_value(&self, v: &Value) -> Value {
+        self.dict.decode(v)
+    }
+
+    /// A copy of `rel` with every dictionary code decoded back to its
+    /// string — for rendering stored relations to humans.
+    pub fn decoded(&self, rel: &Relation) -> Relation {
+        let mut out = Relation::new(rel.columns().to_vec());
+        out.reserve(rel.len());
+        for t in rel.rows() {
+            out.push_iter(t.iter().map(|v| self.dict.decode(v)));
+        }
+        out
+    }
+
+    /// Build the per-relation edge-column indexes (`F` → rows, `T` → rows)
+    /// for every arity ≥ 2 relation that does not have one yet. Loaders
+    /// call this once before the store goes behind an `Arc`; idempotent.
+    pub fn build_indexes(&mut self) {
+        for (name, rel) in &self.relations {
+            if rel.arity() < 2 || self.indexes.contains_key(name) {
+                continue;
+            }
+            self.indexes.insert(
+                name.clone(),
+                [ColIndex::build(rel, 0), ColIndex::build(rel, 1)],
+            );
+        }
+    }
+
+    /// The cached index of `name` on column `col` (0 = `F`, 1 = `T`), if
+    /// built.
+    pub fn index_of(&self, name: &str, col: usize) -> Option<&ColIndex> {
+        if col > 1 {
+            return None;
+        }
+        self.indexes.get(name).map(|pair| &pair[col])
+    }
+
+    /// Number of relations with cached edge indexes.
+    pub fn indexed_relations(&self) -> usize {
+        self.indexes.len()
     }
 }
 
@@ -121,38 +252,113 @@ pub struct ExecCtx<'a> {
     pub stats: &'a mut Stats,
 }
 
-/// Evaluate one plan to a relation.
-pub fn eval_plan(plan: &Plan, ctx: &mut ExecCtx<'_>) -> Result<Relation, ExecError> {
+/// A predicate compiled against the database dictionary: string literals
+/// are resolved to their dictionary codes *once per operator invocation*,
+/// so the per-row comparison on a coded column is a `u32` equality. A
+/// literal may still meet runtime-produced [`Value::Str`]s (the
+/// multi-fixpoint's `Rid` tags), which the compiled form matches by text.
+enum CompiledPred {
+    True,
+    ColEqValue(usize, Value),
+    ColEqStr {
+        col: usize,
+        code: Option<u32>,
+        lit: Arc<str>,
+    },
+    ColEqCol(usize, usize),
+    And(Box<CompiledPred>, Box<CompiledPred>),
+    Or(Box<CompiledPred>, Box<CompiledPred>),
+    Not(Box<CompiledPred>),
+}
+
+impl CompiledPred {
+    fn compile(pred: &Pred, dict: &Dictionary) -> CompiledPred {
+        match pred {
+            Pred::True => CompiledPred::True,
+            Pred::ColEqValue(c, Value::Str(s)) => {
+                let code = dict.code_of(s);
+                if let Some(code) = code {
+                    dict.verify_code(code, s);
+                }
+                CompiledPred::ColEqStr {
+                    col: *c,
+                    code,
+                    lit: Arc::clone(s),
+                }
+            }
+            Pred::ColEqValue(c, v) => CompiledPred::ColEqValue(*c, v.clone()),
+            Pred::ColEqCol(a, b) => CompiledPred::ColEqCol(*a, *b),
+            Pred::And(a, b) => CompiledPred::And(
+                Box::new(CompiledPred::compile(a, dict)),
+                Box::new(CompiledPred::compile(b, dict)),
+            ),
+            Pred::Or(a, b) => CompiledPred::Or(
+                Box::new(CompiledPred::compile(a, dict)),
+                Box::new(CompiledPred::compile(b, dict)),
+            ),
+            Pred::Not(p) => CompiledPred::Not(Box::new(CompiledPred::compile(p, dict))),
+        }
+    }
+
+    fn eval(&self, tuple: &[Value]) -> bool {
+        match self {
+            CompiledPred::True => true,
+            CompiledPred::ColEqValue(c, v) => &tuple[*c] == v,
+            CompiledPred::ColEqStr { col, code, lit } => match &tuple[*col] {
+                Value::Code(c) => *code == Some(*c),
+                Value::Str(s) => **s == **lit,
+                _ => false,
+            },
+            CompiledPred::ColEqCol(a, b) => tuple[*a] == tuple[*b],
+            CompiledPred::And(a, b) => a.eval(tuple) && b.eval(tuple),
+            CompiledPred::Or(a, b) => a.eval(tuple) || b.eval(tuple),
+            CompiledPred::Not(p) => !p.eval(tuple),
+        }
+    }
+}
+
+/// Evaluate one plan to a relation. `Scan`/`Temp`/`Values` borrow their
+/// stored relation (no clone); operator nodes produce owned results.
+pub fn eval_plan<'a>(
+    plan: &'a Plan,
+    ctx: &mut ExecCtx<'a>,
+) -> Result<Cow<'a, Relation>, ExecError> {
     match plan {
         Plan::Scan(name) => ctx
             .db
             .get(name)
-            .cloned()
+            .map(Cow::Borrowed)
             .ok_or_else(|| ExecError::UnknownRelation(name.clone())),
-        Plan::Temp(t) => ctx.env.get(t).cloned().ok_or(ExecError::UnknownTemp(*t)),
-        Plan::Values(rel) => Ok(rel.clone()),
+        Plan::Temp(t) => ctx
+            .env
+            .get(t)
+            .map(Cow::Borrowed)
+            .ok_or(ExecError::UnknownTemp(*t)),
+        Plan::Values(rel) => Ok(Cow::Borrowed(rel)),
         Plan::Select { input, pred } => {
             let rel = eval_plan(input, ctx)?;
             ctx.stats.selects += 1;
+            let compiled = CompiledPred::compile(pred, ctx.db.dict());
             let mut out = Relation::new(rel.columns().to_vec());
-            for t in rel.tuples() {
-                if pred.eval(t) {
-                    out.push(t.clone());
+            for t in rel.rows() {
+                if compiled.eval(t) {
+                    out.push_row(t);
                 }
             }
             ctx.stats.tuples_emitted += out.len() as u64;
-            Ok(out)
+            Ok(Cow::Owned(out))
         }
         Plan::Project { input, cols } => {
             let rel = eval_plan(input, ctx)?;
             ctx.stats.projects += 1;
             let names: Vec<String> = cols.iter().map(|(_, n)| n.clone()).collect();
             let mut out = Relation::new(names);
-            for t in rel.tuples() {
-                out.push(cols.iter().map(|(i, _)| t[*i].clone()).collect());
+            out.reserve(rel.len());
+            for t in rel.rows() {
+                out.push_iter(cols.iter().map(|(i, _)| t[*i].clone()));
             }
             ctx.stats.tuples_emitted += out.len() as u64;
-            Ok(out)
+            Ok(Cow::Owned(out))
         }
         Plan::Join {
             left,
@@ -161,8 +367,23 @@ pub fn eval_plan(plan: &Plan, ctx: &mut ExecCtx<'_>) -> Result<Relation, ExecErr
             kind,
         } => {
             let l = eval_plan(left, ctx)?;
+            // Cached-index fast path: a single-column join whose build side
+            // is a raw base-table scan on an indexed column reuses the
+            // load-time index instead of building a hash table.
+            let prebuilt = match (&**right, on.as_slice()) {
+                (Plan::Scan(name), [(_, rcol)]) => ctx.db.index_of(name, *rcol),
+                _ => None,
+            };
             let r = eval_plan(right, ctx)?;
-            Ok(hash_join(&l, &r, on, *kind, ctx.opts.threads, ctx.stats))
+            Ok(Cow::Owned(hash_join_with(
+                &l,
+                &r,
+                on,
+                *kind,
+                ctx.opts.threads,
+                ctx.stats,
+                prebuilt,
+            )))
         }
         Plan::Union { inputs, distinct } => {
             let mut rels = Vec::with_capacity(inputs.len());
@@ -178,15 +399,33 @@ pub fn eval_plan(plan: &Plan, ctx: &mut ExecCtx<'_>) -> Result<Relation, ExecErr
                 .first()
                 .map(|r| r.columns().to_vec())
                 .unwrap_or_default();
-            let mut out = Relation::new(cols);
-            for r in rels {
-                out.tuples_mut().extend(r.tuples().iter().cloned());
+            // bulk merge: adopt the first owned buffer outright, then
+            // reserve for the rest (reserving before an adopt would waste
+            // the allocation — adopt replaces an empty relation's buffer)
+            let rest_len: usize = rels.iter().skip(1).map(|r| r.len()).sum();
+            let mut inputs = rels.into_iter();
+            let mut out = match inputs.next() {
+                Some(Cow::Owned(r)) => r,
+                Some(Cow::Borrowed(r)) => {
+                    let mut out = Relation::new(cols);
+                    out.reserve(r.len());
+                    out.extend_from(r);
+                    out
+                }
+                None => Relation::new(cols),
+            };
+            out.reserve(rest_len);
+            for r in inputs {
+                match r {
+                    Cow::Owned(r) => out.adopt(r),
+                    Cow::Borrowed(r) => out.extend_from(r),
+                }
             }
             if *distinct {
                 out.dedup();
             }
             ctx.stats.tuples_emitted += out.len() as u64;
-            Ok(out)
+            Ok(Cow::Owned(out))
         }
         Plan::Diff { left, right } => {
             let l = eval_plan(left, ctx)?;
@@ -195,15 +434,16 @@ pub fn eval_plan(plan: &Plan, ctx: &mut ExecCtx<'_>) -> Result<Relation, ExecErr
                 return Err(ExecError::SchemaMismatch("difference arity".into()));
             }
             ctx.stats.set_ops += 1;
-            let rset: HashSet<&Tuple> = r.tuples().iter().collect();
+            let mut rset = fx_set_with_capacity::<&[Value]>(r.len());
+            rset.extend(r.rows());
             let mut out = Relation::new(l.columns().to_vec());
-            for t in l.tuples() {
+            for t in l.rows() {
                 if !rset.contains(t) {
-                    out.push(t.clone());
+                    out.push_row(t);
                 }
             }
             ctx.stats.tuples_emitted += out.len() as u64;
-            Ok(out)
+            Ok(Cow::Owned(out))
         }
         Plan::Intersect { left, right } => {
             let l = eval_plan(left, ctx)?;
@@ -212,24 +452,25 @@ pub fn eval_plan(plan: &Plan, ctx: &mut ExecCtx<'_>) -> Result<Relation, ExecErr
                 return Err(ExecError::SchemaMismatch("intersection arity".into()));
             }
             ctx.stats.set_ops += 1;
-            let rset: HashSet<&Tuple> = r.tuples().iter().collect();
+            let mut rset = fx_set_with_capacity::<&[Value]>(r.len());
+            rset.extend(r.rows());
             let mut out = Relation::new(l.columns().to_vec());
-            for t in l.tuples() {
+            for t in l.rows() {
                 if rset.contains(t) {
-                    out.push(t.clone());
+                    out.push_row(t);
                 }
             }
             ctx.stats.tuples_emitted += out.len() as u64;
-            Ok(out)
+            Ok(Cow::Owned(out))
         }
         Plan::Distinct(input) => {
-            let mut rel = eval_plan(input, ctx)?;
+            let mut rel = eval_plan(input, ctx)?.into_owned();
             rel.dedup();
             ctx.stats.tuples_emitted += rel.len() as u64;
-            Ok(rel)
+            Ok(Cow::Owned(rel))
         }
-        Plan::Lfp(spec) => eval_lfp(spec, ctx),
-        Plan::MultiLfp(spec) => eval_multilfp(spec, ctx),
+        Plan::Lfp(spec) => Ok(Cow::Owned(eval_lfp(spec, ctx)?)),
+        Plan::MultiLfp(spec) => Ok(Cow::Owned(eval_multilfp(spec, ctx)?)),
     }
 }
 
@@ -238,6 +479,66 @@ pub fn eval_plan(plan: &Plan, ctx: &mut ExecCtx<'_>) -> Result<Relation, ExecErr
 /// build/probe. Below it the single-thread path always runs — partitioning
 /// and thread startup cost more than they save on small inputs.
 pub const PARALLEL_JOIN_THRESHOLD: usize = 8_192;
+
+/// A multi-column join key. When every component is a node id, dictionary
+/// code, document marker or small integer (the hot case — join columns are
+/// ids), an arity ≤ 2 key packs into one `u128` and the table hashes one
+/// word. Otherwise the key falls back to a borrowed composite. The variant
+/// is a deterministic function of the component *values*, so equal logical
+/// keys always land in the same variant and `Eq`/`Hash` stay consistent.
+#[derive(PartialEq, Eq, Hash)]
+enum JoinKey<'a> {
+    Packed(u128),
+    Mixed(Vec<&'a Value>),
+}
+
+/// Pack one key component into a tagged 64-bit word, or `None` when the
+/// value doesn't fit (strings, large integers).
+#[inline]
+fn pack_component(v: &Value) -> Option<u64> {
+    match v {
+        Value::Doc => Some(1 << 32),
+        Value::Id(n) => Some((2 << 32) | u64::from(*n)),
+        Value::Code(c) => Some((3 << 32) | u64::from(*c)),
+        Value::Int(i) => u32::try_from(*i).ok().map(|u| (4 << 32) | u64::from(u)),
+        Value::Null | Value::Str(_) => None,
+    }
+}
+
+/// Borrowed multi-column join key, or `None` if any key column is NULL (a
+/// NULL key can never compare equal to anything). Keys of arity ≤ 2 with
+/// packable components allocate nothing (one table only ever holds keys of
+/// one arity, so 1- and 2-component packings cannot collide).
+fn key_of<'a>(t: &'a [Value], cols: &[usize]) -> Option<JoinKey<'a>> {
+    for &c in cols {
+        if t[c] == Value::Null {
+            return None;
+        }
+    }
+    if cols.len() <= 2 {
+        let mut packed: u128 = 0;
+        let mut all_packable = true;
+        for &c in cols {
+            match pack_component(&t[c]) {
+                Some(w) => packed = (packed << 64) | u128::from(w),
+                None => {
+                    all_packable = false;
+                    break;
+                }
+            }
+        }
+        if all_packable {
+            return Some(JoinKey::Packed(packed));
+        }
+    }
+    Some(JoinKey::Mixed(cols.iter().map(|&c| &t[c]).collect()))
+}
+
+/// Hash of a join key, or None if any key column is NULL (NULL keys never
+/// match, so NULL rows bypass the partitions entirely).
+fn key_hash(t: &[Value], cols: &[usize]) -> Option<u64> {
+    key_of(t, cols).map(|k| fx_hash_one(&k))
+}
 
 /// Hash join. Builds on the right input, probes with the left. The common
 /// single-column equijoin path avoids per-row key allocation.
@@ -261,6 +562,21 @@ pub fn hash_join(
     threads: usize,
     stats: &mut Stats,
 ) -> Relation {
+    hash_join_with(left, right, on, kind, threads, stats, None)
+}
+
+/// [`hash_join`] with an optional prebuilt index for the right side (the
+/// database's cached base-edge index; `prebuilt` must be an index of
+/// `right` on the single join column).
+fn hash_join_with(
+    left: &Relation,
+    right: &Relation,
+    on: &[(usize, usize)],
+    kind: JoinKind,
+    threads: usize,
+    stats: &mut Stats,
+    prebuilt: Option<&ColIndex>,
+) -> Relation {
     stats.joins += 1;
     let columns = match kind {
         JoinKind::Inner => {
@@ -270,101 +586,166 @@ pub fn hash_join(
         }
         JoinKind::Semi | JoinKind::Anti => left.columns().to_vec(),
     };
+    if let (Some(idx), [(lcol, _)]) = (prebuilt, on) {
+        // Cached-index path: no build phase at all. Probes parallelize by
+        // chunking the probe side over the shared read-only index.
+        stats.join_index_reuses += 1;
+        let out = if threads > 1 && left.len() + right.len() >= PARALLEL_JOIN_THRESHOLD {
+            probe_index_parallel(left, right, *lcol, idx, kind, threads, columns)
+        } else {
+            let mut out = Relation::new(columns);
+            for t in left.rows() {
+                let matched = if t[*lcol] == Value::Null {
+                    None
+                } else {
+                    idx.get(&t[*lcol])
+                };
+                emit_probe(t, matched, right, kind, &mut out);
+            }
+            out
+        };
+        stats.tuples_emitted += out.len() as u64;
+        return out;
+    }
     if threads > 1 && left.len() + right.len() >= PARALLEL_JOIN_THRESHOLD {
-        let out =
-            Relation::from_tuples(columns, parallel_hash_join(left, right, on, kind, threads));
+        let out = parallel_hash_join(left, right, on, kind, threads, columns);
         stats.tuples_emitted += out.len() as u64;
         return out;
     }
     let mut out = Relation::new(columns);
     if let [(lcol, rcol)] = *on {
         // fast path: borrowed single-column key
-        let mut table: HashMap<&Value, Vec<u32>> = HashMap::with_capacity(right.len());
-        for (i, t) in right.tuples().iter().enumerate() {
+        let mut table: FxHashMap<&Value, Vec<u32>> = fx_map_with_capacity(right.len());
+        for (i, t) in right.rows().enumerate() {
             if t[rcol] != Value::Null {
                 table.entry(&t[rcol]).or_default().push(i as u32);
             }
         }
-        for t in left.tuples() {
-            let matches = if t[lcol] == Value::Null {
+        for t in left.rows() {
+            let matched = if t[lcol] == Value::Null {
                 None
             } else {
-                table.get(&t[lcol])
+                table.get(&t[lcol]).map(Vec::as_slice)
             };
-            match (kind, matches) {
-                (JoinKind::Inner, Some(matches)) => {
-                    for &ri in matches {
-                        let mut row = t.clone();
-                        row.extend(right.tuples()[ri as usize].iter().cloned());
-                        out.push(row);
-                    }
-                }
-                (JoinKind::Semi, Some(_)) => out.push(t.clone()),
-                (JoinKind::Anti, None) => out.push(t.clone()),
-                _ => {}
-            }
+            emit_probe(t, matched, right, kind, &mut out);
         }
         stats.tuples_emitted += out.len() as u64;
         return out;
     }
-    // general path: multi-column keys; None = the key contains a NULL and
-    // can never compare equal to anything
+    // general path: multi-column keys, packed into one word when possible;
+    // None = the key contains a NULL and can never compare equal to anything
     let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
     let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-    let mut table: HashMap<Vec<&Value>, Vec<u32>> = HashMap::with_capacity(right.len());
-    for (i, t) in right.tuples().iter().enumerate() {
+    let mut table: FxHashMap<JoinKey<'_>, Vec<u32>> = fx_map_with_capacity(right.len());
+    for (i, t) in right.rows().enumerate() {
         if let Some(key) = key_of(t, &rcols) {
             table.entry(key).or_default().push(i as u32);
         }
     }
-    for t in left.tuples() {
-        let matches = key_of(t, &lcols).and_then(|key| table.get(&key));
-        match (kind, matches) {
-            (JoinKind::Inner, Some(matches)) => {
-                for &ri in matches {
-                    let mut row = t.clone();
-                    row.extend(right.tuples()[ri as usize].iter().cloned());
-                    out.push(row);
-                }
-            }
-            (JoinKind::Semi, Some(_)) => out.push(t.clone()),
-            (JoinKind::Anti, None) => out.push(t.clone()),
-            _ => {}
-        }
+    for t in left.rows() {
+        let matched = key_of(t, &lcols)
+            .and_then(|key| table.get(&key))
+            .map(Vec::as_slice);
+        emit_probe(t, matched, right, kind, &mut out);
     }
     stats.tuples_emitted += out.len() as u64;
     out
 }
 
-/// Borrowed multi-column join key, or None if any key column is NULL (a
-/// NULL key can never compare equal to anything).
-fn key_of<'a>(t: &'a Tuple, cols: &[usize]) -> Option<Vec<&'a Value>> {
-    let mut key = Vec::with_capacity(cols.len());
-    for &c in cols {
-        if t[c] == Value::Null {
-            return None;
+/// One probe row's emit: `matched` holds the build rows with an equal
+/// (non-NULL) key; the join kind decides what lands in `out`.
+#[inline]
+fn emit_probe(
+    t: &[Value],
+    matched: Option<&[u32]>,
+    right: &Relation,
+    kind: JoinKind,
+    out: &mut Relation,
+) {
+    match (kind, matched) {
+        (JoinKind::Inner, Some(matched)) => {
+            for &ri in matched {
+                out.push_concat(t, right.row(ri as usize));
+            }
         }
-        key.push(&t[c]);
+        (JoinKind::Semi, Some(_)) => out.push_row(t),
+        (JoinKind::Anti, None) => out.push_row(t),
+        _ => {}
     }
-    Some(key)
 }
 
-/// Hash of a join key, or None if any key column is NULL (NULL keys never
-/// match, so NULL rows bypass the partitions entirely).
-fn key_hash(t: &Tuple, cols: &[usize]) -> Option<u64> {
-    let mut h = DefaultHasher::new();
-    for &c in cols {
-        if t[c] == Value::Null {
-            return None;
+/// Parallel probe over the shared cached index: the probe side is chunked
+/// across scoped threads, each worker probes the read-only index into a
+/// flat buffer, and the buffers are concatenated (deterministic order:
+/// chunk order = probe order).
+fn probe_index_parallel(
+    left: &Relation,
+    right: &Relation,
+    lcol: usize,
+    idx: &ColIndex,
+    kind: JoinKind,
+    threads: usize,
+    columns: Vec<String>,
+) -> Relation {
+    let rows: Vec<&[Value]> = left.rows().collect();
+    let chunk = rows.len().div_ceil(threads).max(1);
+    let bufs: Vec<Vec<Value>> = thread::scope(|s| {
+        let handles: Vec<_> = rows
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    let mut buf: Vec<Value> = Vec::new();
+                    for &t in part {
+                        let matched = if t[lcol] == Value::Null {
+                            None
+                        } else {
+                            idx.get(&t[lcol])
+                        };
+                        match (kind, matched) {
+                            (JoinKind::Inner, Some(matched)) => {
+                                for &ri in matched {
+                                    buf.extend_from_slice(t);
+                                    buf.extend_from_slice(right.row(ri as usize));
+                                }
+                            }
+                            (JoinKind::Semi, Some(_)) => buf.extend_from_slice(t),
+                            (JoinKind::Anti, None) => buf.extend_from_slice(t),
+                            _ => {}
+                        }
+                    }
+                    buf
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join worker panicked"))
+            .collect()
+    });
+    merge_flat(columns, bufs)
+}
+
+/// Merge per-worker flat buffers into one relation: a single reserve plus
+/// one `extend` per partition (and an outright adoption for the first).
+fn merge_flat(columns: Vec<String>, mut bufs: Vec<Vec<Value>>) -> Relation {
+    let total: usize = bufs.iter().map(Vec::len).sum();
+    let mut merged = match bufs.first_mut() {
+        Some(first) => {
+            let mut head = std::mem::take(first);
+            head.reserve(total - head.len());
+            head
         }
-        t[c].hash(&mut h);
+        None => Vec::new(),
+    };
+    for buf in bufs.into_iter().skip(1) {
+        merged.extend(buf);
     }
-    Some(h.finish())
+    Relation::from_flat(columns, merged)
 }
 
 /// Partitioned parallel build/probe: both sides are hash-partitioned on the
 /// join key (equal keys land in the same partition), each partition is
-/// joined on its own scoped thread, and the per-partition outputs are
+/// joined on its own scoped thread into a flat buffer, and the buffers are
 /// concatenated. NULL-key probe rows match nothing and are appended at the
 /// end for anti joins only.
 fn parallel_hash_join(
@@ -373,25 +754,26 @@ fn parallel_hash_join(
     on: &[(usize, usize)],
     kind: JoinKind,
     threads: usize,
-) -> Vec<Tuple> {
+    columns: Vec<String>,
+) -> Relation {
     let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
     let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
     let parts = threads;
     let mut lparts: Vec<Vec<u32>> = vec![Vec::new(); parts];
     let mut rparts: Vec<Vec<u32>> = vec![Vec::new(); parts];
     let mut null_probes: Vec<u32> = Vec::new();
-    for (i, t) in left.tuples().iter().enumerate() {
+    for (i, t) in left.rows().enumerate() {
         match key_hash(t, &lcols) {
             Some(h) => lparts[(h % parts as u64) as usize].push(i as u32),
             None => null_probes.push(i as u32),
         }
     }
-    for (i, t) in right.tuples().iter().enumerate() {
+    for (i, t) in right.rows().enumerate() {
         if let Some(h) = key_hash(t, &rcols) {
             rparts[(h % parts as u64) as usize].push(i as u32);
         }
     }
-    let results: Vec<Vec<Tuple>> = thread::scope(|s| {
+    let bufs: Vec<Vec<Value>> = thread::scope(|s| {
         let (lcols, rcols) = (&lcols, &rcols);
         let handles: Vec<_> = lparts
             .iter()
@@ -405,20 +787,18 @@ fn parallel_hash_join(
             .map(|h| h.join().expect("join worker panicked"))
             .collect()
     });
-    let mut out: Vec<Tuple> = Vec::new();
-    for mut rows in results {
-        out.append(&mut rows);
-    }
+    let mut out = merge_flat(columns, bufs);
     if kind == JoinKind::Anti {
         for &li in &null_probes {
-            out.push(left.tuples()[li as usize].clone());
+            out.push_row(left.row(li as usize));
         }
     }
     out
 }
 
-/// Join one hash partition (row-index slices into `left`/`right`). The
-/// partitions contain no NULL keys — `key_hash` already routed those away.
+/// Join one hash partition (row-index slices into `left`/`right`) into a
+/// flat output buffer. The partitions contain no NULL keys — `key_hash`
+/// already routed those away.
 fn join_partition(
     left: &Relation,
     right: &Relation,
@@ -427,32 +807,31 @@ fn join_partition(
     lcols: &[usize],
     rcols: &[usize],
     kind: JoinKind,
-) -> Vec<Tuple> {
-    let mut table: HashMap<Vec<&Value>, Vec<u32>> = HashMap::with_capacity(rrows.len());
+) -> Vec<Value> {
+    let mut table: FxHashMap<JoinKey<'_>, Vec<u32>> = fx_map_with_capacity(rrows.len());
     for &ri in rrows {
         // key_of is Some for every partitioned row: key_hash routed NULLs away
-        if let Some(key) = key_of(&right.tuples()[ri as usize], rcols) {
+        if let Some(key) = key_of(right.row(ri as usize), rcols) {
             table.entry(key).or_default().push(ri);
         }
     }
-    let mut out = Vec::new();
+    let mut buf: Vec<Value> = Vec::new();
     for &li in lrows {
-        let t = &left.tuples()[li as usize];
-        let matches = key_of(t, lcols).and_then(|key| table.get(&key));
-        match (kind, matches) {
-            (JoinKind::Inner, Some(matches)) => {
-                for &ri in matches {
-                    let mut row = t.clone();
-                    row.extend(right.tuples()[ri as usize].iter().cloned());
-                    out.push(row);
+        let t = left.row(li as usize);
+        let matched = key_of(t, lcols).and_then(|key| table.get(&key));
+        match (kind, matched) {
+            (JoinKind::Inner, Some(matched)) => {
+                for &ri in matched {
+                    buf.extend_from_slice(t);
+                    buf.extend_from_slice(right.row(ri as usize));
                 }
             }
-            (JoinKind::Semi, Some(_)) => out.push(t.clone()),
-            (JoinKind::Anti, None) => out.push(t.clone()),
+            (JoinKind::Semi, Some(_)) => buf.extend_from_slice(t),
+            (JoinKind::Anti, None) => buf.extend_from_slice(t),
             _ => {}
         }
     }
-    out
+    buf
 }
 
 #[cfg(test)]
@@ -477,7 +856,7 @@ mod tests {
             opts: ExecOptions::default(),
             stats: &mut stats,
         };
-        eval_plan(plan, &mut ctx).unwrap()
+        eval_plan(plan, &mut ctx).unwrap().into_owned()
     }
 
     fn db_with(name: &str, rel: Relation) -> Database {
@@ -492,7 +871,27 @@ mod tests {
         let p = Plan::Scan("R".into()).select(Pred::ColEqValue(0, Value::Id(1)));
         let out = run(&p, &db);
         assert_eq!(out.len(), 1);
-        assert_eq!(out.tuples()[0], vec![Value::Id(1), Value::Id(2)]);
+        assert_eq!(out.row(0), &[Value::Id(1), Value::Id(2)]);
+    }
+
+    #[test]
+    fn scan_borrows_without_cloning() {
+        let db = db_with("R", rel2(["F", "T"], &[(1, 2)]));
+        let env = HashMap::new();
+        let mut stats = Stats::default();
+        let mut ctx = ExecCtx {
+            db: &db,
+            env: &env,
+            opts: ExecOptions::default(),
+            stats: &mut stats,
+        };
+        let plan = Plan::Scan("R".into());
+        let out = eval_plan(&plan, &mut ctx).unwrap();
+        assert!(
+            matches!(out, Cow::Borrowed(_)),
+            "a raw scan must not copy the base relation"
+        );
+        assert!(std::ptr::eq(out.as_ref(), db.get("R").unwrap()));
     }
 
     #[test]
@@ -506,7 +905,8 @@ mod tests {
             opts: ExecOptions::default(),
             stats: &mut stats,
         };
-        let err = eval_plan(&Plan::Scan("missing".into()), &mut ctx).unwrap_err();
+        let plan = Plan::Scan("missing".into());
+        let err = eval_plan(&plan, &mut ctx).unwrap_err();
         assert_eq!(err, ExecError::UnknownRelation("missing".into()));
     }
 
@@ -516,7 +916,7 @@ mod tests {
         let p = Plan::Scan("R".into()).project(vec![(1, "X")]);
         let out = run(&p, &db);
         assert_eq!(out.columns(), &["X".to_string()]);
-        assert_eq!(out.tuples()[0], vec![Value::Id(2)]);
+        assert_eq!(out.row(0), &[Value::Id(2)]);
     }
 
     #[test]
@@ -536,6 +936,49 @@ mod tests {
         );
     }
 
+    /// The same join must produce the same rows whether the build table is
+    /// fresh or the database's cached base-edge index — and the cached path
+    /// must record its reuse.
+    #[test]
+    fn cached_index_join_matches_fresh_build() {
+        let mut db = Database::new();
+        db.insert("A", rel2(["F", "T"], &[(1, 2), (1, 3), (9, 9)]));
+        db.insert("B", rel2(["F", "T"], &[(2, 9), (3, 8), (4, 7)]));
+        let plans = [
+            Plan::Scan("A".into()).join_on(Plan::Scan("B".into()), 1, 0),
+            Plan::Scan("A".into()).semi_join(Plan::Scan("B".into()), 1, 0),
+            Plan::Scan("A".into()).anti_join(Plan::Scan("B".into()), 1, 0),
+        ];
+        let fresh: Vec<Relation> = plans.iter().map(|p| run(p, &db)).collect();
+        db.build_indexes();
+        assert_eq!(db.indexed_relations(), 2);
+        for (p, want) in plans.iter().zip(&fresh) {
+            let env = HashMap::new();
+            let mut stats = Stats::default();
+            let mut ctx = ExecCtx {
+                db: &db,
+                env: &env,
+                opts: ExecOptions::default(),
+                stats: &mut stats,
+            };
+            let got = eval_plan(p, &mut ctx).unwrap().into_owned();
+            assert_eq!(got.sorted_tuples(), want.sorted_tuples());
+            assert_eq!(stats.join_index_reuses, 1, "cached index was used");
+        }
+    }
+
+    #[test]
+    fn insert_invalidates_stale_index() {
+        let mut db = db_with("A", rel2(["F", "T"], &[(1, 2)]));
+        db.build_indexes();
+        assert!(db.index_of("A", 0).is_some());
+        db.insert("A", rel2(["F", "T"], &[(5, 6)]));
+        assert!(db.index_of("A", 0).is_none(), "stale index dropped");
+        db.build_indexes();
+        assert!(db.index_of("A", 0).unwrap().get(&Value::Id(5)).is_some());
+        assert!(db.index_of("A", 0).unwrap().get(&Value::Id(1)).is_none());
+    }
+
     #[test]
     fn semi_and_anti_join() {
         let mut db = Database::new();
@@ -547,7 +990,7 @@ mod tests {
         let anti = Plan::Scan("A".into()).anti_join(Plan::Scan("B".into()), 1, 0);
         let out = run(&anti, &db);
         assert_eq!(out.len(), 1);
-        assert_eq!(out.tuples()[0][1], Value::Id(3));
+        assert_eq!(out.row(0)[1], Value::Id(3));
     }
 
     #[test]
@@ -578,14 +1021,14 @@ mod tests {
         };
         let out = run(&diff, &db);
         assert_eq!(out.len(), 1);
-        assert_eq!(out.tuples()[0][0], Value::Id(1));
+        assert_eq!(out.row(0)[0], Value::Id(1));
         let inter = Plan::Intersect {
             left: Box::new(Plan::Scan("A".into())),
             right: Box::new(Plan::Scan("B".into())),
         };
         let out = run(&inter, &db);
         assert_eq!(out.len(), 1);
-        assert_eq!(out.tuples()[0][0], Value::Id(3));
+        assert_eq!(out.row(0)[0], Value::Id(3));
     }
 
     #[test]
@@ -593,6 +1036,41 @@ mod tests {
         let db = db_with("A", rel2(["F", "T"], &[(1, 2), (1, 2)]));
         let p = Plan::Distinct(Box::new(Plan::Scan("A".into())));
         assert_eq!(run(&p, &db).len(), 1);
+    }
+
+    /// String selections work identically against dictionary-coded columns
+    /// (the loaded store) and raw `Str` columns (runtime-produced
+    /// relations) — including under negation when the literal is absent
+    /// from the dictionary.
+    #[test]
+    fn compiled_predicates_match_codes_and_strings() {
+        let mut db = Database::new();
+        let mut coded = Relation::new(vec!["T".into(), "V".into()]);
+        let sel = db.intern_str("sel");
+        let other = db.intern_str("other");
+        coded.push(vec![Value::Id(1), sel.clone()]);
+        coded.push(vec![Value::Id(2), other]);
+        coded.push(vec![Value::Id(3), Value::Null]);
+        db.insert("C", coded);
+        let mut raw = Relation::new(vec!["T".into(), "V".into()]);
+        raw.push(vec![Value::Id(1), Value::str("sel")]);
+        raw.push(vec![Value::Id(2), Value::str("other")]);
+        db.insert("S", raw);
+        for rel in ["C", "S"] {
+            let p = Plan::Scan(rel.into()).select(Pred::ColEqValue(1, Value::str("sel")));
+            let out = run(&p, &db);
+            assert_eq!(out.len(), 1, "{rel}: one 'sel' row");
+            assert_eq!(out.row(0)[0], Value::Id(1));
+            // negation with a literal the dictionary has never seen: every
+            // row passes (no row carries that text)
+            let p = Plan::Scan(rel.into()).select(Pred::Not(Box::new(Pred::ColEqValue(
+                1,
+                Value::str("absent"),
+            ))));
+            let out = run(&p, &db);
+            assert_eq!(out.len(), db.get(rel).unwrap().len(), "{rel}: ¬absent");
+        }
+        assert_eq!(db.decode_value(&sel), Value::str("sel"));
     }
 
     /// SQL comparison semantics: `NULL = NULL` is not true, so NULL keys
@@ -615,16 +1093,16 @@ mod tests {
         let inner = Plan::Scan("A".into()).join_on(Plan::Scan("B".into()), 0, 0);
         let out = run(&inner, &db);
         assert_eq!(out.len(), 1);
-        assert_eq!(out.tuples()[0][1], Value::Id(2));
+        assert_eq!(out.row(0)[1], Value::Id(2));
         // semi: only the 'x' row survives
         let semi = Plan::Scan("A".into()).semi_join(Plan::Scan("B".into()), 0, 0);
         let out = run(&semi, &db);
         assert_eq!(out.len(), 1);
-        assert_eq!(out.tuples()[0][1], Value::Id(2));
+        assert_eq!(out.row(0)[1], Value::Id(2));
         // anti (NOT EXISTS): NULL probe keys match nothing, so they are kept
         let anti = Plan::Scan("A".into()).anti_join(Plan::Scan("B".into()), 0, 0);
         let out = run(&anti, &db);
-        let kept: Vec<_> = out.tuples().iter().map(|t| t[1].clone()).collect();
+        let kept: Vec<_> = out.rows().map(|t| t[1].clone()).collect();
         assert_eq!(kept, vec![Value::Id(1), Value::Id(3)]);
     }
 
@@ -650,7 +1128,7 @@ mod tests {
         };
         let out = run(&p, &db);
         assert_eq!(out.len(), 1, "only (1,'y') matches (1,'y')");
-        assert_eq!(out.tuples()[0][2], Value::Id(2));
+        assert_eq!(out.row(0)[2], Value::Id(2));
         let anti = Plan::Join {
             left: Box::new(Plan::Scan("L".into())),
             right: Box::new(Plan::Scan("R".into())),
@@ -659,7 +1137,55 @@ mod tests {
         };
         let out = run(&anti, &db);
         assert_eq!(out.len(), 1, "the NULL-key probe row is kept by anti");
-        assert_eq!(out.tuples()[0][2], Value::Id(1));
+        assert_eq!(out.row(0)[2], Value::Id(1));
+    }
+
+    /// Two-column keys over ids/codes pack into one `u128` word; mixed
+    /// rows with strings fall back to the composite key. Both must agree
+    /// with each other (equal logical keys → same variant) and join
+    /// correctly together in one table.
+    #[test]
+    fn packed_and_mixed_keys_coexist() {
+        let row = |a: Value, b: Value, id: u32| vec![a, b, Value::Id(id)];
+        let mut l = Relation::new(vec!["X".into(), "Y".into(), "T".into()]);
+        l.push(row(Value::Id(1), Value::Id(2), 1)); // packs
+        l.push(row(Value::Id(1), Value::str("s"), 2)); // mixed
+        l.push(row(Value::Doc, Value::Int(7), 3)); // packs
+        l.push(row(Value::Int(1 << 40), Value::Id(1), 4)); // big int: mixed
+        let mut r = Relation::new(vec!["X".into(), "Y".into(), "T".into()]);
+        r.push(row(Value::Id(1), Value::Id(2), 10));
+        r.push(row(Value::Id(1), Value::str("s"), 20));
+        r.push(row(Value::Doc, Value::Int(7), 30));
+        r.push(row(Value::Int(1 << 40), Value::Id(1), 40));
+        r.push(row(Value::Id(9), Value::Id(9), 50));
+        let mut db = Database::new();
+        db.insert("L", l);
+        db.insert("R", r);
+        let p = Plan::Join {
+            left: Box::new(Plan::Scan("L".into())),
+            right: Box::new(Plan::Scan("R".into())),
+            on: vec![(0, 0), (1, 1)],
+            kind: JoinKind::Inner,
+        };
+        let out = run(&p, &db);
+        assert_eq!(out.len(), 4, "every left row finds exactly its match");
+        // key components must not cross-match between types (Id vs Code vs
+        // Int with equal payloads)
+        assert_eq!(pack_component(&Value::Id(5)), Some((2 << 32) | 5));
+        assert_ne!(
+            pack_component(&Value::Id(5)),
+            pack_component(&Value::Code(5))
+        );
+        assert_ne!(
+            pack_component(&Value::Id(5)),
+            pack_component(&Value::Int(5))
+        );
+        assert_eq!(
+            pack_component(&Value::Int(1 << 40)),
+            None,
+            "big int falls back"
+        );
+        assert_eq!(pack_component(&Value::Null), None);
     }
 
     /// Parallel partitioned build/probe must produce the same bag as the
@@ -700,6 +1226,70 @@ mod tests {
             );
             assert_eq!(s1.tuples_emitted, s4.tuples_emitted);
             assert_eq!(s1.joins, s4.joins);
+        }
+    }
+
+    /// The cached-index parallel probe must agree with both sequential
+    /// paths on large inputs, for every join kind.
+    #[test]
+    fn parallel_index_probe_matches_single_thread() {
+        let mut x = 0x0DD0_0D60_0DD0_0D60_u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut a = Relation::new(vec!["F".into(), "T".into()]);
+        let mut b = Relation::new(vec!["F".into(), "T".into()]);
+        for _ in 0..6_000 {
+            a.push(vec![
+                Value::Id((step() % 800) as u32),
+                Value::Id((step() % 800) as u32),
+            ]);
+            b.push(vec![
+                Value::Id((step() % 800) as u32),
+                Value::Id((step() % 800) as u32),
+            ]);
+        }
+        let mut db = Database::new();
+        db.insert("A", a);
+        db.insert("B", b);
+        db.build_indexes();
+        for (kind, plan) in [
+            (
+                JoinKind::Inner,
+                Plan::Scan("A".into()).join_on(Plan::Scan("B".into()), 1, 0),
+            ),
+            (
+                JoinKind::Semi,
+                Plan::Scan("A".into()).semi_join(Plan::Scan("B".into()), 1, 0),
+            ),
+            (
+                JoinKind::Anti,
+                Plan::Scan("A".into()).anti_join(Plan::Scan("B".into()), 1, 0),
+            ),
+        ] {
+            let run_t = |threads: usize| {
+                let env = HashMap::new();
+                let mut stats = Stats::default();
+                let mut ctx = ExecCtx {
+                    db: &db,
+                    env: &env,
+                    opts: ExecOptions::default().with_threads(threads),
+                    stats: &mut stats,
+                };
+                let rel = eval_plan(&plan, &mut ctx).unwrap().into_owned();
+                (rel, stats.join_index_reuses)
+            };
+            let (seq, seq_reuses) = run_t(1);
+            let (par, par_reuses) = run_t(4);
+            assert_eq!(
+                seq.sorted_tuples(),
+                par.sorted_tuples(),
+                "index probe {kind:?} differs"
+            );
+            assert_eq!((seq_reuses, par_reuses), (1, 1));
         }
     }
 

@@ -7,13 +7,13 @@
 //! relation. Semantics are unchanged — this is the moral equivalent of the
 //! RDBMS running its recursion over integer keys with indexes.
 
+use crate::fxhash::FxHashMap;
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// A dense interner for [`Value`]s.
 #[derive(Default)]
 pub struct Interner {
-    codes: HashMap<Value, u32>,
+    codes: FxHashMap<Value, u32>,
     values: Vec<Value>,
 }
 

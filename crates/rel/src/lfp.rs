@@ -26,10 +26,10 @@
 //! integer-keyed indexes the paper's DB2 setup would use.
 
 use crate::exec::{eval_plan, ExecCtx};
+use crate::fxhash::{fx_set_with_capacity, FxHashSet};
 use crate::intern::{pack, unpack, Interner};
 use crate::plan::{LfpSpec, PushSpec};
 use crate::relation::Relation;
-use std::collections::HashSet;
 use std::thread;
 
 /// Frontier size above which a semi-naive round with
@@ -42,7 +42,10 @@ pub const PARALLEL_LFP_THRESHOLD: usize = 4_096;
 
 /// Evaluate `Φ(R)`: closure pairs `(F, T)` over the edge set produced by
 /// `spec.input`, possibly seed-/target-restricted.
-pub fn eval_lfp(spec: &LfpSpec, ctx: &mut ExecCtx<'_>) -> Result<Relation, crate::ExecError> {
+pub fn eval_lfp<'a>(
+    spec: &'a LfpSpec,
+    ctx: &mut ExecCtx<'a>,
+) -> Result<Relation, crate::ExecError> {
     let edges = eval_plan(&spec.input, ctx)?;
     ctx.stats.lfp_invocations += 1;
 
@@ -50,25 +53,15 @@ pub fn eval_lfp(spec: &LfpSpec, ctx: &mut ExecCtx<'_>) -> Result<Relation, crate
     let backward = matches!(spec.push, Some(PushSpec::Backward { .. }));
 
     // Restriction set (interned codes); None = unrestricted.
-    let restrict: Option<HashSet<u32>> = match &spec.push {
+    let restrict: Option<FxHashSet<u32>> = match &spec.push {
         None => None,
         Some(PushSpec::Forward { seeds, col }) => {
             let rel = eval_plan(seeds, ctx)?;
-            Some(
-                rel.tuples()
-                    .iter()
-                    .map(|t| interner.intern(&t[*col]))
-                    .collect(),
-            )
+            Some(rel.rows().map(|t| interner.intern(&t[*col])).collect())
         }
         Some(PushSpec::Backward { targets, col }) => {
             let rel = eval_plan(targets, ctx)?;
-            Some(
-                rel.tuples()
-                    .iter()
-                    .map(|t| interner.intern(&t[*col]))
-                    .collect(),
-            )
+            Some(rel.rows().map(|t| interner.intern(&t[*col])).collect())
         }
     };
 
@@ -77,7 +70,7 @@ pub fn eval_lfp(spec: &LfpSpec, ctx: &mut ExecCtx<'_>) -> Result<Relation, crate
     // stand-in for the paper's indexes on all joined attributes.
     let mut heads: Vec<Vec<u32>> = Vec::new();
     let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
-    for t in edges.tuples() {
+    for t in edges.rows() {
         let f = interner.intern(&t[spec.from_col]);
         let to = interner.intern(&t[spec.to_col]);
         pairs.push((f, to));
@@ -98,15 +91,13 @@ pub fn eval_lfp(spec: &LfpSpec, ctx: &mut ExecCtx<'_>) -> Result<Relation, crate
     }
 }
 
-fn emit(closure: &HashSet<u64>, interner: &Interner, ctx: &mut ExecCtx<'_>) -> Relation {
+fn emit(closure: &FxHashSet<u64>, interner: &Interner, ctx: &mut ExecCtx<'_>) -> Relation {
+    ctx.stats.lfp_peak_closure = ctx.stats.lfp_peak_closure.max(closure.len());
     let mut out = Relation::new(vec!["F".into(), "T".into()]);
-    out.tuples_mut().reserve(closure.len());
+    out.reserve(closure.len());
     for &key in closure {
         let (f, t) = unpack(key);
-        out.push(vec![
-            interner.resolve(f).clone(),
-            interner.resolve(t).clone(),
-        ]);
+        out.push_row(&[interner.resolve(f).clone(), interner.resolve(t).clone()]);
     }
     ctx.stats.tuples_emitted += out.len() as u64;
     out
@@ -115,12 +106,12 @@ fn emit(closure: &HashSet<u64>, interner: &Interner, ctx: &mut ExecCtx<'_>) -> R
 fn semi_naive_closure(
     pairs: &[(u32, u32)],
     heads: &[Vec<u32>],
-    restrict: Option<&HashSet<u32>>,
+    restrict: Option<&FxHashSet<u32>>,
     backward: bool,
     interner: &Interner,
     ctx: &mut ExecCtx<'_>,
 ) -> Result<Relation, crate::ExecError> {
-    let mut closure: HashSet<u64> = HashSet::with_capacity(pairs.len() * 2);
+    let mut closure: FxHashSet<u64> = fx_set_with_capacity(pairs.len() * 2);
     let mut frontier: Vec<(u32, u32)> = Vec::new();
     for &(f, t) in pairs {
         let keep = match restrict {
@@ -198,7 +189,7 @@ fn semi_naive_closure(
 fn naive_closure(
     pairs: &[(u32, u32)],
     heads: &[Vec<u32>],
-    restrict: Option<&HashSet<u32>>,
+    restrict: Option<&FxHashSet<u32>>,
     backward: bool,
     interner: &Interner,
     ctx: &mut ExecCtx<'_>,
@@ -206,7 +197,7 @@ fn naive_closure(
     // Backward restriction is applied at the end in naive mode (the naive
     // operator joins blindly, matching the black-box reading of Eq. 2).
     let forward_restrict = if backward { None } else { restrict };
-    let mut closure: HashSet<u64> = HashSet::new();
+    let mut closure: FxHashSet<u64> = FxHashSet::default();
     for &(f, t) in pairs {
         let keep = forward_restrict.is_none_or(|set| set.contains(&f));
         if keep {
@@ -249,7 +240,7 @@ mod tests {
     use crate::program::TempId;
     use crate::stats::Stats;
     use crate::value::Value;
-    use std::collections::HashMap as Map;
+    use std::collections::{HashMap as Map, HashSet};
 
     fn edge_rel(pairs: &[(u32, u32)]) -> Relation {
         let mut r = Relation::new(vec!["F".into(), "T".into()]);
@@ -294,8 +285,7 @@ mod tests {
     }
 
     fn pairs_of(rel: &Relation) -> HashSet<(u32, u32)> {
-        rel.tuples()
-            .iter()
+        rel.rows()
             .map(|t| (t[0].as_id().unwrap(), t[1].as_id().unwrap()))
             .collect()
     }
@@ -551,8 +541,7 @@ mod tests {
         let rel = eval_lfp(&spec, &mut ctx).unwrap();
         assert_eq!(rel.len(), 3);
         assert!(rel
-            .tuples()
-            .iter()
+            .rows()
             .any(|t| t[0] == Value::Doc && t[1] == Value::Id(2)));
     }
 }

@@ -5,7 +5,14 @@
 //! The engine provides exactly the machinery the translation needs and the
 //! evaluation measures:
 //!
-//! * named-column relations over [`Value`] tuples ([`relation`]);
+//! * named-column relations over [`Value`] tuples, stored in a single flat
+//!   buffer with an arity stride ([`relation`]) — one allocation per
+//!   relation, not per row;
+//! * a load-time string [`dict`]ionary and cached base-edge indexes on the
+//!   [`Database`], so hot-path comparisons are integer equalities and
+//!   base-table join build sides are reused across executions;
+//! * an internal Fx-style hasher ([`fxhash`]) for every executor-side
+//!   hash table;
 //! * relational-algebra plans ([`plan`]): scan, select, project, inner/semi/
 //!   anti hash joins, union, difference, intersection, distinct;
 //! * the paper's **simple LFP operator `Φ(R)`** over a *single* input
@@ -27,8 +34,10 @@
 //! * SQL text rendering in three dialects ([`sql`]): SQL'99 recursive CTEs,
 //!   Oracle `CONNECT BY`, and DB2 `WITH…RECURSIVE` (Fig. 4).
 
+pub mod dict;
 pub mod exec;
 pub mod explain;
+pub mod fxhash;
 pub mod intern;
 pub mod lfp;
 pub mod multilfp;
@@ -40,8 +49,10 @@ pub mod sql;
 pub mod stats;
 pub mod value;
 
-pub use exec::{Database, ExecError, ExecOptions, PARALLEL_JOIN_THRESHOLD};
+pub use dict::Dictionary;
+pub use exec::{ColIndex, Database, ExecError, ExecOptions, PARALLEL_JOIN_THRESHOLD};
 pub use explain::{explain_opt_report, explain_plan, explain_program};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use lfp::PARALLEL_LFP_THRESHOLD;
 pub use opt::{optimize, OptLevel, OptReport, OptStats};
 pub use plan::{JoinKind, LfpSpec, MultiLfpEdge, MultiLfpSpec, Plan, Pred, PushSpec};

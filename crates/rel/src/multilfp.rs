@@ -17,18 +17,18 @@
 //! and the tag.
 
 use crate::exec::{eval_plan, ExecCtx};
+use crate::fxhash::{fx_map_with_capacity, FxHashMap, FxHashSet};
 use crate::intern::{pack, unpack, Interner};
 use crate::plan::MultiLfpSpec;
 use crate::relation::Relation;
 use crate::value::Value;
-use std::collections::{HashMap, HashSet};
 
 /// Evaluate the multi-relation fixpoint. The iteration runs over interned
 /// node codes with packed pair keys plus a small tag code (see
 /// [`crate::intern`]).
-pub fn eval_multilfp(
-    spec: &MultiLfpSpec,
-    ctx: &mut ExecCtx<'_>,
+pub fn eval_multilfp<'a>(
+    spec: &'a MultiLfpSpec,
+    ctx: &mut ExecCtx<'a>,
 ) -> Result<Relation, crate::ExecError> {
     ctx.stats.multilfp_invocations += 1;
 
@@ -48,13 +48,13 @@ pub fn eval_multilfp(
     struct EdgeRule {
         src: u32,
         dst: u32,
-        adj: HashMap<u32, Vec<u32>>,
+        adj: FxHashMap<u32, Vec<u32>>,
     }
     let mut rules: Vec<EdgeRule> = Vec::with_capacity(spec.edges.len());
     for e in &spec.edges {
         let rel = eval_plan(&e.rel, ctx)?;
-        let mut adj: HashMap<u32, Vec<u32>> = HashMap::with_capacity(rel.len());
-        for t in rel.tuples() {
+        let mut adj: FxHashMap<u32, Vec<u32>> = fx_map_with_capacity(rel.len());
+        for t in rel.rows() {
             let f = nodes.intern(&t[0]);
             let to = nodes.intern(&t[1]);
             adj.entry(f).or_default().push(to);
@@ -66,12 +66,12 @@ pub fn eval_multilfp(
         });
     }
 
-    let mut result: HashSet<(u64, u32)> = HashSet::new();
+    let mut result: FxHashSet<(u64, u32)> = FxHashSet::default();
     let mut frontier: Vec<(u32, u32, u32)> = Vec::new();
     for (tag, plan) in &spec.init {
         let init = eval_plan(plan, ctx)?;
         let tag = tag_code(&mut tags, tag);
-        for t in init.tuples() {
+        for t in init.rows() {
             let s = nodes.intern(&t[0]);
             let to = nodes.intern(&t[1]);
             if result.insert((pack(s, to), tag)) {
@@ -122,11 +122,12 @@ pub fn eval_multilfp(
         }
     }
 
+    ctx.stats.lfp_peak_closure = ctx.stats.lfp_peak_closure.max(result.len());
     let mut out = Relation::new(vec!["S".into(), "T".into(), "Rid".into()]);
-    out.tuples_mut().reserve(result.len());
+    out.reserve(result.len());
     for (key, tag) in result {
         let (s, t) = unpack(key);
-        out.push(vec![
+        out.push_row(&[
             nodes.resolve(s).clone(),
             nodes.resolve(t).clone(),
             Value::str(&tags[tag as usize]),
@@ -143,6 +144,7 @@ mod tests {
     use crate::plan::{MultiLfpEdge, Plan};
     use crate::program::TempId;
     use crate::stats::Stats;
+    use std::collections::HashSet;
 
     fn edge_rel(pairs: &[(u32, u32)]) -> Relation {
         let mut r = Relation::new(vec!["F".into(), "T".into()]);
@@ -188,8 +190,7 @@ mod tests {
         let out = eval_multilfp(&spec, &mut ctx).unwrap();
         // reachable from 0: 1(b), 2(a), 3(b), 4(a)
         let reached: HashSet<(u32, String)> = out
-            .tuples()
-            .iter()
+            .rows()
             .map(|t| (t[1].as_id().unwrap(), t[2].as_str().unwrap().to_string()))
             .collect();
         assert_eq!(
@@ -202,7 +203,7 @@ mod tests {
             ])
         );
         // origin column is preserved
-        assert!(out.tuples().iter().all(|t| t[0] == Value::Id(0)));
+        assert!(out.rows().all(|t| t[0] == Value::Id(0)));
         // cost model: 2 joins per iteration
         assert_eq!(stats.multilfp_invocations, 1);
         assert!(stats.joins >= 2 * stats.multilfp_iterations);

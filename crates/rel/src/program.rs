@@ -128,6 +128,9 @@ impl Program {
             stats.stmts_skipped += self.stmts.len() - stats.stmts_evaluated.min(self.stmts.len());
         } else {
             for stmt in &self.stmts {
+                // into_owned inside the scope: a statement that is a bare
+                // Scan/Temp clones (it must own its entry), everything else
+                // is already owned
                 let rel = {
                     let mut ctx = ExecCtx {
                         db,
@@ -135,7 +138,7 @@ impl Program {
                         opts,
                         stats,
                     };
-                    eval_plan(&stmt.plan, &mut ctx)?
+                    eval_plan(&stmt.plan, &mut ctx)?.into_owned()
                 };
                 stats.stmts_evaluated += 1;
                 env.insert(stmt.target, rel);
@@ -208,7 +211,7 @@ fn materialize(
             opts,
             stats,
         };
-        eval_plan(&stmt.plan, &mut ctx)?
+        eval_plan(&stmt.plan, &mut ctx)?.into_owned()
     };
     stats.stmts_evaluated += 1;
     env.insert(id, rel);
@@ -284,7 +287,7 @@ mod tests {
             .execute(&db(), ExecOptions::default(), &mut stats)
             .unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(out.tuples()[0], vec![Value::Id(1), Value::Id(3)]);
+        assert_eq!(out.row(0), &[Value::Id(1), Value::Id(3)]);
     }
 
     #[test]

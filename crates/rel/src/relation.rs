@@ -1,23 +1,39 @@
-//! Relations: named columns over [`Value`] tuples.
+//! Relations: named columns over [`Value`] tuples, stored columnar-style in
+//! one flat buffer.
+//!
+//! # Storage layout
+//!
+//! A relation stores its rows in a **single flat `Vec<Value>`** with an
+//! arity stride: row `i` is the slice `buf[i * arity .. (i + 1) * arity]`.
+//! That is one heap allocation per *relation* instead of one per *row* (the
+//! old `Vec<Vec<Value>>` layout), rows are contiguous in cache, and bulk
+//! operations — union, partition merges, adopting a pre-built buffer —
+//! are `memcpy`-shaped extends rather than per-row pushes.
+//!
+//! Invariants:
+//!
+//! * `buf.len() == rows * arity` at every public-API boundary (the row
+//!   count is stored explicitly so zero-arity relations stay well-formed);
+//! * `Eq`/`Hash` compare columns and rows *in order* — two relations are
+//!   equal exactly when they would render identically. The optimizer relies
+//!   on this to hash-cons inline `Values` plans (which are always small:
+//!   seed markers and empty relations).
 
+use crate::fxhash::{fx_hash_one, fx_map_with_capacity, FxHashMap, FxHashSet};
 use crate::value::Value;
-use std::collections::{HashMap, HashSet};
 
-/// A tuple (row).
+/// A tuple (row) in owned form. The executor works on borrowed `&[Value]`
+/// row slices; owned tuples appear at API edges (builders, tests).
 pub type Tuple = Vec<Value>;
 
-/// A relation with named columns. Duplicate rows are permitted (bags);
-/// set semantics are applied explicitly via [`Relation::dedup`] or the
-/// `Distinct` plan node, mirroring SQL.
-///
-/// `Eq`/`Hash` compare columns and rows *in order* — two relations are equal
-/// exactly when they would render identically. The optimizer relies on this
-/// to hash-cons inline `Values` plans (which are always small: seed markers
-/// and empty relations).
+/// A relation with named columns over a flat tuple buffer. Duplicate rows
+/// are permitted (bags); set semantics are applied explicitly via
+/// [`Relation::dedup`] or the `Distinct` plan node, mirroring SQL.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Relation {
     columns: Vec<String>,
-    tuples: Vec<Tuple>,
+    buf: Vec<Value>,
+    rows: usize,
 }
 
 impl Relation {
@@ -25,7 +41,8 @@ impl Relation {
     pub fn new(columns: Vec<String>) -> Self {
         Relation {
             columns,
-            tuples: Vec::new(),
+            buf: Vec::new(),
+            rows: 0,
         }
     }
 
@@ -34,15 +51,39 @@ impl Relation {
         Relation::new(vec!["F".into(), "T".into(), "V".into()])
     }
 
-    /// Relation over pre-built rows — the bulk constructor partitioned
-    /// operators use to adopt per-worker outputs without re-pushing row by
-    /// row. Every row must match the arity of `columns`.
+    /// Relation over pre-built rows (convenience for tests and small
+    /// builders; flattens into the single buffer). Every row must match the
+    /// arity of `columns`.
     pub fn from_tuples(columns: Vec<String>, tuples: Vec<Tuple>) -> Self {
-        debug_assert!(
-            tuples.iter().all(|t| t.len() == columns.len()),
-            "arity mismatch"
-        );
-        Relation { columns, tuples }
+        let mut rel = Relation::new(columns);
+        rel.reserve(tuples.len());
+        for t in tuples {
+            rel.push(t);
+        }
+        rel
+    }
+
+    /// Relation *adopting* an already-flat buffer — the zero-copy bulk
+    /// constructor partitioned operators use to merge per-worker outputs.
+    /// `buf.len()` must be a multiple of the arity (and empty when the
+    /// arity is 0).
+    pub fn from_flat(columns: Vec<String>, buf: Vec<Value>) -> Self {
+        let arity = columns.len();
+        let rows = if arity == 0 {
+            assert!(
+                buf.is_empty(),
+                "zero-arity relation with a non-empty buffer"
+            );
+            0
+        } else {
+            assert_eq!(
+                buf.len() % arity,
+                0,
+                "buffer length not a multiple of arity"
+            );
+            buf.len() / arity
+        };
+        Relation { columns, buf, rows }
     }
 
     /// Column names.
@@ -59,13 +100,13 @@ impl Relation {
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows
     }
 
     /// Whether the relation has no rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
     }
 
     /// Arity.
@@ -74,50 +115,165 @@ impl Relation {
         self.columns.len()
     }
 
-    /// Append a row (must match arity).
+    /// Append an owned row (must match arity).
     pub fn push(&mut self, tuple: Tuple) {
         debug_assert_eq!(tuple.len(), self.columns.len(), "arity mismatch");
-        self.tuples.push(tuple);
+        self.buf.extend(tuple);
+        self.rows += 1;
     }
 
-    /// Rows.
+    /// Append a row by cloning from a borrowed slice — the executor's
+    /// per-row emit (no intermediate `Vec` allocated).
     #[inline]
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    pub fn push_row(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.columns.len(), "arity mismatch");
+        self.buf.extend_from_slice(row);
+        self.rows += 1;
     }
 
-    /// Mutable rows (used by bulk loaders).
-    pub fn tuples_mut(&mut self) -> &mut Vec<Tuple> {
-        &mut self.tuples
+    /// Append the concatenation of two row slices (inner-join emit:
+    /// `left ++ right` straight into the buffer).
+    #[inline]
+    pub fn push_concat(&mut self, left: &[Value], right: &[Value]) {
+        debug_assert_eq!(left.len() + right.len(), self.columns.len());
+        self.buf.extend_from_slice(left);
+        self.buf.extend_from_slice(right);
+        self.rows += 1;
+    }
+
+    /// Append one row from an iterator of values (projection emit). The
+    /// iterator must yield exactly `arity` values.
+    #[inline]
+    pub fn push_iter(&mut self, values: impl IntoIterator<Item = Value>) {
+        let before = self.buf.len();
+        self.buf.extend(values);
+        debug_assert_eq!(
+            self.buf.len() - before,
+            self.columns.len(),
+            "arity mismatch"
+        );
+        self.rows += 1;
+    }
+
+    /// Reserve space for `additional` more rows.
+    #[inline]
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional * self.columns.len());
+    }
+
+    /// Row `i` as a borrowed slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        let arity = self.columns.len();
+        &self.buf[i * arity..(i + 1) * arity]
+    }
+
+    /// Iterate over all rows as borrowed slices.
+    #[inline]
+    pub fn rows(&self) -> RowsIter<'_> {
+        RowsIter {
+            buf: &self.buf,
+            arity: self.columns.len(),
+            remaining: self.rows,
+        }
+    }
+
+    /// The flat value buffer (row-major, arity stride). Exposed for bulk
+    /// consumers and the zero-copy tests; `values_flat().len() == len() *
+    /// arity()`.
+    #[inline]
+    pub fn values_flat(&self) -> &[Value] {
+        &self.buf
+    }
+
+    /// Tear the relation down into its column names and flat buffer
+    /// (inverse of [`Relation::from_flat`]).
+    pub fn into_flat(self) -> (Vec<String>, Vec<Value>) {
+        (self.columns, self.buf)
+    }
+
+    /// Bulk-append every row of `other` (must have equal arity). One
+    /// `extend_from_slice` — no per-row work.
+    pub fn extend_from(&mut self, other: &Relation) {
+        debug_assert_eq!(other.arity(), self.arity(), "arity mismatch");
+        self.buf.extend_from_slice(&other.buf);
+        self.rows += other.rows;
+    }
+
+    /// Bulk-append every row of `other`, consuming it. When `self` is
+    /// empty this *adopts* `other`'s buffer outright — zero copies.
+    pub fn adopt(&mut self, other: Relation) {
+        debug_assert_eq!(other.arity(), self.arity(), "arity mismatch");
+        if self.rows == 0 {
+            self.buf = other.buf;
+            self.rows = other.rows;
+        } else {
+            self.buf.extend(other.buf);
+            self.rows += other.rows;
+        }
     }
 
     /// Remove duplicate rows (set semantics), preserving first occurrence.
+    ///
+    /// Runs over hashed row views with in-place compaction: candidate
+    /// duplicates are confirmed by comparing row slices, so no row is ever
+    /// cloned into a side table (the old layout cloned every row into a
+    /// `HashSet<Tuple>`).
     pub fn dedup(&mut self) {
-        let mut seen: HashSet<Tuple> = HashSet::with_capacity(self.tuples.len());
-        self.tuples.retain(|t| seen.insert(t.clone()));
-    }
-
-    /// Build a hash index: column value → row indexes.
-    pub fn index_on(&self, col: usize) -> HashMap<Value, Vec<u32>> {
-        let mut idx: HashMap<Value, Vec<u32>> = HashMap::with_capacity(self.tuples.len());
-        for (i, t) in self.tuples.iter().enumerate() {
-            idx.entry(t[col].clone()).or_default().push(i as u32);
+        let arity = self.columns.len();
+        if self.rows <= 1 {
+            return;
         }
-        idx
+        if arity == 0 {
+            // all zero-arity rows are equal
+            self.rows = 1;
+            return;
+        }
+        // hash → row indexes *in the compacted prefix*; collisions resolved
+        // by comparing the actual slices
+        let mut seen: FxHashMap<u64, Vec<u32>> = fx_map_with_capacity(self.rows);
+        let mut write = 0usize;
+        for r in 0..self.rows {
+            let start = r * arity;
+            let h = fx_hash_one(&self.buf[start..start + arity]);
+            let candidates = seen.entry(h).or_default();
+            let dup = candidates.iter().any(|&k| {
+                let ks = k as usize * arity;
+                self.buf[ks..ks + arity] == self.buf[start..start + arity]
+            });
+            if dup {
+                continue;
+            }
+            candidates.push(write as u32);
+            if write != r {
+                // move row r down into the compacted prefix; the vacated
+                // slots are past `write` and will be truncated or
+                // overwritten by later kept rows
+                for i in 0..arity {
+                    self.buf.swap(write * arity + i, start + i);
+                }
+            }
+            write += 1;
+        }
+        self.buf.truncate(write * arity);
+        self.rows = write;
     }
 
-    /// Set of values in one column.
-    pub fn value_set(&self, col: usize) -> HashSet<Value> {
-        self.tuples.iter().map(|t| t[col].clone()).collect()
+    /// Set of (borrowed) values in one column — no `Value` clones.
+    /// (Per-column *indexes* — value → row ids — live on the
+    /// [`crate::Database`] as load-time [`crate::ColIndex`]es; transient
+    /// join build tables use borrowed keys and need no helper here.)
+    pub fn value_set(&self, col: usize) -> FxHashSet<&Value> {
+        self.rows().map(|t| &t[col]).collect()
     }
 
     /// Render as an aligned ASCII table (for examples reproducing the
-    /// paper's Tables 1–3).
+    /// paper's Tables 1–3). Dictionary codes render as `@n`; decode via
+    /// [`crate::Database::decoded`] first when showing text values.
     pub fn to_ascii_table(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
         let rendered: Vec<Vec<String>> = self
-            .tuples
-            .iter()
+            .rows()
             .map(|t| t.iter().map(|v| v.to_string()).collect())
             .collect();
         for row in &rendered {
@@ -154,20 +310,51 @@ impl Relation {
         out
     }
 
-    /// Rows sorted lexicographically (for deterministic comparisons).
+    /// Rows sorted lexicographically, in owned form (for deterministic
+    /// comparisons).
     pub fn sorted_tuples(&self) -> Vec<Tuple> {
-        let mut v = self.tuples.clone();
+        let mut v: Vec<Tuple> = self.rows().map(|t| t.to_vec()).collect();
         v.sort();
         v
     }
 
     /// Set equality with another relation (ignores row order & duplicates).
     pub fn set_eq(&self, other: &Relation) -> bool {
-        let a: HashSet<&Tuple> = self.tuples.iter().collect();
-        let b: HashSet<&Tuple> = other.tuples.iter().collect();
+        let a: FxHashSet<&[Value]> = self.rows().collect();
+        let b: FxHashSet<&[Value]> = other.rows().collect();
         a == b
     }
 }
+
+/// Iterator over a relation's rows as `&[Value]` slices.
+#[derive(Clone, Debug)]
+pub struct RowsIter<'a> {
+    buf: &'a [Value],
+    arity: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for RowsIter<'a> {
+    type Item = &'a [Value];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [Value]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (head, tail) = self.buf.split_at(self.arity);
+        self.buf = tail;
+        Some(head)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RowsIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -201,21 +388,94 @@ mod tests {
         assert!(r.set_eq(&ft(&[(1, 2), (2, 3)])));
     }
 
+    /// The flat layout's core guarantee: adopting a pre-built buffer is
+    /// zero-copy (the same allocation ends up inside the relation), and a
+    /// relation of N rows holds exactly one buffer — no per-row `Vec`s.
+    #[test]
+    fn from_flat_is_zero_copy_bulk_adopt() {
+        let buf: Vec<Value> = (0..1000u32)
+            .flat_map(|i| [Value::Id(i), Value::Id(i + 1)])
+            .collect();
+        let ptr = buf.as_ptr();
+        let r = Relation::from_flat(vec!["F".into(), "T".into()], buf);
+        assert_eq!(r.len(), 1000);
+        // the buffer was adopted, not copied: same allocation
+        assert!(std::ptr::eq(ptr, r.values_flat().as_ptr()));
+        // and `adopt` into an empty relation moves it again, still no copy
+        let mut empty = Relation::new(vec!["F".into(), "T".into()]);
+        empty.adopt(r);
+        assert!(std::ptr::eq(ptr, empty.values_flat().as_ptr()));
+        assert_eq!(empty.len(), 1000);
+        // round-trip through into_flat returns the same allocation too
+        let (_cols, back) = empty.into_flat();
+        assert!(std::ptr::eq(ptr, back.as_ptr()));
+    }
+
+    #[test]
+    fn rows_iterate_with_arity_stride() {
+        let r = ft(&[(1, 2), (3, 4), (5, 6)]);
+        let rows: Vec<&[Value]> = r.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1], &[Value::Id(3), Value::Id(4)]);
+        assert_eq!(r.row(2), &[Value::Id(5), Value::Id(6)]);
+        assert_eq!(r.rows().len(), 3, "exact size");
+        assert_eq!(r.values_flat().len(), 6);
+    }
+
+    #[test]
+    fn push_variants_agree() {
+        let mut a = Relation::new(vec!["F".into(), "T".into()]);
+        a.push(vec![Value::Id(1), Value::Id(2)]);
+        let mut b = Relation::new(vec!["F".into(), "T".into()]);
+        b.push_row(&[Value::Id(1), Value::Id(2)]);
+        let mut c = Relation::new(vec!["F".into(), "T".into()]);
+        c.push_iter([Value::Id(1), Value::Id(2)]);
+        let mut d = Relation::new(vec!["F".into(), "T".into()]);
+        d.push_concat(&[Value::Id(1)], &[Value::Id(2)]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn extend_from_and_adopt_merge_buffers() {
+        let mut a = ft(&[(1, 2)]);
+        a.extend_from(&ft(&[(3, 4), (5, 6)]));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.row(2), &[Value::Id(5), Value::Id(6)]);
+        let mut b = ft(&[(9, 9)]);
+        b.adopt(ft(&[(8, 8)]));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(0), &[Value::Id(9), Value::Id(9)]);
+    }
+
     #[test]
     fn dedup_preserves_first() {
         let mut r = ft(&[(1, 2), (1, 2), (2, 3)]);
         r.dedup();
         assert_eq!(r.len(), 2);
-        assert_eq!(r.tuples()[0], vec![Value::Id(1), Value::Id(2)]);
+        assert_eq!(r.row(0), &[Value::Id(1), Value::Id(2)]);
     }
 
     #[test]
-    fn index_on_column() {
-        let r = ft(&[(1, 2), (1, 3), (2, 3)]);
-        let idx = r.index_on(0);
-        assert_eq!(idx[&Value::Id(1)], vec![0, 1]);
-        assert_eq!(idx[&Value::Id(2)], vec![2]);
-        assert!(!idx.contains_key(&Value::Id(3)));
+    fn dedup_compacts_in_place_preserving_order() {
+        // interleaved duplicates across a larger relation: order of first
+        // occurrences must survive the in-place compaction
+        let mut pairs = Vec::new();
+        for i in 0..100u32 {
+            pairs.push((i % 7, i % 5));
+        }
+        let mut r = ft(&pairs);
+        r.dedup();
+        // reference: order-preserving dedup via an owned set
+        let mut seen = std::collections::HashSet::new();
+        let expect: Vec<(u32, u32)> = pairs.iter().copied().filter(|p| seen.insert(*p)).collect();
+        let got: Vec<(u32, u32)> = r
+            .rows()
+            .map(|t| (t[0].as_id().unwrap(), t[1].as_id().unwrap()))
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(r.values_flat().len(), r.len() * 2, "buffer truncated");
     }
 
     #[test]

@@ -60,8 +60,7 @@ pub fn render_plan(plan: &Plan, dialect: SqlDialect, level: usize) -> String {
         Plan::Temp(t) => format!("{pad}SELECT * FROM T{}", t.0),
         Plan::Values(rel) => {
             let rows: Vec<String> = rel
-                .tuples()
-                .iter()
+                .rows()
                 .map(|t| {
                     let vals: Vec<String> = t.iter().map(|v| v.to_sql_literal()).collect();
                     format!("({})", vals.join(", "))

@@ -50,6 +50,12 @@ pub struct Stats {
     pub opt_plans_hash_consed: usize,
     /// Optimizer: selections pushed through projections/`Distinct`/joins.
     pub opt_preds_pushed: usize,
+    /// Largest closure (pair set) materialized by any single LFP invocation
+    /// — the memory high-water mark of recursion. Merges with `max`, not `+`.
+    pub lfp_peak_closure: usize,
+    /// Joins whose build side was served from a cached base-edge index on
+    /// the [`crate::Database`] instead of building a fresh hash table.
+    pub join_index_reuses: usize,
 }
 
 impl Stats {
@@ -72,6 +78,8 @@ impl Stats {
         self.opt_stmts_eliminated += other.opt_stmts_eliminated;
         self.opt_plans_hash_consed += other.opt_plans_hash_consed;
         self.opt_preds_pushed += other.opt_preds_pushed;
+        self.lfp_peak_closure = self.lfp_peak_closure.max(other.lfp_peak_closure);
+        self.join_index_reuses += other.join_index_reuses;
     }
 }
 
@@ -102,6 +110,8 @@ pub struct SharedStats {
     opt_stmts_eliminated: AtomicU64,
     opt_plans_hash_consed: AtomicU64,
     opt_preds_pushed: AtomicU64,
+    lfp_peak_closure: AtomicU64,
+    join_index_reuses: AtomicU64,
 }
 
 impl SharedStats {
@@ -153,6 +163,10 @@ impl SharedStats {
             .fetch_add(s.opt_plans_hash_consed as u64, Ordering::Relaxed);
         self.opt_preds_pushed
             .fetch_add(s.opt_preds_pushed as u64, Ordering::Relaxed);
+        self.lfp_peak_closure
+            .fetch_max(s.lfp_peak_closure as u64, Ordering::Relaxed);
+        self.join_index_reuses
+            .fetch_add(s.join_index_reuses as u64, Ordering::Relaxed);
     }
 
     /// Record the pass-level counters of one optimized translation (the
@@ -187,6 +201,8 @@ impl SharedStats {
             opt_stmts_eliminated: self.opt_stmts_eliminated.load(Ordering::Relaxed) as usize,
             opt_plans_hash_consed: self.opt_plans_hash_consed.load(Ordering::Relaxed) as usize,
             opt_preds_pushed: self.opt_preds_pushed.load(Ordering::Relaxed) as usize,
+            lfp_peak_closure: self.lfp_peak_closure.load(Ordering::Relaxed) as usize,
+            join_index_reuses: self.join_index_reuses.load(Ordering::Relaxed) as usize,
         }
     }
 
@@ -209,6 +225,8 @@ impl SharedStats {
         self.opt_stmts_eliminated.store(0, Ordering::Relaxed);
         self.opt_plans_hash_consed.store(0, Ordering::Relaxed);
         self.opt_preds_pushed.store(0, Ordering::Relaxed);
+        self.lfp_peak_closure.store(0, Ordering::Relaxed);
+        self.join_index_reuses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -216,7 +234,7 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed",
+            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed peak={} idx={}",
             self.joins,
             self.unions,
             self.lfp_invocations,
@@ -231,6 +249,8 @@ impl fmt::Display for Stats {
             self.opt_stmts_eliminated,
             self.opt_plans_hash_consed,
             self.opt_preds_pushed,
+            self.lfp_peak_closure,
+            self.join_index_reuses,
         )
     }
 }

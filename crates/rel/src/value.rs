@@ -6,8 +6,12 @@ use std::sync::Arc;
 /// A single column value.
 ///
 /// Shredded XML uses [`Value::Id`] for node ids and [`Value::Doc`] for the
-/// paper's `'_'` marker (the parent of the root element, §2.3). Strings are
-/// reference-counted so tuples clone cheaply during joins.
+/// paper's `'_'` marker (the parent of the root element, §2.3). Text values
+/// in a *loaded* store are dictionary-coded ([`Value::Code`], see
+/// [`crate::dict`]): the shredder interns each distinct string once and the
+/// hot path compares/hashes a plain `u32`. [`Value::Str`] remains for
+/// runtime-produced strings (fixpoint tags, hand-built test relations);
+/// strings are reference-counted so tuples clone cheaply during joins.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub enum Value {
     /// SQL NULL (the paper's `'_'` for "no text value").
@@ -18,6 +22,11 @@ pub enum Value {
     Id(u32),
     /// A string (text values, tags).
     Str(Arc<str>),
+    /// A dictionary code standing for a string of the owning database's
+    /// [`crate::dict::Dictionary`]. Codes are load-scoped: only meaningful
+    /// against the store they were loaded into; decode with
+    /// [`crate::Database::decode_value`] before showing to a human.
+    Code(u32),
     /// An integer.
     Int(i64),
 }
@@ -44,13 +53,25 @@ impl Value {
         }
     }
 
-    /// Render as a SQL literal.
+    /// The dictionary code if this is a [`Value::Code`].
+    pub fn as_code(&self) -> Option<u32> {
+        match self {
+            Value::Code(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Render as a SQL literal. [`Value::Code`] renders as the opaque
+    /// placeholder `'@n'` — inline `VALUES` relations are built at
+    /// translation time and never contain codes, so this only shows up when
+    /// deliberately rendering a loaded store without decoding it first.
     pub fn to_sql_literal(&self) -> String {
         match self {
             Value::Null => "NULL".to_string(),
             Value::Doc => "'_'".to_string(),
             Value::Id(n) => n.to_string(),
             Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Code(c) => format!("'@{c}'"),
             Value::Int(i) => i.to_string(),
         }
     }
@@ -63,6 +84,7 @@ impl fmt::Display for Value {
             Value::Doc => write!(f, "_"),
             Value::Id(n) => write!(f, "#{n}"),
             Value::Str(s) => write!(f, "{s}"),
+            Value::Code(c) => write!(f, "@{c}"),
             Value::Int(i) => write!(f, "{i}"),
         }
     }

@@ -15,7 +15,9 @@ pub fn table_name(dtd: &Dtd, elem: ElemId) -> String {
     format!("R_{}", dtd.name(elem))
 }
 
-/// The `V` value of a node: its text or NULL (`'_'` in the paper).
+/// The `V` value of a node in *uncoded* form: its text or NULL (`'_'` in
+/// the paper). [`edge_database`] stores the dictionary-coded form instead —
+/// this helper is for callers that want the raw value.
 pub fn node_value(tree: &Tree, node: x2s_xml::NodeId) -> Value {
     match tree.value(node) {
         Some(v) => Value::str(v),
@@ -32,23 +34,35 @@ pub const ALL_NODES: &str = "R__nodes";
 /// Shred a tree into per-type edge relations, one `R_A(F, T, V)` per type
 /// (empty relations included so scans never fail), plus the [`ALL_NODES`]
 /// union relation.
+///
+/// The produced store is *execution-ready*: every text value is encoded
+/// through the database's load-time string dictionary (so the executor
+/// compares `u32` codes, not strings), and the per-relation base-edge
+/// indexes (`F` → rows, `T` → rows) are built before the store is returned
+/// — both are immutable once the database goes behind an `Arc`.
 pub fn edge_database(tree: &Tree, dtd: &Dtd) -> Database {
+    let mut db = Database::new();
     let mut rels: Vec<Relation> = (0..dtd.len()).map(|_| Relation::edge_schema()).collect();
     let mut all = Relation::edge_schema();
+    all.reserve(tree.len());
     for n in tree.node_ids() {
         let f = match tree.parent(n) {
             Some(p) => Value::Id(p.0),
             None => Value::Doc,
         };
-        let tuple = vec![f, Value::Id(n.0), node_value(tree, n)];
-        all.push(tuple.clone());
-        rels[tree.label(n).index()].push(tuple);
+        let v = match tree.value(n) {
+            Some(text) => db.intern_str(text),
+            None => Value::Null,
+        };
+        let row = [f, Value::Id(n.0), v];
+        all.push_row(&row);
+        rels[tree.label(n).index()].push_row(&row);
     }
-    let mut db = Database::new();
     for id in dtd.ids() {
         db.insert(&table_name(dtd, id), std::mem::take(&mut rels[id.index()]));
     }
     db.insert(ALL_NODES, all);
+    db.build_indexes();
     db
 }
 
@@ -104,8 +118,8 @@ mod tests {
         let (d, t) = table1();
         let db = edge_database(&t, &d);
         let rd = db.get("R_dept").unwrap();
-        assert_eq!(rd.tuples()[0][0], Value::Doc);
-        assert_eq!(rd.tuples()[0][1], Value::Id(t.root().0));
+        assert_eq!(rd.row(0)[0], Value::Doc);
+        assert_eq!(rd.row(0)[1], Value::Id(t.root().0));
     }
 
     #[test]
@@ -115,8 +129,7 @@ mod tests {
         for n in t.node_ids() {
             let rel = db.get(&table_name(&d, t.label(n))).unwrap();
             let tuple = rel
-                .tuples()
-                .iter()
+                .rows()
                 .find(|tp| tp[1] == Value::Id(n.0))
                 .expect("every node has a tuple");
             match t.parent(n) {
@@ -127,7 +140,7 @@ mod tests {
     }
 
     #[test]
-    fn values_shredded() {
+    fn values_shredded_are_dictionary_coded() {
         let d = samples::dept();
         let t = parse_xml(
             &d,
@@ -137,10 +150,28 @@ mod tests {
         let db = edge_database(&t, &d);
         let rc = db.get("R_cno").unwrap();
         assert_eq!(rc.len(), 1);
-        assert_eq!(rc.tuples()[0][2], Value::str("cs66"));
-        // title has no text → NULL
+        // stored coded, decodes back to the original text
+        let v = &rc.row(0)[2];
+        assert!(matches!(v, Value::Code(_)), "text values are coded: {v:?}");
+        assert_eq!(db.decode_value(v), Value::str("cs66"));
+        assert_eq!(db.dict().code_of("cs66"), v.as_code());
+        // title has no text → NULL (never coded)
         let rt = db.get("R_title").unwrap();
-        assert_eq!(rt.tuples()[0][2], Value::Null);
+        assert_eq!(rt.row(0)[2], Value::Null);
+    }
+
+    #[test]
+    fn load_builds_base_edge_indexes() {
+        let (d, t) = table1();
+        let db = edge_database(&t, &d);
+        // every R_A plus R__nodes carries F/T indexes
+        assert_eq!(db.indexed_relations(), d.len() + 1);
+        let idx = db.index_of("R_course", 0).expect("F index built");
+        let rc = db.get("R_course").unwrap();
+        // each indexed row id points at a row whose F column holds the key
+        let parent = rc.row(0)[0].clone();
+        let hits = idx.get(&parent).expect("parent key indexed");
+        assert!(hits.iter().all(|&i| rc.row(i as usize)[0] == parent));
     }
 
     #[test]

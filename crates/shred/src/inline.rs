@@ -323,11 +323,11 @@ mod tests {
         let ic = idb.db.get("I_course").unwrap();
         assert_eq!(ic.len(), 1);
         let cno_col = ic.col("cno").unwrap();
-        assert_eq!(ic.tuples()[0][cno_col], Value::str("cs66"));
+        assert_eq!(ic.row(0)[cno_col], Value::str("cs66"));
         let is = idb.db.get("I_student").unwrap();
         assert_eq!(is.len(), 1);
         let name_col = is.col("name").unwrap();
-        assert_eq!(is.tuples()[0][name_col], Value::str("ann"));
+        assert_eq!(is.row(0)[name_col], Value::str("ann"));
     }
 
     #[test]
@@ -346,13 +346,11 @@ mod tests {
         assert_eq!(ic.len(), 2);
         let code_col = ic.col("parentCode").unwrap();
         let outer = ic
-            .tuples()
-            .iter()
+            .rows()
             .find(|tp| tp[code_col] == Value::str("dept"))
             .expect("outer course parented by dept");
         let inner = ic
-            .tuples()
-            .iter()
+            .rows()
             .find(|tp| tp[code_col] == Value::str("prereq"))
             .expect("inner course parented via prereq");
         // inner's parentId = outer's ID

@@ -1,0 +1,334 @@
+//! Oracle suite for the columnar execution core (PR 5): the flat-buffer
+//! relation layout, dictionary-coded values, Fx-hashed executor tables and
+//! cached base-edge indexes must be *invisible* — every configuration of the
+//! engine returns the same relations as the pre-refactor row-at-a-time
+//! semantics, pinned here against the native XPath oracle and against each
+//! other.
+//!
+//! Two fronts:
+//!
+//! * **Result equivalence** over the Table-5 workload queries (dept / Cross
+//!   / GedML), sequential and `threads > 1`, `OptLevel::None` and `Full`:
+//!   answer sets equal the native oracle, full result relations are
+//!   `set_eq` across every configuration, and repeated sequential runs are
+//!   byte-identical (execution is deterministic — order is pinned wherever
+//!   the engine pins it).
+//! * **Dictionary round-tripping** over the seeded XML generator: every
+//!   text value a generated document carries survives encode → store →
+//!   decode exactly, a decoded store equals an uncoded reference shredding
+//!   row for row, and `text()='…'` selections answer identically against
+//!   coded and uncoded stores.
+
+use std::collections::BTreeSet;
+use xpath2sql::core::{OptLevel, SqlOptions, Translator};
+use xpath2sql::dtd::{samples, Dtd};
+use xpath2sql::rel::{Database, ExecOptions, Relation, Stats, Value};
+use xpath2sql::shred::{edge_database, table_name, ALL_NODES};
+use xpath2sql::xml::generator::mark_values;
+use xpath2sql::xml::{Generator, GeneratorConfig, Tree};
+use xpath2sql::xpath::{eval_from_document, parse_xpath};
+
+/// The Table-5 workload queries per sample DTD, over hand-written documents
+/// exercising every recursion shape.
+fn workloads() -> Vec<(&'static str, Dtd, &'static str, Vec<&'static str>)> {
+    vec![
+        (
+            "dept",
+            samples::dept_simplified(),
+            "<dept><course><course><course/><project><course><project/></course></project></course><student/><student><course/></student></course></dept>",
+            vec![
+                "dept//project",
+                "dept//course",
+                "dept/course/student[course]",
+                "dept//course[not //project]",
+                "dept//course[project or student]",
+            ],
+        ),
+        (
+            "cross",
+            samples::cross(),
+            "<a><b><a><c><d/><a/></c></a></b><c><d/></c></a>",
+            vec!["a/b//c/d", "a[//c]//d", "a[not //c]", "a//d", "a//a"],
+        ),
+        (
+            "gedml",
+            samples::gedml(),
+            "<Even><Sour><Data><Even><Sour/></Even></Data><Note><Obje/></Note></Sour><Obje><Sour><Data/></Sour></Obje></Even>",
+            vec!["Even//Data", "Even//Even", "Even//Obje[Sour]"],
+        ),
+    ]
+}
+
+fn run_relation(
+    dtd: &Dtd,
+    query: &str,
+    db: &Database,
+    optimize: OptLevel,
+    threads: usize,
+) -> Relation {
+    let path = parse_xpath(query).unwrap();
+    let tr = Translator::new(dtd)
+        .with_sql_options(SqlOptions {
+            optimize,
+            ..SqlOptions::default()
+        })
+        .translate(&path)
+        .unwrap();
+    let mut stats = Stats::default();
+    tr.program
+        .execute(db, ExecOptions::default().with_threads(threads), &mut stats)
+        .unwrap()
+}
+
+/// Every engine configuration — optimizer on/off × sequential/parallel —
+/// returns the same result relation, and answer ids equal the native
+/// oracle. Repeated sequential runs are byte-identical (order pinned).
+#[test]
+fn all_configurations_agree_with_the_oracle() {
+    for (name, dtd, xml, queries) in workloads() {
+        let tree = xpath2sql::xml::parse_xml(&dtd, xml).unwrap();
+        let db = edge_database(&tree, &dtd);
+        for q in queries {
+            let path = parse_xpath(q).unwrap();
+            let native: BTreeSet<u32> = eval_from_document(&path, &tree, &dtd)
+                .into_iter()
+                .map(|n| n.0)
+                .collect();
+            let base = run_relation(&dtd, q, &db, OptLevel::Full, 1);
+            let answers: BTreeSet<u32> = base.rows().filter_map(|t| t[0].as_id()).collect();
+            assert_eq!(answers, native, "{name}/{q}: oracle mismatch");
+            // order pinned: the sequential path is deterministic
+            let again = run_relation(&dtd, q, &db, OptLevel::Full, 1);
+            assert_eq!(base, again, "{name}/{q}: sequential run not deterministic");
+            // every other configuration returns the same relation as a set
+            for optimize in [OptLevel::Full, OptLevel::None] {
+                for threads in [1usize, 3] {
+                    let rel = run_relation(&dtd, q, &db, optimize, threads);
+                    assert!(
+                        rel.set_eq(&base),
+                        "{name}/{q}: {optimize:?} threads={threads} differs"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same equivalence holds on *generated* documents big enough to have
+/// real closures, including under the naive-fixpoint ablation.
+#[test]
+fn generated_documents_agree_across_exec_options() {
+    let cases = [
+        ("cross", samples::cross(), "a//d", 41u64),
+        ("gedml", samples::gedml(), "Even//Data", 13u64),
+    ];
+    for (name, dtd, q, seed) in cases {
+        let tree = Generator::new(
+            &dtd,
+            GeneratorConfig::shaped(10, 4, Some(4_000)).with_seed(seed),
+        )
+        .generate();
+        let db = edge_database(&tree, &dtd);
+        let path = parse_xpath(q).unwrap();
+        let native: BTreeSet<u32> = eval_from_document(&path, &tree, &dtd)
+            .into_iter()
+            .map(|n| n.0)
+            .collect();
+        let tr = Translator::new(&dtd).translate(&path).unwrap();
+        for naive in [false, true] {
+            for threads in [1usize, 4] {
+                let mut stats = Stats::default();
+                let got = tr
+                    .try_run(
+                        &db,
+                        ExecOptions {
+                            naive_fixpoint: naive,
+                            lazy: true,
+                            threads,
+                        },
+                        &mut stats,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    got, native,
+                    "{name}/{q}: naive={naive} threads={threads} differs from oracle"
+                );
+                assert!(
+                    stats.lfp_peak_closure > 0,
+                    "{name}/{q}: closure workload recorded a peak"
+                );
+            }
+        }
+    }
+}
+
+/// Reference shredding with *uncoded* string values, mirroring
+/// `edge_database`'s row construction exactly (same iteration order).
+fn uncoded_edge_database(tree: &Tree, dtd: &Dtd) -> Database {
+    let mut db = Database::new();
+    let mut rels: Vec<Relation> = (0..dtd.len()).map(|_| Relation::edge_schema()).collect();
+    let mut all = Relation::edge_schema();
+    for n in tree.node_ids() {
+        let f = match tree.parent(n) {
+            Some(p) => Value::Id(p.0),
+            None => Value::Doc,
+        };
+        let v = match tree.value(n) {
+            Some(text) => Value::str(text),
+            None => Value::Null,
+        };
+        let row = [f, Value::Id(n.0), v];
+        all.push_row(&row);
+        rels[tree.label(n).index()].push_row(&row);
+    }
+    for id in dtd.ids() {
+        db.insert(&table_name(dtd, id), std::mem::take(&mut rels[id.index()]));
+    }
+    db.insert(ALL_NODES, all);
+    db
+}
+
+/// Property: over seeded generated documents (with extra marked text
+/// values), the dictionary round-trips every text value, and the decoded
+/// store equals the uncoded reference shredding row for row.
+#[test]
+fn dictionary_round_trips_generated_documents() {
+    let cases: [(&str, Dtd, &str, u64); 3] = [
+        ("cross", samples::cross(), "a", 7),
+        ("dept", samples::dept_simplified(), "course", 23),
+        ("gedml", samples::gedml(), "Sour", 99),
+    ];
+    for (name, dtd, marked_label, seed) in cases {
+        for round in 0..4u64 {
+            let mut tree = Generator::new(
+                &dtd,
+                GeneratorConfig::shaped(8, 3, Some(1_500)).with_seed(seed + round),
+            )
+            .generate();
+            // inject text values (the generator alone rarely produces them)
+            let label = dtd.elem(marked_label).unwrap();
+            mark_values(&mut tree, label, 64, "sel", seed ^ round);
+            let db = edge_database(&tree, &dtd);
+            // 1. per-node round-trip: coded V decodes to the tree's text
+            let all = db.get(ALL_NODES).unwrap();
+            let mut coded_values = 0usize;
+            for t in all.rows() {
+                let n = t[1].as_id().unwrap();
+                let expect = tree.value(xpath2sql::xml::NodeId(n));
+                match (&t[2], expect) {
+                    (Value::Null, None) => {}
+                    (v @ Value::Code(c), Some(text)) => {
+                        coded_values += 1;
+                        assert_eq!(db.dict().resolve(*c), text, "{name}: code mismatch");
+                        assert_eq!(db.decode_value(v), Value::str(text));
+                        // and the dictionary agrees on the reverse lookup
+                        db.dict().verify_code(*c, text);
+                    }
+                    (v, e) => panic!("{name}: unexpected shredded value {v:?} for text {e:?}"),
+                }
+            }
+            if round == 0 {
+                assert!(coded_values > 0, "{name}: marking produced text values");
+            }
+            // 2. decoded store == uncoded reference, row for row
+            let reference = uncoded_edge_database(&tree, &dtd);
+            for rel_name in db.names() {
+                let decoded = db.decoded(db.get(rel_name).unwrap());
+                assert_eq!(
+                    &decoded,
+                    reference.get(rel_name).unwrap(),
+                    "{name}/{rel_name}: decoded store differs from reference"
+                );
+            }
+        }
+    }
+}
+
+/// `text()='…'` selections answer identically against the coded store and
+/// the uncoded reference store — including a literal the dictionary has
+/// never seen (under negation, where a wrong "absent code" shortcut would
+/// flip the answer).
+#[test]
+fn text_selections_agree_on_coded_and_uncoded_stores() {
+    let dtd = samples::cross();
+    let mut tree = Generator::new(
+        &dtd,
+        GeneratorConfig::shaped(10, 4, Some(3_000)).with_seed(77),
+    )
+    .generate();
+    let a = dtd.elem("a").unwrap();
+    let d = dtd.elem("d").unwrap();
+    mark_values(&mut tree, a, 40, "sel", 5);
+    mark_values(&mut tree, d, 40, "sel", 6);
+    let coded = edge_database(&tree, &dtd);
+    let uncoded = uncoded_edge_database(&tree, &dtd);
+    for q in [
+        "a[text()='sel']/b//c/d",
+        "a/b//c/d[text()='sel']",
+        "a//d[not text()='sel']",
+        "a//d[text()='absent']",
+        "a//d[not text()='absent']",
+    ] {
+        let path = parse_xpath(q).unwrap();
+        for push in [true, false] {
+            let tr = Translator::new(&dtd)
+                .with_sql_options(SqlOptions {
+                    push_selections: push,
+                    root_filter_pushdown: push,
+                    ..SqlOptions::default()
+                })
+                .translate(&path)
+                .unwrap();
+            let mut s1 = Stats::default();
+            let on_coded = tr.try_run(&coded, ExecOptions::default(), &mut s1).unwrap();
+            let mut s2 = Stats::default();
+            let on_uncoded = tr
+                .try_run(&uncoded, ExecOptions::default(), &mut s2)
+                .unwrap();
+            assert_eq!(on_coded, on_uncoded, "{q} (push={push}): stores disagree");
+            let native: BTreeSet<u32> = eval_from_document(&path, &tree, &dtd)
+                .into_iter()
+                .map(|n| n.0)
+                .collect();
+            assert_eq!(on_coded, native, "{q} (push={push}): oracle mismatch");
+        }
+    }
+}
+
+/// The cached base-edge indexes actually serve the workload joins (the perf
+/// claim of this PR is not vacuous), and index-served executions return the
+/// same answers as a store without indexes.
+#[test]
+fn cached_indexes_serve_joins_without_changing_answers() {
+    let dtd = samples::gedml();
+    let tree = Generator::new(
+        &dtd,
+        GeneratorConfig::shaped(10, 4, Some(3_000)).with_seed(3),
+    )
+    .generate();
+    let indexed = edge_database(&tree, &dtd);
+    assert!(indexed.indexed_relations() > 0, "load built indexes");
+    // an equivalent store whose indexes were never built
+    let mut plain = Database::new();
+    for name in indexed.names() {
+        plain.insert(name, indexed.get(name).unwrap().clone());
+    }
+    *plain.dict_mut() = indexed.dict().clone();
+    assert_eq!(plain.indexed_relations(), 0);
+    let path = parse_xpath("Even//Obje[Sour]").unwrap();
+    let tr = Translator::new(&dtd).translate(&path).unwrap();
+    let mut with_idx = Stats::default();
+    let a = tr
+        .try_run(&indexed, ExecOptions::default(), &mut with_idx)
+        .unwrap();
+    let mut without_idx = Stats::default();
+    let b = tr
+        .try_run(&plain, ExecOptions::default(), &mut without_idx)
+        .unwrap();
+    assert_eq!(a, b, "cached indexes changed answers");
+    assert!(
+        with_idx.join_index_reuses > 0,
+        "workload joins reuse the cached indexes"
+    );
+    assert_eq!(without_idx.join_index_reuses, 0);
+}

@@ -28,8 +28,8 @@ fn all_edges(db: &Database) -> Relation {
     for name in db.names() {
         let rel = db.get(name).unwrap();
         let (f, t) = (rel.col("F").unwrap(), rel.col("T").unwrap());
-        for tuple in rel.tuples() {
-            out.push(vec![tuple[f].clone(), tuple[t].clone()]);
+        for tuple in rel.rows() {
+            out.push_row(&[tuple[f].clone(), tuple[t].clone()]);
         }
     }
     out
@@ -66,10 +66,7 @@ fn closure(
             &mut stats,
         )
         .unwrap();
-    rel.tuples()
-        .iter()
-        .map(|t| (t[0].clone(), t[1].clone()))
-        .collect()
+    rel.rows().map(|t| (t[0].clone(), t[1].clone())).collect()
 }
 
 fn check_parity(dtd: &xpath2sql::dtd::Dtd, elements: usize, seed: u64) {
@@ -87,12 +84,12 @@ fn check_parity(dtd: &xpath2sql::dtd::Dtd, elements: usize, seed: u64) {
 
     // restriction sets: a spread of node values that actually occur
     let mut restrict = Relation::new(vec!["S".into()]);
-    for (i, t) in edges.tuples().iter().enumerate() {
+    for (i, t) in edges.rows().enumerate() {
         if i % 7 == 0 {
             restrict.push(vec![t[0].clone()]);
         }
     }
-    let members: HashSet<Value> = restrict.tuples().iter().map(|t| t[0].clone()).collect();
+    let members: HashSet<Value> = restrict.rows().map(|t| t[0].clone()).collect();
 
     let fwd = |naive: bool, threads: usize| {
         closure(

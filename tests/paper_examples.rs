@@ -52,8 +52,7 @@ fn table_1_database() {
     // Rc = {(d1,c1), (c1,c2), (c2,c3), (p1,c4), (s2,c5)}
     let rc = db.get("R_course").unwrap();
     let pairs: BTreeSet<(String, String)> = rc
-        .tuples()
-        .iter()
+        .rows()
         .map(|tp| {
             let f = match &tp[0] {
                 Value::Doc => "_".to_string(),
