@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|sql|opt|bench|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]
+//! repro [all|sql|opt|analyze|bench|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]
 //!       [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH]
 //!       [--quick] [--json]
 //! ```
@@ -12,6 +12,9 @@
 //! rep) so CI can smoke-run every section without real benchmarking cost.
 //! The `opt` section is the logical-optimizer ablation: Table-5 operator
 //! counts and native-exec timings with the optimizer on vs off.
+//! The `analyze` section runs the static plan analyzer over every Table-5
+//! workload program (optimizer off and on) and prints the inferred result
+//! schemas — zero diagnostics expected.
 //! The `sql` section translates `--query` (default `dept//project`) over
 //! `--dtd` (default `dept`) and prints the generated SQL'(LFP) script before
 //! executing it against a freshly generated document.
@@ -24,8 +27,8 @@
 
 use std::env;
 use x2s_bench::{
-    bench_all, bench_json, bench_table, exp1, exp2, exp3, exp4, exp5, measure_prepared,
-    opt_ablation, table5, tables123, throughput, Table,
+    analyze_report, bench_all, bench_json, bench_table, exp1, exp2, exp3, exp4, exp5,
+    measure_prepared, opt_ablation, table5, tables123, throughput, Table,
 };
 use x2s_core::Engine;
 use x2s_dtd::{samples, Dtd};
@@ -120,6 +123,12 @@ fn main() {
     }
     if wants("opt") {
         emit("Optimizer ablation (on vs off)", opt_ablation(scale, reps));
+    }
+    if wants("analyze") {
+        emit(
+            "Static analysis (schema inference + well-formedness)",
+            analyze_report(),
+        );
     }
     if wants("throughput") {
         emit(
@@ -253,7 +262,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [all|sql|opt|bench|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]… \
+        "usage: repro [all|sql|opt|analyze|bench|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]… \
          [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH] [--quick] [--json]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

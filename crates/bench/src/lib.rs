@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Benchmark harness regenerating every table and figure of the paper's
 //! evaluation (§6).
 //!
@@ -30,5 +31,6 @@ pub use harness::{
 };
 pub use jsonbench::{bench_all, bench_json, bench_table, BenchRecord};
 pub use workloads::{
-    exp1, exp2, exp3, exp4, exp5, opt_ablation, table5, tables123, throughput, Table,
+    analyze_report, exp1, exp2, exp3, exp4, exp5, opt_ablation, table5, tables123, throughput,
+    Table,
 };

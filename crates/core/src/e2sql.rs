@@ -22,7 +22,10 @@ use crate::pipeline::TranslateError;
 use std::collections::HashMap;
 use x2s_exp::{EQual, Exp, ExtendedQuery, VarId};
 use x2s_rel::opt::{optimize, OptLevel, OptReport};
-use x2s_rel::{JoinKind, LfpSpec, Plan, Pred, Program, PushSpec, TempId, Value};
+use x2s_rel::{
+    analyze_program_with, edge_scan_schema, JoinKind, LfpSpec, Plan, Pred, Program, PushSpec,
+    TempId, Value,
+};
 
 /// Name of the all-nodes relation provided by edge shredding.
 const ALL_NODES: &str = "R__nodes";
@@ -88,6 +91,7 @@ pub fn exp_to_sql_with_report(
     if opts.optimize == OptLevel::None {
         // skip the optimizer entirely — `raw` is returned byte-identical,
         // without even the clone `optimize` would make
+        analyze_program_with(&raw, &edge_scan_schema).map_err(TranslateError::Analyze)?;
         let counts = raw.op_counts();
         let report = OptReport {
             level: OptLevel::None,
@@ -97,7 +101,12 @@ pub fn exp_to_sql_with_report(
         };
         return Ok((raw, report));
     }
-    Ok(optimize(&raw, opts.optimize))
+    let (optimized, report) = optimize(&raw, opts.optimize);
+    // Post-translation gate: every program leaving the translator — raw or
+    // optimized — is verified against the edge-shredding catalog (every
+    // `R_*` scan is `(F: NodeId, T: NodeId, V: Text)`).
+    analyze_program_with(&optimized, &edge_scan_schema).map_err(TranslateError::Analyze)?;
+    Ok((optimized, report))
 }
 
 /// The raw `EXpToSQL` compiler (Fig. 10), without the optimizer.
@@ -357,8 +366,9 @@ impl<'a> Compiler<'a> {
                     let p = self.harmonize(lp.clone(), lv, has_v);
                     parts.push(p);
                 }
-                let plan = if parts.len() == 1 {
-                    parts.pop().unwrap()
+                let only = if parts.len() == 1 { parts.pop() } else { None };
+                let plan = if let Some(only) = only {
+                    only
                 } else {
                     Plan::Union {
                         inputs: parts,

@@ -70,7 +70,10 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 use x2s_dtd::Dtd;
-use x2s_rel::{render_program, Database, ExecError, ExecOptions, SharedStats, SqlDialect, Stats};
+use x2s_rel::{
+    analyze_program_with, edge_scan_schema, render_program, AnalyzeError, Database, ExecError,
+    ExecOptions, SharedStats, SqlDialect, Stats,
+};
 use x2s_shred::edge_database;
 use x2s_xml::{parse_xml, validate, Tree, ValidationError, XmlError};
 use x2s_xpath::{parse_xpath, ParseError, Path};
@@ -99,6 +102,9 @@ pub enum EngineError {
     Translate(TranslateError),
     /// The translated program failed to execute.
     Exec(ExecError),
+    /// The static plan analyzer rejected the translated program on the
+    /// prepare path ([`x2s_rel::analyze`]).
+    Analyze(AnalyzeError),
     /// `execute`/`query` was called before any document was loaded.
     NoDocument,
 }
@@ -111,6 +117,9 @@ impl fmt::Display for EngineError {
             EngineError::Validate(e) => write!(f, "document does not conform to the DTD: {e}"),
             EngineError::Translate(e) => write!(f, "translation error: {e}"),
             EngineError::Exec(e) => write!(f, "execution error: {e}"),
+            EngineError::Analyze(e) => {
+                write!(f, "static analysis rejected the translated program: {e}")
+            }
             EngineError::NoDocument => {
                 write!(
                     f,
@@ -129,6 +138,7 @@ impl std::error::Error for EngineError {
             EngineError::Validate(e) => Some(e),
             EngineError::Translate(e) => Some(e),
             EngineError::Exec(e) => Some(e),
+            EngineError::Analyze(e) => Some(e),
             EngineError::NoDocument => None,
         }
     }
@@ -157,6 +167,11 @@ impl From<TranslateError> for EngineError {
 impl From<ExecError> for EngineError {
     fn from(e: ExecError) -> Self {
         EngineError::Exec(e)
+    }
+}
+impl From<AnalyzeError> for EngineError {
+    fn from(e: AnalyzeError) -> Self {
+        EngineError::Analyze(e)
     }
 }
 
@@ -232,6 +247,16 @@ struct ShardedPlanCache {
     shards: Vec<Mutex<PlanCache>>,
 }
 
+/// Lock a cache shard, recovering from poisoning: shards hold only
+/// immutable `Arc<Translation>` snapshots plus LRU bookkeeping, so a panic
+/// in another thread cannot leave an entry half-written — the worst case is
+/// a slightly stale recency order.
+fn lock_shard(shard: &Mutex<PlanCache>) -> std::sync::MutexGuard<'_, PlanCache> {
+    shard
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl ShardedPlanCache {
     fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
@@ -254,26 +279,23 @@ impl ShardedPlanCache {
     }
 
     fn get(&self, key: &PlanKey) -> Option<Arc<Translation>> {
-        self.shard(key).lock().expect("plan cache shard").get(key)
+        lock_shard(self.shard(key)).get(key)
     }
 
     fn insert(&self, key: PlanKey, tr: Arc<Translation>) {
-        self.shard(&key)
-            .lock()
-            .expect("plan cache shard")
-            .insert(key, tr);
+        lock_shard(self.shard(&key)).insert(key, tr);
     }
 
     fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("plan cache shard").entries.len())
+            .map(|s| lock_shard(s).entries.len())
             .sum()
     }
 
     fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("plan cache shard").entries.clear();
+            lock_shard(shard).entries.clear();
         }
     }
 }
@@ -527,6 +549,11 @@ impl<'d> Engine<'d> {
                 .with_sql_options(sql_options)
                 .translate(path)?,
         );
+        // Static-analyzer gate: no program enters the plan cache (where it
+        // would be re-served indefinitely) without passing verification
+        // against the edge-shredding catalog.
+        let analysis = analyze_program_with(&translation.program, &edge_scan_schema)?;
+        self.stats.analyze_check(analysis.warnings.len());
         // Pass-level optimizer counters accumulate with the execution
         // counters — only on misses, since a cache hit re-serves the same
         // already-optimized program.

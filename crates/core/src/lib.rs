@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! The paper's primary contribution: translating XPath over (possibly
 //! recursive) DTDs to SQL with a simple LFP operator.
 //!

@@ -39,6 +39,9 @@ pub enum TranslateError {
     },
     /// An expression referenced a variable with no defining equation.
     UnboundVariable(u32),
+    /// The translated program failed the static plan analyzer
+    /// ([`x2s_rel::analyze`]) — a translator bug caught before execution.
+    Analyze(x2s_rel::AnalyzeError),
 }
 
 impl fmt::Display for TranslateError {
@@ -51,11 +54,27 @@ impl fmt::Display for TranslateError {
                 )
             }
             TranslateError::UnboundVariable(v) => write!(f, "unbound variable X{v}"),
+            TranslateError::Analyze(e) => {
+                write!(f, "translated program failed static analysis: {e}")
+            }
         }
     }
 }
 
-impl std::error::Error for TranslateError {}
+impl std::error::Error for TranslateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TranslateError::Analyze(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<x2s_rel::AnalyzeError> for TranslateError {
+    fn from(e: x2s_rel::AnalyzeError) -> Self {
+        TranslateError::Analyze(e)
+    }
+}
 
 /// A completed translation: the intermediate extended XPath query and the
 /// final SQL program.

@@ -138,10 +138,14 @@ impl<'a> X2e<'a> {
     fn rec_eps_free(&mut self, a: TNode, c: TNode) -> Result<Exp, TranslateError> {
         match self.mode.clone() {
             RecMode::CycleEx => {
-                if self.rec_table.is_none() {
-                    self.rec_table = Some(RecTable::build_into(&mut self.query, self.g));
-                }
-                Ok(self.rec_table.as_ref().unwrap().rec_eps_free(a, c).clone())
+                let table = match &self.rec_table {
+                    Some(t) => t,
+                    None => {
+                        let t = RecTable::build_into(&mut self.query, self.g);
+                        self.rec_table.get_or_insert(t)
+                    }
+                };
+                Ok(table.rec_eps_free(a, c).clone())
             }
             RecMode::CycleE { cap } => {
                 if let Some(e) = self.cyclee_cache.get(&(a, c)) {
@@ -416,11 +420,14 @@ fn split_eps(exp: Exp) -> (bool, Exp) {
         Exp::Epsilon => (true, Exp::EmptySet),
         Exp::Union(parts) => {
             let has = parts.contains(&Exp::Epsilon);
-            let rest: Vec<Exp> = parts.into_iter().filter(|p| *p != Exp::Epsilon).collect();
-            let e = match rest.len() {
-                0 => Exp::EmptySet,
-                1 => rest.into_iter().next().unwrap(),
-                _ => Exp::Union(rest),
+            let mut rest: Vec<Exp> = parts.into_iter().filter(|p| *p != Exp::Epsilon).collect();
+            let e = match (rest.len(), rest.pop()) {
+                (1, Some(only)) => only,
+                (_, None) => Exp::EmptySet,
+                (_, Some(last)) => {
+                    rest.push(last);
+                    Exp::Union(rest)
+                }
             };
             (has, e)
         }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! DTD machinery for the `xpath2sql` reproduction of Fan et al.,
 //! *"Query Translation from XPath to SQL in the Presence of Recursive DTDs"*
 //! (VLDB 2005 / VLDB Journal 18(4), 2009).

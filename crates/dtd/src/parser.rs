@@ -161,11 +161,12 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
-        } else {
-            ModelSpec::Choice(parts)
-        })
+        if parts.len() == 1 {
+            if let Some(only) = parts.pop() {
+                return Ok(only);
+            }
+        }
+        Ok(ModelSpec::Choice(parts))
     }
 
     /// seq := atom (',' atom)*
@@ -180,11 +181,12 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
-        } else {
-            ModelSpec::Seq(parts)
-        })
+        if parts.len() == 1 {
+            if let Some(only) = parts.pop() {
+                return Ok(only);
+            }
+        }
+        Ok(ModelSpec::Seq(parts))
     }
 
     /// atom := ('(' choice ')' | '#PCDATA' | name) ('*' | '+' | '?')?

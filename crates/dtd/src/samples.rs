@@ -1,3 +1,8 @@
+// Sample DTDs are compile-time constant data: a `build()` failure here is a
+// bug caught by this crate's tests, not a runtime error path, so the
+// panicking constructors are the intended contract.
+#![allow(clippy::expect_used)]
+
 //! Every DTD used by the paper, reconstructed.
 //!
 //! The evaluation DTDs (Cross, BIOML, GedML) are only ever used by the paper

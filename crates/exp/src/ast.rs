@@ -144,11 +144,14 @@ impl Exp {
             Exp::EmptySet | Exp::Epsilon => Exp::Epsilon,
             Exp::Star(inner) => Exp::Star(inner),
             Exp::Union(parts) if parts.contains(&Exp::Epsilon) => {
-                let rest: Vec<Exp> = parts.into_iter().filter(|p| *p != Exp::Epsilon).collect();
-                match rest.len() {
-                    0 => Exp::Epsilon,
-                    1 => rest.into_iter().next().unwrap().star(),
-                    _ => Exp::Star(Box::new(Exp::Union(rest))),
+                let mut rest: Vec<Exp> = parts.into_iter().filter(|p| *p != Exp::Epsilon).collect();
+                match (rest.len(), rest.pop()) {
+                    (1, Some(only)) => only.star(),
+                    (_, None) => Exp::Epsilon,
+                    (_, Some(last)) => {
+                        rest.push(last);
+                        Exp::Star(Box::new(Exp::Union(rest)))
+                    }
                 }
             }
             e => Exp::Star(Box::new(e)),

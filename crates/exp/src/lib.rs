@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! **Extended XPath expressions** — the paper's central notion (§3.2):
 //!
 //! ```text

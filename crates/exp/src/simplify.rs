@@ -25,10 +25,13 @@ pub fn simplify(exp: &Exp) -> Exp {
                     other => out.push(other),
                 }
             }
-            match out.len() {
-                0 => Exp::Epsilon,
-                1 => out.pop().unwrap(),
-                _ => Exp::Seq(out),
+            match (out.len(), out.pop()) {
+                (1, Some(only)) => only,
+                (_, None) => Exp::Epsilon,
+                (_, Some(last)) => {
+                    out.push(last);
+                    Exp::Seq(out)
+                }
             }
         }
         Exp::Union(parts) => {
@@ -51,10 +54,13 @@ pub fn simplify(exp: &Exp) -> Exp {
                     }
                 }
             }
-            match out.len() {
-                0 => Exp::EmptySet,
-                1 => out.pop().unwrap(),
-                _ => Exp::Union(out),
+            match (out.len(), out.pop()) {
+                (1, Some(only)) => only,
+                (_, None) => Exp::EmptySet,
+                (_, Some(last)) => {
+                    out.push(last);
+                    Exp::Union(out)
+                }
             }
         }
         Exp::Star(inner) => simplify(inner).star(),

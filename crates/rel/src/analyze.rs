@@ -1,0 +1,1246 @@
+//! Static analysis over [`Program`]s: schema/type inference and
+//! well-formedness verification.
+//!
+//! The translation emits a *sequence* of SQL'(LFP) statements whose
+//! correctness rests on invariants nothing in the executor checks until it
+//! is too late: column indexes in predicates, projections and join keys
+//! must be in range, set-operation arms must agree on arity, statements
+//! must only reference earlier temporaries, and the fixpoint operators must
+//! be shape-correct. This module verifies all of that *statically* — before
+//! execution, before SQL rendering, and (under `debug_assertions`) after
+//! every optimizer rewrite — and reports typed diagnostics instead of
+//! panicking deep inside the columnar executor.
+//!
+//! # The abstract type lattice
+//!
+//! Each column is abstracted to a [`ColType`]. The lattice is flat except
+//! for fixpoint tags, which are strings:
+//!
+//! | concrete [`Value`]                | abstract [`ColType`] |
+//! |-----------------------------------|----------------------|
+//! | [`Value::Id`], [`Value::Doc`]     | `NodeId`             |
+//! | [`Value::Str`], [`Value::Code`]   | `Text`               |
+//! | `MultiLfp` `Rid` tag              | `Tag` (⊑ `Text`)     |
+//! | [`Value::Int`]                    | `Int`                |
+//! | [`Value::Null`]                   | (no information)     |
+//! | anything / conflicting            | `Top`                |
+//!
+//! ```text
+//!            Top
+//!          /  |  \
+//!     NodeId Text Int
+//!             |
+//!            Tag
+//! ```
+//!
+//! `join` is the least upper bound: `join(x, x) = x`,
+//! `join(Tag, Text) = Text`, everything else joins to `Top`.
+//!
+//! # What is checked
+//!
+//! * **Column ranges** — every column index appearing in a [`Pred`], a
+//!   `Project`, a `Join::on` pair, an [`LfpSpec`] (`from_col`, `to_col`,
+//!   push-seed column) or a [`MultiLfpEdge`](crate::plan::MultiLfpEdge) is
+//!   in range of its input's
+//!   inferred arity ([`AnalyzeErrorKind::ColumnOutOfRange`]).
+//! * **Set-operation arity** — `Union` / `Diff` / `Intersect` arms agree
+//!   ([`AnalyzeErrorKind::ArityMismatch`]).
+//! * **Dependency order** — a statement references only *earlier* targets
+//!   ([`AnalyzeErrorKind::ForwardTempRef`]), every referenced temporary is
+//!   produced by some statement ([`AnalyzeErrorKind::UnknownTemp`]), and no
+//!   temporary is assigned twice ([`AnalyzeErrorKind::DuplicateTarget`]).
+//! * **Result reachability** — the program names a result
+//!   ([`AnalyzeErrorKind::NoResult`]) produced by some statement
+//!   ([`AnalyzeErrorKind::UnknownResult`]); statements the result does not
+//!   transitively depend on are reported as non-fatal
+//!   [`AnalyzeWarning::DeadStatement`]s.
+//! * **Closure shapes** — fixpoint inputs have at least the two columns a
+//!   closure needs ([`AnalyzeErrorKind::BadClosureShape`]); every
+//!   `MultiLfp` edge rule's `src_tag` is *live*: producible by some init
+//!   part or by a chain of producible edge rules
+//!   ([`AnalyzeErrorKind::UnproducibleTag`]).
+//!
+//! Errors carry statement provenance (the target temporary and the
+//! statement's [`Stmt::comment`]); see [`AnalyzeError`].
+//!
+//! # Entry points
+//!
+//! [`analyze_program`] treats every base-relation scan as unknown (arity
+//! unchecked until it meets a known schema); [`analyze_program_with`] takes
+//! a catalog callback, and [`edge_scan_schema`] is the catalog for the
+//! shredded edge databases used throughout this repo (every `R_*` relation
+//! is `(F: NodeId, T: NodeId, V: Text)`).
+
+use std::fmt;
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::plan::{LfpSpec, MultiLfpSpec, Plan, Pred, PushSpec};
+use crate::program::{Program, Stmt, TempId};
+use crate::value::Value;
+
+/// Widest schema the analyzer will materialize column-by-column. Translated
+/// programs stay in single digits; the cap only matters for adversarial
+/// shapes like shared self-join ladders, where arity doubles per level and a
+/// concrete `Vec<ColType>` would be exponential. Beyond the cap the schema
+/// degrades to unknown (arity checks are skipped, nothing is wrongly
+/// rejected).
+const MAX_SCHEMA_WIDTH: usize = 4096;
+
+/// Abstract type of one column — see the [module docs](self) for the
+/// lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ColType {
+    /// An element node id ([`Value::Id`]) or the document marker
+    /// ([`Value::Doc`]).
+    NodeId,
+    /// Text: runtime strings ([`Value::Str`]) or dictionary codes
+    /// ([`Value::Code`]).
+    Text,
+    /// A `MultiLfp` `Rid` tag — a string drawn from the fixpoint's tag
+    /// alphabet. `Tag ⊑ Text`.
+    Tag,
+    /// An integer ([`Value::Int`]).
+    Int,
+    /// No static information (or conflicting information).
+    Top,
+}
+
+impl ColType {
+    /// Least upper bound of two column types.
+    pub fn join(self, other: ColType) -> ColType {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (ColType::Tag, ColType::Text) | (ColType::Text, ColType::Tag) => ColType::Text,
+            _ => ColType::Top,
+        }
+    }
+
+    /// Abstract a concrete value. `None` for [`Value::Null`], which carries
+    /// no type information.
+    pub fn of_value(v: &Value) -> Option<ColType> {
+        match v {
+            Value::Null => None,
+            Value::Doc | Value::Id(_) => Some(ColType::NodeId),
+            Value::Str(_) | Value::Code(_) => Some(ColType::Text),
+            Value::Int(_) => Some(ColType::Int),
+        }
+    }
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColType::NodeId => "NodeId",
+            ColType::Text => "Text",
+            ColType::Tag => "Tag",
+            ColType::Int => "Int",
+            ColType::Top => "Top",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The inferred schema of a plan node: either a known arity with
+/// per-column abstract types, or entirely unknown (a scan of a relation
+/// the catalog does not describe).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema(Option<Vec<ColType>>);
+
+impl Schema {
+    /// A schema about which nothing is known (not even the arity).
+    pub fn unknown() -> Schema {
+        Schema(None)
+    }
+
+    /// A fully known schema.
+    pub fn known(cols: Vec<ColType>) -> Schema {
+        Schema(Some(cols))
+    }
+
+    /// The arity, when known.
+    pub fn arity(&self) -> Option<usize> {
+        self.0.as_ref().map(Vec::len)
+    }
+
+    /// The per-column types, when known.
+    pub fn cols(&self) -> Option<&[ColType]> {
+        self.0.as_deref()
+    }
+
+    /// The type of column `i`: `Top` when the schema is unknown or the
+    /// index is out of range (range errors are reported separately).
+    pub fn col(&self, i: usize) -> ColType {
+        match &self.0 {
+            Some(cols) => cols.get(i).copied().unwrap_or(ColType::Top),
+            None => ColType::Top,
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            None => write!(f, "(?)"),
+            Some(cols) => {
+                write!(f, "(")?;
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// What went wrong, without provenance — see [`AnalyzeError`] for the
+/// statement-level wrapper.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalyzeErrorKind {
+    /// A column index is out of range of its input's inferred arity.
+    ColumnOutOfRange {
+        /// Where the index appears (e.g. `"predicate"`, `"projection"`).
+        context: String,
+        /// The offending column index.
+        col: usize,
+        /// The input's inferred arity.
+        arity: usize,
+    },
+    /// Two set-operation arms (or join-adjacent schemas) disagree on arity.
+    ArityMismatch {
+        /// Which operation (e.g. `"union arms"`).
+        context: String,
+        /// Arity of the first/left arm.
+        left: usize,
+        /// Arity of the offending arm.
+        right: usize,
+    },
+    /// A plan references a temporary no statement produces.
+    UnknownTemp(TempId),
+    /// A plan references a temporary defined only *later* (or by the
+    /// referencing statement itself) — dependency order is broken.
+    ForwardTempRef(TempId),
+    /// The program has no result statement.
+    NoResult,
+    /// The program's result temporary is not produced by any statement.
+    UnknownResult(TempId),
+    /// A fixpoint input cannot be a closure: fewer than two columns.
+    BadClosureShape(String),
+    /// A `MultiLfp` edge rule's `src_tag` is produced by no init part and
+    /// no live edge rule — the rule can never fire.
+    UnproducibleTag(String),
+    /// Two statements assign the same temporary.
+    DuplicateTarget(TempId),
+}
+
+impl fmt::Display for AnalyzeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeErrorKind::ColumnOutOfRange {
+                context,
+                col,
+                arity,
+            } => write!(
+                f,
+                "column {col} out of range in {context} (input arity {arity})"
+            ),
+            AnalyzeErrorKind::ArityMismatch {
+                context,
+                left,
+                right,
+            } => write!(f, "arity mismatch in {context}: {left} vs {right}"),
+            AnalyzeErrorKind::UnknownTemp(t) => {
+                write!(f, "reference to unknown temporary T{}", t.0)
+            }
+            AnalyzeErrorKind::ForwardTempRef(t) => {
+                write!(f, "reference to temporary T{} before it is defined", t.0)
+            }
+            AnalyzeErrorKind::NoResult => write!(f, "program has no result statement"),
+            AnalyzeErrorKind::UnknownResult(t) => write!(
+                f,
+                "result temporary T{} is not produced by any statement",
+                t.0
+            ),
+            AnalyzeErrorKind::BadClosureShape(what) => {
+                write!(f, "fixpoint input is not closure-shaped: {what}")
+            }
+            AnalyzeErrorKind::UnproducibleTag(tag) => {
+                write!(f, "multi-lfp edge rule has unproducible source tag '{tag}'")
+            }
+            AnalyzeErrorKind::DuplicateTarget(t) => {
+                write!(f, "temporary T{} is assigned more than once", t.0)
+            }
+        }
+    }
+}
+
+/// A fatal diagnostic with statement provenance: which statement (by
+/// target temporary) was ill-formed and its [`Stmt::comment`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalyzeError {
+    /// Target of the offending statement; `None` for program-level errors
+    /// ([`AnalyzeErrorKind::NoResult`] / [`AnalyzeErrorKind::UnknownResult`]).
+    pub stmt: Option<TempId>,
+    /// The offending statement's comment (empty for program-level errors).
+    pub comment: String,
+    /// What went wrong.
+    pub kind: AnalyzeErrorKind,
+}
+
+impl AnalyzeError {
+    /// A program-level error with no statement provenance.
+    pub fn program_level(kind: AnalyzeErrorKind) -> AnalyzeError {
+        AnalyzeError {
+            stmt: None,
+            comment: String::new(),
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.stmt {
+            Some(t) if self.comment.is_empty() => {
+                write!(f, "statement T{}: {}", t.0, self.kind)
+            }
+            Some(t) => write!(f, "statement T{} ({}): {}", t.0, self.comment, self.kind),
+            None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// A non-fatal diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalyzeWarning {
+    /// A statement the result does not (transitively) depend on.
+    DeadStatement {
+        /// The statement's target temporary.
+        stmt: TempId,
+        /// The statement's comment.
+        comment: String,
+    },
+}
+
+impl fmt::Display for AnalyzeWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeWarning::DeadStatement { stmt, comment } => {
+                if comment.is_empty() {
+                    write!(f, "statement T{} is dead (result never reads it)", stmt.0)
+                } else {
+                    write!(
+                        f,
+                        "statement T{} ({comment}) is dead (result never reads it)",
+                        stmt.0
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// The result of a successful analysis.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Inferred schema of every statement's target.
+    pub schemas: FxHashMap<TempId, Schema>,
+    /// Inferred schema of the program result.
+    pub result: Schema,
+    /// Non-fatal diagnostics.
+    pub warnings: Vec<AnalyzeWarning>,
+}
+
+/// The catalog for shredded edge databases ([`x2s_shred`]'s convention):
+/// every relation named `R_*` — each per-type `R_A` plus the `R__nodes`
+/// union — has schema `(F: NodeId, T: NodeId, V: Text)`. Anything else is
+/// unknown.
+///
+/// [`x2s_shred`]: crate
+pub fn edge_scan_schema(name: &str) -> Schema {
+    if name.starts_with("R_") {
+        Schema::known(vec![ColType::NodeId, ColType::NodeId, ColType::Text])
+    } else {
+        Schema::unknown()
+    }
+}
+
+/// Analyze a program treating every base-relation scan as unknown.
+pub fn analyze_program(prog: &Program) -> Result<Analysis, AnalyzeError> {
+    analyze_program_with(prog, &|_| Schema::unknown())
+}
+
+/// Analyze a program against a base-relation catalog: `scan_schema` maps a
+/// relation name to its schema ([`Schema::unknown`] when the relation is
+/// not in the catalog).
+pub fn analyze_program_with(
+    prog: &Program,
+    scan_schema: &dyn Fn(&str) -> Schema,
+) -> Result<Analysis, AnalyzeError> {
+    let mut targets: FxHashSet<TempId> = FxHashSet::default();
+    for s in &prog.stmts {
+        if !targets.insert(s.target) {
+            return Err(AnalyzeError {
+                stmt: Some(s.target),
+                comment: s.comment.clone(),
+                kind: AnalyzeErrorKind::DuplicateTarget(s.target),
+            });
+        }
+    }
+
+    let mut ctx = Ctx {
+        scan_schema,
+        env: FxHashMap::default(),
+        targets: &targets,
+    };
+    for s in &prog.stmts {
+        let schema = ctx.infer(&s.plan).map_err(|kind| AnalyzeError {
+            stmt: Some(s.target),
+            comment: s.comment.clone(),
+            kind,
+        })?;
+        ctx.env.insert(s.target, schema);
+    }
+
+    let result_temp = match prog.result {
+        None => return Err(AnalyzeError::program_level(AnalyzeErrorKind::NoResult)),
+        Some(r) => r,
+    };
+    let result = match ctx.env.get(&result_temp) {
+        Some(s) => s.clone(),
+        None => {
+            return Err(AnalyzeError::program_level(
+                AnalyzeErrorKind::UnknownResult(result_temp),
+            ))
+        }
+    };
+
+    let warnings = dead_statements(prog, result_temp);
+    Ok(Analysis {
+        schemas: ctx.env,
+        result,
+        warnings,
+    })
+}
+
+/// Statements the result does not transitively depend on.
+fn dead_statements(prog: &Program, result: TempId) -> Vec<AnalyzeWarning> {
+    let by_target: FxHashMap<TempId, &Stmt> = prog.stmts.iter().map(|s| (s.target, s)).collect();
+    let mut live: FxHashSet<TempId> = FxHashSet::default();
+    let mut stack = vec![result];
+    while let Some(t) = stack.pop() {
+        if !live.insert(t) {
+            continue;
+        }
+        if let Some(s) = by_target.get(&t) {
+            stack.extend(s.plan.referenced_temps());
+        }
+    }
+    prog.stmts
+        .iter()
+        .filter(|s| !live.contains(&s.target))
+        .map(|s| AnalyzeWarning::DeadStatement {
+            stmt: s.target,
+            comment: s.comment.clone(),
+        })
+        .collect()
+}
+
+/// Per-statement inference context: the schemas of all *earlier* targets
+/// plus the full target set (to tell forward references from unknown
+/// temporaries).
+struct Ctx<'a> {
+    scan_schema: &'a dyn Fn(&str) -> Schema,
+    env: FxHashMap<TempId, Schema>,
+    targets: &'a FxHashSet<TempId>,
+}
+
+impl Ctx<'_> {
+    fn infer(&self, plan: &Plan) -> Result<Schema, AnalyzeErrorKind> {
+        match plan {
+            Plan::Scan(name) => Ok((self.scan_schema)(name)),
+            Plan::Temp(t) => match self.env.get(t) {
+                Some(s) => Ok(s.clone()),
+                None if self.targets.contains(t) => Err(AnalyzeErrorKind::ForwardTempRef(*t)),
+                None => Err(AnalyzeErrorKind::UnknownTemp(*t)),
+            },
+            Plan::Values(rel) => Ok(infer_values(rel)),
+            Plan::Select { input, pred } => {
+                let s = self.infer(input)?;
+                if let Some(arity) = s.arity() {
+                    check_pred(pred, arity)?;
+                }
+                Ok(s)
+            }
+            Plan::Project { input, cols } => {
+                let s = self.infer(input)?;
+                if let Some(arity) = s.arity() {
+                    for (i, _) in cols {
+                        if *i >= arity {
+                            return Err(AnalyzeErrorKind::ColumnOutOfRange {
+                                context: "projection".into(),
+                                col: *i,
+                                arity,
+                            });
+                        }
+                    }
+                }
+                Ok(Schema::known(cols.iter().map(|(i, _)| s.col(*i)).collect()))
+            }
+            Plan::Join {
+                left,
+                right,
+                on,
+                kind,
+            } => {
+                let l = self.infer(left)?;
+                let r = self.infer(right)?;
+                for (lc, rc) in on {
+                    if let Some(arity) = l.arity() {
+                        if *lc >= arity {
+                            return Err(AnalyzeErrorKind::ColumnOutOfRange {
+                                context: "join key (left)".into(),
+                                col: *lc,
+                                arity,
+                            });
+                        }
+                    }
+                    if let Some(arity) = r.arity() {
+                        if *rc >= arity {
+                            return Err(AnalyzeErrorKind::ColumnOutOfRange {
+                                context: "join key (right)".into(),
+                                col: *rc,
+                                arity,
+                            });
+                        }
+                    }
+                }
+                match kind {
+                    crate::plan::JoinKind::Inner => match (l.cols(), r.cols()) {
+                        // Width cap: inner joins concatenate schemas, so a
+                        // self-join ladder doubles arity per level — a shared
+                        // 40-deep DAG would ask for a 2⁴¹-column schema. Past
+                        // MAX_SCHEMA_WIDTH the analyzer degrades to an unknown
+                        // schema (checks over unknown inputs are skipped, so
+                        // this loses precision, never soundness of accepts).
+                        (Some(lc), Some(rc)) if lc.len() + rc.len() <= MAX_SCHEMA_WIDTH => {
+                            Ok(Schema::known(lc.iter().chain(rc).copied().collect()))
+                        }
+                        (Some(_), Some(_)) => Ok(Schema::unknown()),
+                        _ => Ok(Schema::unknown()),
+                    },
+                    crate::plan::JoinKind::Semi | crate::plan::JoinKind::Anti => Ok(l),
+                }
+            }
+            Plan::Union { inputs, .. } => {
+                let mut arms = Vec::with_capacity(inputs.len());
+                for p in inputs {
+                    arms.push(self.infer(p)?);
+                }
+                merge_arms(&arms, "union arms")
+            }
+            Plan::Diff { left, right } => self.infer_pairwise(left, right, "difference arms"),
+            Plan::Intersect { left, right } => {
+                self.infer_pairwise(left, right, "intersection arms")
+            }
+            Plan::Distinct(input) => self.infer(input),
+            Plan::Lfp(spec) => self.infer_lfp(spec),
+            Plan::MultiLfp(spec) => self.infer_multilfp(spec),
+        }
+    }
+
+    /// Diff / Intersect: equal arities; result rows come from the left.
+    fn infer_pairwise(
+        &self,
+        left: &Plan,
+        right: &Plan,
+        context: &str,
+    ) -> Result<Schema, AnalyzeErrorKind> {
+        let l = self.infer(left)?;
+        let r = self.infer(right)?;
+        if let (Some(la), Some(ra)) = (l.arity(), r.arity()) {
+            if la != ra {
+                return Err(AnalyzeErrorKind::ArityMismatch {
+                    context: context.into(),
+                    left: la,
+                    right: ra,
+                });
+            }
+        }
+        match (l.cols(), r.cols()) {
+            (Some(_), _) => Ok(l),
+            (None, Some(rc)) => Ok(Schema::known(vec![ColType::Top; rc.len()])),
+            (None, None) => Ok(Schema::unknown()),
+        }
+    }
+
+    fn infer_lfp(&self, spec: &LfpSpec) -> Result<Schema, AnalyzeErrorKind> {
+        let input = self.infer(&spec.input)?;
+        if let Some(arity) = input.arity() {
+            if arity < 2 {
+                return Err(AnalyzeErrorKind::BadClosureShape(format!(
+                    "LFP input has arity {arity}, need at least 2"
+                )));
+            }
+            for (col, context) in [(spec.from_col, "lfp from_col"), (spec.to_col, "lfp to_col")] {
+                if col >= arity {
+                    return Err(AnalyzeErrorKind::ColumnOutOfRange {
+                        context: context.into(),
+                        col,
+                        arity,
+                    });
+                }
+            }
+        }
+        match &spec.push {
+            Some(PushSpec::Forward { seeds, col })
+            | Some(PushSpec::Backward {
+                targets: seeds,
+                col,
+            }) => {
+                let s = self.infer(seeds)?;
+                if let Some(arity) = s.arity() {
+                    if *col >= arity {
+                        return Err(AnalyzeErrorKind::ColumnOutOfRange {
+                            context: "lfp push seed column".into(),
+                            col: *col,
+                            arity,
+                        });
+                    }
+                }
+            }
+            None => {}
+        }
+        // output is always the binary closure (F, T)
+        Ok(Schema::known(vec![
+            input.col(spec.from_col),
+            input.col(spec.to_col),
+        ]))
+    }
+
+    fn infer_multilfp(&self, spec: &MultiLfpSpec) -> Result<Schema, AnalyzeErrorKind> {
+        let mut s_ty: Option<ColType> = None;
+        let mut t_ty: Option<ColType> = None;
+        let acc = |slot: &mut Option<ColType>, ty: ColType| {
+            *slot = Some(match *slot {
+                Some(cur) => cur.join(ty),
+                None => ty,
+            });
+        };
+        for (_tag, plan) in &spec.init {
+            let s = self.infer(plan)?;
+            if let Some(arity) = s.arity() {
+                if arity < 2 {
+                    return Err(AnalyzeErrorKind::BadClosureShape(format!(
+                        "multi-lfp init part has arity {arity}, need at least 2"
+                    )));
+                }
+            }
+            acc(&mut s_ty, s.col(0));
+            acc(&mut t_ty, s.col(1));
+        }
+        // liveness fixpoint over the tag alphabet: a rule fires only if its
+        // src_tag is produced by an init part or by another live rule
+        let mut live: FxHashSet<&str> = spec.init.iter().map(|(t, _)| t.as_str()).collect();
+        loop {
+            let before = live.len();
+            for e in &spec.edges {
+                if live.contains(e.src_tag.as_str()) {
+                    live.insert(e.dst_tag.as_str());
+                }
+            }
+            if live.len() == before {
+                break;
+            }
+        }
+        for e in &spec.edges {
+            if !live.contains(e.src_tag.as_str()) {
+                return Err(AnalyzeErrorKind::UnproducibleTag(e.src_tag.clone()));
+            }
+            let s = self.infer(&e.rel)?;
+            if let Some(arity) = s.arity() {
+                if arity < 2 {
+                    return Err(AnalyzeErrorKind::BadClosureShape(format!(
+                        "multi-lfp edge relation has arity {arity}, need at least 2"
+                    )));
+                }
+            }
+            // a firing rule keeps S from the delta and takes T from the
+            // edge relation's column 1
+            acc(&mut t_ty, s.col(1));
+        }
+        Ok(Schema::known(vec![
+            s_ty.unwrap_or(ColType::Top),
+            t_ty.unwrap_or(ColType::Top),
+            ColType::Tag,
+        ]))
+    }
+}
+
+/// Merge set-operation arm schemas: known arities must agree; result types
+/// are the columnwise join of the known arms, degraded to `Top` when any
+/// arm is unknown (its types could be anything).
+fn merge_arms(arms: &[Schema], context: &str) -> Result<Schema, AnalyzeErrorKind> {
+    let mut known: Option<Vec<ColType>> = None;
+    let mut any_unknown = false;
+    for s in arms {
+        match s.cols() {
+            None => any_unknown = true,
+            Some(cols) => match &mut known {
+                None => known = Some(cols.to_vec()),
+                Some(acc) => {
+                    if acc.len() != cols.len() {
+                        return Err(AnalyzeErrorKind::ArityMismatch {
+                            context: context.into(),
+                            left: acc.len(),
+                            right: cols.len(),
+                        });
+                    }
+                    for (a, c) in acc.iter_mut().zip(cols) {
+                        *a = a.join(*c);
+                    }
+                }
+            },
+        }
+    }
+    Ok(match known {
+        None => Schema::unknown(),
+        Some(mut cols) => {
+            if any_unknown {
+                cols.iter_mut().for_each(|c| *c = ColType::Top);
+            }
+            Schema::known(cols)
+        }
+    })
+}
+
+/// Infer the schema of an inline constant relation: arity from the column
+/// list, per-column types joined over the rows (NULLs contribute nothing).
+fn infer_values(rel: &crate::relation::Relation) -> Schema {
+    let arity = rel.arity();
+    let mut cols: Vec<Option<ColType>> = vec![None; arity];
+    for row in rel.rows() {
+        for (slot, v) in cols.iter_mut().zip(row) {
+            if let Some(ty) = ColType::of_value(v) {
+                *slot = Some(match *slot {
+                    Some(cur) => cur.join(ty),
+                    None => ty,
+                });
+            }
+        }
+    }
+    Schema::known(
+        cols.into_iter()
+            .map(|c| c.unwrap_or(ColType::Top))
+            .collect(),
+    )
+}
+
+/// Check every column index a predicate mentions against the input arity.
+fn check_pred(pred: &Pred, arity: usize) -> Result<(), AnalyzeErrorKind> {
+    let out_of_range = |col: usize| AnalyzeErrorKind::ColumnOutOfRange {
+        context: "predicate".into(),
+        col,
+        arity,
+    };
+    match pred {
+        Pred::True => Ok(()),
+        Pred::ColEqValue(c, _) => {
+            if *c >= arity {
+                return Err(out_of_range(*c));
+            }
+            Ok(())
+        }
+        Pred::ColEqCol(a, b) => {
+            if *a >= arity {
+                return Err(out_of_range(*a));
+            }
+            if *b >= arity {
+                return Err(out_of_range(*b));
+            }
+            Ok(())
+        }
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            check_pred(a, arity)?;
+            check_pred(b, arity)
+        }
+        Pred::Not(p) => check_pred(p, arity),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::MultiLfpEdge;
+    use crate::relation::Relation;
+
+    fn prog(stmts: Vec<(Plan, &str)>, result: Option<u32>) -> Program {
+        Program {
+            stmts: stmts
+                .into_iter()
+                .enumerate()
+                .map(|(i, (plan, comment))| Stmt {
+                    target: TempId(i as u32),
+                    plan,
+                    comment: comment.to_string(),
+                })
+                .collect(),
+            result: result.map(TempId),
+        }
+    }
+
+    fn edge_scan(name: &str) -> Plan {
+        Plan::Scan(name.to_string())
+    }
+
+    #[test]
+    fn lattice_join_laws() {
+        use ColType::*;
+        for t in [NodeId, Text, Tag, Int, Top] {
+            assert_eq!(t.join(t), t, "idempotent");
+            assert_eq!(t.join(Top), Top, "Top absorbs");
+            for u in [NodeId, Text, Tag, Int, Top] {
+                assert_eq!(t.join(u), u.join(t), "commutative");
+            }
+        }
+        assert_eq!(Tag.join(Text), Text);
+        assert_eq!(NodeId.join(Int), Top);
+    }
+
+    #[test]
+    fn edge_catalog_schemas() {
+        assert_eq!(
+            edge_scan_schema("R_course").cols(),
+            Some(&[ColType::NodeId, ColType::NodeId, ColType::Text][..])
+        );
+        assert_eq!(
+            edge_scan_schema("R__nodes").arity(),
+            Some(3),
+            "the all-nodes union relation"
+        );
+        assert_eq!(edge_scan_schema("whatever"), Schema::unknown());
+    }
+
+    #[test]
+    fn infers_through_the_answer_shape() {
+        // the e2sql answer shape: Distinct(π_T(σ_{F=Doc}(R_A)))
+        let p = prog(
+            vec![
+                (edge_scan("R_a"), "scan"),
+                (
+                    Plan::Distinct(Box::new(
+                        Plan::Temp(TempId(0))
+                            .select(Pred::ColEqValue(0, Value::Doc))
+                            .project(vec![(1, "T")]),
+                    )),
+                    "answer",
+                ),
+            ],
+            Some(1),
+        );
+        let a = analyze_program_with(&p, &edge_scan_schema).expect("well-formed");
+        assert_eq!(a.result, Schema::known(vec![ColType::NodeId]));
+        assert_eq!(a.result.to_string(), "(NodeId)");
+        assert!(a.warnings.is_empty());
+        assert_eq!(a.schemas[&TempId(0)].arity(), Some(3));
+    }
+
+    #[test]
+    fn values_infer_types_skipping_nulls() {
+        let rel = Relation::from_tuples(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![Value::Null, Value::Id(1), Value::str("x")],
+                vec![Value::Int(3), Value::Null, Value::Code(7)],
+            ],
+        );
+        let p = prog(vec![(Plan::Values(rel), "vals")], Some(0));
+        let a = analyze_program(&p).expect("well-formed");
+        assert_eq!(
+            a.result,
+            Schema::known(vec![ColType::Int, ColType::NodeId, ColType::Text])
+        );
+    }
+
+    #[test]
+    fn rejects_predicate_column_out_of_range() {
+        let p = prog(
+            vec![(edge_scan("R_a").select(Pred::ColEqCol(0, 9)), "bad pred")],
+            Some(0),
+        );
+        let e = analyze_program_with(&p, &edge_scan_schema).expect_err("must reject");
+        assert!(matches!(
+            e.kind,
+            AnalyzeErrorKind::ColumnOutOfRange {
+                col: 9,
+                arity: 3,
+                ..
+            }
+        ));
+        assert_eq!(e.stmt, Some(TempId(0)));
+        assert!(e.to_string().contains("bad pred"), "{e}");
+    }
+
+    #[test]
+    fn rejects_projection_column_out_of_range() {
+        let p = prog(
+            vec![(edge_scan("R_a").project(vec![(5, "X")]), "bad proj")],
+            Some(0),
+        );
+        let e = analyze_program_with(&p, &edge_scan_schema).expect_err("must reject");
+        assert!(matches!(
+            e.kind,
+            AnalyzeErrorKind::ColumnOutOfRange { col: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_scans_defer_checks_until_projected() {
+        // scans of unknown relations can't be range-checked…
+        let ok = prog(
+            vec![(
+                Plan::Scan("mystery".into()).select(Pred::ColEqCol(0, 9)),
+                "",
+            )],
+            Some(0),
+        );
+        assert!(analyze_program(&ok).is_ok());
+        // …but a projection pins the arity downstream
+        let bad = prog(
+            vec![(
+                Plan::Scan("mystery".into())
+                    .project(vec![(0, "A")])
+                    .select(Pred::ColEqCol(0, 1)),
+                "",
+            )],
+            Some(0),
+        );
+        let e = analyze_program(&bad).expect_err("projection fixed the arity");
+        assert!(matches!(
+            e.kind,
+            AnalyzeErrorKind::ColumnOutOfRange {
+                col: 1,
+                arity: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_union_arity_mismatch() {
+        let p = prog(
+            vec![(
+                Plan::Union {
+                    inputs: vec![edge_scan("R_a"), edge_scan("R_b").project(vec![(1, "T")])],
+                    distinct: true,
+                },
+                "arms",
+            )],
+            Some(0),
+        );
+        let e = analyze_program_with(&p, &edge_scan_schema).expect_err("must reject");
+        assert!(matches!(
+            e.kind,
+            AnalyzeErrorKind::ArityMismatch {
+                left: 3,
+                right: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_diff_and_intersect_mismatch() {
+        for mk in [
+            (|l, r| Plan::Diff {
+                left: Box::new(l),
+                right: Box::new(r),
+            }) as fn(Plan, Plan) -> Plan,
+            |l, r| Plan::Intersect {
+                left: Box::new(l),
+                right: Box::new(r),
+            },
+        ] {
+            let p = prog(
+                vec![(
+                    mk(edge_scan("R_a"), edge_scan("R_b").project(vec![(0, "F")])),
+                    "",
+                )],
+                Some(0),
+            );
+            let e = analyze_program_with(&p, &edge_scan_schema).expect_err("must reject");
+            assert!(matches!(e.kind, AnalyzeErrorKind::ArityMismatch { .. }));
+        }
+    }
+
+    #[test]
+    fn rejects_forward_and_unknown_temp_refs() {
+        let forward = prog(
+            vec![
+                (Plan::Temp(TempId(1)), "reads ahead"),
+                (edge_scan("R_a"), "defined later"),
+            ],
+            Some(0),
+        );
+        let e = analyze_program(&forward).expect_err("must reject");
+        assert_eq!(e.kind, AnalyzeErrorKind::ForwardTempRef(TempId(1)));
+
+        let unknown = prog(vec![(Plan::Temp(TempId(9)), "dangling")], Some(0));
+        let e = analyze_program(&unknown).expect_err("must reject");
+        assert_eq!(e.kind, AnalyzeErrorKind::UnknownTemp(TempId(9)));
+    }
+
+    #[test]
+    fn rejects_duplicate_targets() {
+        let mut p = prog(
+            vec![(edge_scan("R_a"), ""), (edge_scan("R_b"), "")],
+            Some(0),
+        );
+        p.stmts[1].target = TempId(0);
+        let e = analyze_program(&p).expect_err("must reject");
+        assert_eq!(e.kind, AnalyzeErrorKind::DuplicateTarget(TempId(0)));
+    }
+
+    #[test]
+    fn rejects_missing_and_unknown_result() {
+        let none = prog(vec![(edge_scan("R_a"), "")], None);
+        assert_eq!(
+            analyze_program(&none).expect_err("no result").kind,
+            AnalyzeErrorKind::NoResult
+        );
+        let dangling = prog(vec![(edge_scan("R_a"), "")], Some(7));
+        assert_eq!(
+            analyze_program(&dangling)
+                .expect_err("dangling result")
+                .kind,
+            AnalyzeErrorKind::UnknownResult(TempId(7))
+        );
+    }
+
+    #[test]
+    fn warns_on_dead_statements() {
+        let p = prog(
+            vec![
+                (edge_scan("R_a"), "used"),
+                (edge_scan("R_b"), "never read"),
+                (Plan::Distinct(Box::new(Plan::Temp(TempId(0)))), "answer"),
+            ],
+            Some(2),
+        );
+        let a = analyze_program_with(&p, &edge_scan_schema).expect("well-formed");
+        assert_eq!(
+            a.warnings,
+            vec![AnalyzeWarning::DeadStatement {
+                stmt: TempId(1),
+                comment: "never read".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn lfp_schema_and_checks() {
+        let good = prog(
+            vec![(
+                Plan::Lfp(LfpSpec {
+                    input: Box::new(edge_scan("R_a")),
+                    from_col: 0,
+                    to_col: 1,
+                    push: None,
+                }),
+                "closure",
+            )],
+            Some(0),
+        );
+        let a = analyze_program_with(&good, &edge_scan_schema).expect("well-formed");
+        assert_eq!(
+            a.result,
+            Schema::known(vec![ColType::NodeId, ColType::NodeId])
+        );
+
+        let bad_col = prog(
+            vec![(
+                Plan::Lfp(LfpSpec {
+                    input: Box::new(edge_scan("R_a")),
+                    from_col: 0,
+                    to_col: 7,
+                    push: None,
+                }),
+                "",
+            )],
+            Some(0),
+        );
+        let e = analyze_program_with(&bad_col, &edge_scan_schema).expect_err("must reject");
+        assert!(matches!(
+            e.kind,
+            AnalyzeErrorKind::ColumnOutOfRange { col: 7, .. }
+        ));
+
+        let unary = prog(
+            vec![(
+                Plan::Lfp(LfpSpec {
+                    input: Box::new(edge_scan("R_a").project(vec![(1, "T")])),
+                    from_col: 0,
+                    to_col: 0,
+                    push: None,
+                }),
+                "",
+            )],
+            Some(0),
+        );
+        let e = analyze_program_with(&unary, &edge_scan_schema).expect_err("must reject");
+        assert!(matches!(e.kind, AnalyzeErrorKind::BadClosureShape(_)));
+    }
+
+    #[test]
+    fn lfp_push_seed_column_checked() {
+        let p = prog(
+            vec![(
+                Plan::Lfp(LfpSpec {
+                    input: Box::new(edge_scan("R_a")),
+                    from_col: 0,
+                    to_col: 1,
+                    push: Some(PushSpec::Forward {
+                        seeds: Box::new(edge_scan("R_b").project(vec![(1, "T")])),
+                        col: 3,
+                    }),
+                }),
+                "",
+            )],
+            Some(0),
+        );
+        let e = analyze_program_with(&p, &edge_scan_schema).expect_err("must reject");
+        assert!(matches!(
+            e.kind,
+            AnalyzeErrorKind::ColumnOutOfRange {
+                col: 3,
+                arity: 1,
+                ..
+            }
+        ));
+    }
+
+    fn multilfp(init: Vec<(&str, Plan)>, edges: Vec<(&str, &str, Plan)>) -> Plan {
+        Plan::MultiLfp(MultiLfpSpec {
+            init: init.into_iter().map(|(t, p)| (t.to_string(), p)).collect(),
+            edges: edges
+                .into_iter()
+                .map(|(s, d, rel)| MultiLfpEdge {
+                    src_tag: s.to_string(),
+                    dst_tag: d.to_string(),
+                    rel,
+                })
+                .collect(),
+        })
+    }
+
+    #[test]
+    fn multilfp_schema_and_tag_liveness() {
+        // b is produced by init; c only via the b→c rule — both live
+        let good = prog(
+            vec![(
+                multilfp(
+                    vec![("b", edge_scan("R_b").project(vec![(0, "S"), (1, "T")]))],
+                    vec![("b", "c", edge_scan("R_c")), ("c", "b", edge_scan("R_b"))],
+                ),
+                "fixpoint",
+            )],
+            Some(0),
+        );
+        let a = analyze_program_with(&good, &edge_scan_schema).expect("well-formed");
+        assert_eq!(
+            a.result,
+            Schema::known(vec![ColType::NodeId, ColType::NodeId, ColType::Tag])
+        );
+
+        // z is produced by nothing: its rule can never fire
+        let dead = prog(
+            vec![(
+                multilfp(
+                    vec![("b", edge_scan("R_b").project(vec![(0, "S"), (1, "T")]))],
+                    vec![("z", "b", edge_scan("R_b"))],
+                ),
+                "",
+            )],
+            Some(0),
+        );
+        let e = analyze_program_with(&dead, &edge_scan_schema).expect_err("must reject");
+        assert_eq!(e.kind, AnalyzeErrorKind::UnproducibleTag("z".into()));
+    }
+
+    #[test]
+    fn multilfp_empty_fixpoint_is_legal() {
+        let p = prog(vec![(multilfp(vec![], vec![]), "empty")], Some(0));
+        let a = analyze_program(&p).expect("an empty fixpoint is just empty");
+        assert_eq!(
+            a.result,
+            Schema::known(vec![ColType::Top, ColType::Top, ColType::Tag])
+        );
+    }
+
+    #[test]
+    fn join_schemas_concatenate_and_check_keys() {
+        let p = prog(
+            vec![(
+                edge_scan("R_a").join_on(edge_scan("R_b").project(vec![(1, "T")]), 1, 0),
+                "join",
+            )],
+            Some(0),
+        );
+        let a = analyze_program_with(&p, &edge_scan_schema).expect("well-formed");
+        assert_eq!(a.result.arity(), Some(4), "inner join concatenates");
+
+        let bad = prog(
+            vec![(edge_scan("R_a").semi_join(edge_scan("R_b"), 0, 8), "")],
+            Some(0),
+        );
+        let e = analyze_program_with(&bad, &edge_scan_schema).expect_err("must reject");
+        assert!(matches!(
+            e.kind,
+            AnalyzeErrorKind::ColumnOutOfRange { col: 8, .. }
+        ));
+        // semi join keeps the left schema
+        let semi = prog(
+            vec![(edge_scan("R_a").semi_join(edge_scan("R_b"), 1, 0), "")],
+            Some(0),
+        );
+        let a = analyze_program_with(&semi, &edge_scan_schema).expect("well-formed");
+        assert_eq!(a.result.arity(), Some(3));
+    }
+
+    #[test]
+    fn error_display_carries_provenance() {
+        let e = AnalyzeError {
+            stmt: Some(TempId(4)),
+            comment: "rec(a, b)".into(),
+            kind: AnalyzeErrorKind::UnknownTemp(TempId(2)),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("T4") && s.contains("rec(a, b)") && s.contains("T2"),
+            "{s}"
+        );
+        let p = AnalyzeError::program_level(AnalyzeErrorKind::NoResult);
+        assert_eq!(p.to_string(), "program has no result statement");
+    }
+
+    #[test]
+    fn self_join_ladder_degrades_instead_of_exploding() {
+        // Arity doubles per level; a concrete schema for the top join would
+        // need 2⁴¹ columns. The width cap must degrade to unknown and keep
+        // the analysis linear in program size.
+        let mut p = Program::new();
+        let mut t = p.push(edge_scan("R_a").project(vec![(0, "F"), (1, "T")]), "base");
+        for i in 0..40 {
+            t = p.push(Plan::Temp(t).join_on(Plan::Temp(t), 1, 0), format!("J{i}"));
+        }
+        p.result = Some(t);
+        let a = analyze_program_with(&p, &edge_scan_schema).expect("well-formed");
+        assert_eq!(a.result.arity(), None, "wide schema degrades to unknown");
+        // narrow levels below the cap keep concrete schemas
+        assert_eq!(a.schemas[&TempId(1)].arity(), Some(4));
+    }
+}

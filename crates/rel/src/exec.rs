@@ -300,16 +300,40 @@ impl CompiledPred {
         }
     }
 
+    /// Column indexes are verified statically by [`crate::analyze`]; debug
+    /// builds additionally fail here with a named diagnostic instead of a
+    /// bare slice panic. The release path is unchanged.
     fn eval(&self, tuple: &[Value]) -> bool {
+        #[cfg(debug_assertions)]
+        fn check(col: usize, tuple: &[Value]) {
+            debug_assert!(
+                col < tuple.len(),
+                "compiled predicate column {col} out of range (tuple arity {}); \
+                 the plan bypassed the static analyzer",
+                tuple.len()
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        fn check(_col: usize, _tuple: &[Value]) {}
         match self {
             CompiledPred::True => true,
-            CompiledPred::ColEqValue(c, v) => &tuple[*c] == v,
-            CompiledPred::ColEqStr { col, code, lit } => match &tuple[*col] {
-                Value::Code(c) => *code == Some(*c),
-                Value::Str(s) => **s == **lit,
-                _ => false,
-            },
-            CompiledPred::ColEqCol(a, b) => tuple[*a] == tuple[*b],
+            CompiledPred::ColEqValue(c, v) => {
+                check(*c, tuple);
+                &tuple[*c] == v
+            }
+            CompiledPred::ColEqStr { col, code, lit } => {
+                check(*col, tuple);
+                match &tuple[*col] {
+                    Value::Code(c) => *code == Some(*c),
+                    Value::Str(s) => **s == **lit,
+                    _ => false,
+                }
+            }
+            CompiledPred::ColEqCol(a, b) => {
+                check(*a, tuple);
+                check(*b, tuple);
+                tuple[*a] == tuple[*b]
+            }
             CompiledPred::And(a, b) => a.eval(tuple) && b.eval(tuple),
             CompiledPred::Or(a, b) => a.eval(tuple) || b.eval(tuple),
             CompiledPred::Not(p) => !p.eval(tuple),
@@ -351,6 +375,16 @@ pub fn eval_plan<'a>(
         Plan::Project { input, cols } => {
             let rel = eval_plan(input, ctx)?;
             ctx.stats.projects += 1;
+            // Source columns are verified statically by [`crate::analyze`];
+            // debug builds re-check once per projection (not per row) so an
+            // unanalyzed plan fails with a diagnostic, not a slice panic.
+            debug_assert!(
+                rel.is_empty() || cols.iter().all(|(i, _)| *i < rel.arity()),
+                "projection source column out of range ({:?} over arity {}); \
+                 the plan bypassed the static analyzer",
+                cols.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+                rel.arity()
+            );
             let names: Vec<String> = cols.iter().map(|(_, n)| n.clone()).collect();
             let mut out = Relation::new(names);
             out.reserve(rel.len());
@@ -719,7 +753,12 @@ fn probe_index_parallel(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("join worker panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // re-raise the worker's own panic payload instead of
+                // replacing it with a generic message
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     merge_flat(columns, bufs)
@@ -784,7 +823,12 @@ fn parallel_hash_join(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("join worker panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // re-raise the worker's own panic payload instead of
+                // replacing it with a generic message
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     let mut out = merge_flat(columns, bufs);

@@ -157,7 +157,10 @@ fn semi_naive_closure(
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("lfp worker panicked"))
+                    .map(|h| match h.join() {
+                        Ok(v) => v,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             });
             for list in candidates {

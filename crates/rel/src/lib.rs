@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! An in-memory relational engine — the RDBMS substrate standing in for the
 //! paper's IBM DB2 Enterprise 9 (§6).
 //!
@@ -32,8 +33,13 @@
 //!   elimination, predicate simplification/pushdown, projection narrowing,
 //!   LFP dedup) applied between translation and execution/rendering;
 //! * SQL text rendering in three dialects ([`sql`]): SQL'99 recursive CTEs,
-//!   Oracle `CONNECT BY`, and DB2 `WITH…RECURSIVE` (Fig. 4).
+//!   Oracle `CONNECT BY`, and DB2 `WITH…RECURSIVE` (Fig. 4);
+//! * a **static plan analyzer** ([`analyze`]): schema/type inference over
+//!   an abstract column lattice plus well-formedness verification (column
+//!   ranges, set-operation arities, dependency order, closure shapes),
+//!   gating translation, every optimizer pass, and SQL rendering.
 
+pub mod analyze;
 pub mod dict;
 pub mod exec;
 pub mod explain;
@@ -49,6 +55,10 @@ pub mod sql;
 pub mod stats;
 pub mod value;
 
+pub use analyze::{
+    analyze_program, analyze_program_with, edge_scan_schema, Analysis, AnalyzeError,
+    AnalyzeErrorKind, AnalyzeWarning, ColType, Schema,
+};
 pub use dict::Dictionary;
 pub use exec::{ColIndex, Database, ExecError, ExecOptions, PARALLEL_JOIN_THRESHOLD};
 pub use explain::{explain_opt_report, explain_plan, explain_program};
@@ -58,6 +68,6 @@ pub use opt::{optimize, OptLevel, OptReport, OptStats};
 pub use plan::{JoinKind, LfpSpec, MultiLfpEdge, MultiLfpSpec, Plan, Pred, PushSpec};
 pub use program::{OpCounts, Program, Stmt, TempId};
 pub use relation::Relation;
-pub use sql::{render_program, SqlDialect};
+pub use sql::{render_program, render_program_checked, SqlDialect};
 pub use stats::{SharedStats, Stats};
 pub use value::Value;

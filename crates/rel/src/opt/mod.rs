@@ -157,6 +157,10 @@ pub fn optimize_with(
     let Some(mut ir) = ProgramIr::import(prog) else {
         return unchanged(level);
     };
+    // Gate only programs that were well-formed going in: an ill-formed
+    // input is the translator's bug, not a pass's, and is reported by the
+    // translation/render gates instead.
+    let input_wellformed = crate::analyze::analyze_program(prog).is_ok();
     let mut stats = OptStats {
         plans_hash_consed: ir.consed_on_import(),
         lfps_merged: ir.consed_fixpoints(),
@@ -165,7 +169,20 @@ pub fn optimize_with(
     for _ in 0..MAX_ROUNDS {
         let mut changed = false;
         for pass in passes {
-            changed |= pass.run(&mut ir, &mut stats);
+            let pass_changed = pass.run(&mut ir, &mut stats);
+            changed |= pass_changed;
+            // Debug-build gate: re-verify after every pass that changed
+            // something, so a schema-breaking rewrite is caught at the pass
+            // that introduced it, by name.
+            #[cfg(debug_assertions)]
+            if input_wellformed && pass_changed {
+                if let Err(e) = crate::analyze::analyze_program(&ir.export()) {
+                    panic!(
+                        "optimizer pass '{}' produced an ill-formed program: {e}",
+                        pass.name()
+                    );
+                }
+            }
         }
         stats.rounds += 1;
         if !changed {
@@ -173,6 +190,15 @@ pub fn optimize_with(
         }
     }
     let out = ir.export();
+    // Unconditional post-pipeline gate: never hand an ill-formed program
+    // downstream. In release builds fall back to the (well-formed) input
+    // rather than aborting the query.
+    if input_wellformed {
+        if let Err(e) = crate::analyze::analyze_program(&out) {
+            debug_assert!(false, "optimizer pipeline broke the program: {e}");
+            return unchanged(level);
+        }
+    }
     let after = out.op_counts();
     stats.stmts_eliminated = prog.len().saturating_sub(out.len());
     (

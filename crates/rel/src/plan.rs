@@ -30,11 +30,32 @@ pub enum Pred {
 
 impl Pred {
     /// Evaluate against a tuple.
+    ///
+    /// Column indexes are verified statically by [`crate::analyze`]; in
+    /// debug builds an out-of-range index additionally fails here with a
+    /// diagnostic naming the predicate (instead of a bare slice panic).
+    /// The release path is unchanged.
     pub fn eval(&self, tuple: &[Value]) -> bool {
         match self {
             Pred::True => true,
-            Pred::ColEqValue(c, v) => &tuple[*c] == v,
-            Pred::ColEqCol(a, b) => tuple[*a] == tuple[*b],
+            Pred::ColEqValue(c, v) => {
+                debug_assert!(
+                    *c < tuple.len(),
+                    "predicate column {c} out of range (tuple arity {}); \
+                     the plan bypassed the static analyzer",
+                    tuple.len()
+                );
+                &tuple[*c] == v
+            }
+            Pred::ColEqCol(a, b) => {
+                debug_assert!(
+                    *a < tuple.len() && *b < tuple.len(),
+                    "predicate columns {a}/{b} out of range (tuple arity {}); \
+                     the plan bypassed the static analyzer",
+                    tuple.len()
+                );
+                tuple[*a] == tuple[*b]
+            }
             Pred::And(a, b) => a.eval(tuple) && b.eval(tuple),
             Pred::Or(a, b) => a.eval(tuple) || b.eval(tuple),
             Pred::Not(p) => !p.eval(tuple),

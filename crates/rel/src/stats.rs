@@ -56,6 +56,12 @@ pub struct Stats {
     /// Joins whose build side was served from a cached base-edge index on
     /// the [`crate::Database`] instead of building a fresh hash table.
     pub join_index_reuses: usize,
+    /// Programs verified by the static plan analyzer ([`crate::analyze`])
+    /// on the engine's prepare path.
+    pub analyze_checked: usize,
+    /// Non-fatal analyzer warnings (e.g. dead statements) across those
+    /// checks.
+    pub analyze_warnings: usize,
 }
 
 impl Stats {
@@ -80,6 +86,8 @@ impl Stats {
         self.opt_preds_pushed += other.opt_preds_pushed;
         self.lfp_peak_closure = self.lfp_peak_closure.max(other.lfp_peak_closure);
         self.join_index_reuses += other.join_index_reuses;
+        self.analyze_checked += other.analyze_checked;
+        self.analyze_warnings += other.analyze_warnings;
     }
 }
 
@@ -112,6 +120,8 @@ pub struct SharedStats {
     opt_preds_pushed: AtomicU64,
     lfp_peak_closure: AtomicU64,
     join_index_reuses: AtomicU64,
+    analyze_checked: AtomicU64,
+    analyze_warnings: AtomicU64,
 }
 
 impl SharedStats {
@@ -128,6 +138,14 @@ impl SharedStats {
     /// Count one plan-cache miss.
     pub fn plan_cache_miss(&self) {
         self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one static-analyzer check on the prepare path, with the number
+    /// of non-fatal warnings it produced.
+    pub fn analyze_check(&self, warnings: usize) {
+        self.analyze_checked.fetch_add(1, Ordering::Relaxed);
+        self.analyze_warnings
+            .fetch_add(warnings as u64, Ordering::Relaxed);
     }
 
     /// Add a finished run's counters (the lock-free analogue of
@@ -167,6 +185,10 @@ impl SharedStats {
             .fetch_max(s.lfp_peak_closure as u64, Ordering::Relaxed);
         self.join_index_reuses
             .fetch_add(s.join_index_reuses as u64, Ordering::Relaxed);
+        self.analyze_checked
+            .fetch_add(s.analyze_checked as u64, Ordering::Relaxed);
+        self.analyze_warnings
+            .fetch_add(s.analyze_warnings as u64, Ordering::Relaxed);
     }
 
     /// Record the pass-level counters of one optimized translation (the
@@ -203,6 +225,8 @@ impl SharedStats {
             opt_preds_pushed: self.opt_preds_pushed.load(Ordering::Relaxed) as usize,
             lfp_peak_closure: self.lfp_peak_closure.load(Ordering::Relaxed) as usize,
             join_index_reuses: self.join_index_reuses.load(Ordering::Relaxed) as usize,
+            analyze_checked: self.analyze_checked.load(Ordering::Relaxed) as usize,
+            analyze_warnings: self.analyze_warnings.load(Ordering::Relaxed) as usize,
         }
     }
 
@@ -227,6 +251,8 @@ impl SharedStats {
         self.opt_preds_pushed.store(0, Ordering::Relaxed);
         self.lfp_peak_closure.store(0, Ordering::Relaxed);
         self.join_index_reuses.store(0, Ordering::Relaxed);
+        self.analyze_checked.store(0, Ordering::Relaxed);
+        self.analyze_warnings.store(0, Ordering::Relaxed);
     }
 }
 
@@ -234,7 +260,7 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed peak={} idx={}",
+            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed peak={} idx={} analyzed={}({} warns)",
             self.joins,
             self.unions,
             self.lfp_invocations,
@@ -251,6 +277,8 @@ impl fmt::Display for Stats {
             self.opt_preds_pushed,
             self.lfp_peak_closure,
             self.join_index_reuses,
+            self.analyze_checked,
+            self.analyze_warnings,
         )
     }
 }
@@ -325,6 +353,23 @@ mod tests {
         merged.merge(&snap);
         merged.merge(&snap);
         assert_eq!(merged.opt_preds_pushed, 20);
+        shared.reset();
+        assert_eq!(shared.snapshot(), Stats::default());
+    }
+
+    #[test]
+    fn analyze_check_counts_checks_and_warnings() {
+        let shared = SharedStats::new();
+        shared.analyze_check(0);
+        shared.analyze_check(2);
+        let snap = shared.snapshot();
+        assert_eq!(snap.analyze_checked, 2);
+        assert_eq!(snap.analyze_warnings, 2);
+        let mut merged = Stats::default();
+        merged.merge(&snap);
+        merged.merge(&snap);
+        assert_eq!(merged.analyze_checked, 4);
+        assert!(merged.to_string().contains("analyzed="));
         shared.reset();
         assert_eq!(shared.snapshot(), Stats::default());
     }

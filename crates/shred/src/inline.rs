@@ -188,7 +188,14 @@ impl InlinedDatabase {
                 tuple[col] = super::edge::node_value(tree, n);
             }
             fill_inlined(tree, dtd, &schema, label, n, cols, &mut tuple);
-            rels.get_mut(&label).unwrap().push(tuple);
+            let rows = rels.get_mut(&label);
+            debug_assert!(
+                rows.is_some(),
+                "validated tree has a label outside the schema"
+            );
+            if let Some(rows) = rows {
+                rows.push(tuple);
+            }
         }
 
         let mut db = Database::new();

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! DTD-based shredding of XML into relations (paper §2.3).
 //!
 //! Two mappings are provided:

@@ -59,6 +59,26 @@ pub fn build_rec_plan(g: &TransGraph<'_>, a: TNode, b: TNode) -> Plan {
         }
     }
 
+    // Prune rules that can never fire: the region includes `a` itself, but
+    // unless some cycle returns to `a`, no tuple is ever tagged with `a`'s
+    // name, so its outgoing rules are dead weight in every iteration (and
+    // the static analyzer rightly rejects them as unproducible). Liveness
+    // is the fixpoint of tag producibility from the init parts.
+    let mut live: std::collections::BTreeSet<&str> = init.iter().map(|(t, _)| t.as_str()).collect();
+    loop {
+        let before = live.len();
+        for e in &edges {
+            if live.contains(e.src_tag.as_str()) {
+                live.insert(e.dst_tag.as_str());
+            }
+        }
+        if live.len() == before {
+            break;
+        }
+    }
+    let live: std::collections::BTreeSet<String> = live.into_iter().map(String::from).collect();
+    edges.retain(|e| live.contains(&e.src_tag));
+
     let fixpoint = Plan::MultiLfp(MultiLfpSpec { init, edges });
     // final: keep b-tagged rows, project the (F, T) pairs.
     fixpoint
@@ -115,6 +135,9 @@ impl<'a> SqlGenR<'a> {
 
     /// Number of edges in the `rec(a,b)` region — the per-iteration
     /// join/union count of the generated recursion (5 for Example 3.1).
+    ///
+    /// Reporting/test helper; panics on names the DTD does not declare.
+    #[allow(clippy::expect_used)]
     pub fn region_edge_count(&self, from: &str, to: &str) -> usize {
         let g = TransGraph::new(self.dtd);
         let a = match from {
@@ -131,6 +154,9 @@ impl<'a> SqlGenR<'a> {
     }
 
     /// SCC decomposition of the `rec` region (reporting / tests).
+    ///
+    /// Panics on names the DTD does not declare, like [`Self::region_edge_count`].
+    #[allow(clippy::expect_used)]
     pub fn region_sccs(&self, from: &str, to: &str) -> Vec<Vec<String>> {
         let g = TransGraph::new(self.dtd);
         let a = match from {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! **SQLGen-R** — the baseline of Krishnamurthy et al. \[39\] (paper §3.1):
 //! translating recursive path queries over recursive DTDs into SQL'99
 //! `WITH…RECURSIVE`.

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! XML document store for the `xpath2sql` reproduction.
 //!
 //! * [`Tree`] — an arena-allocated ordered labelled tree with optional text

@@ -153,9 +153,13 @@ fn deriv(m: &ContentModel, x: ElemId) -> Option<ContentModel> {
 
 fn simplify_seq(mut parts: Vec<ContentModel>) -> ContentModel {
     parts.retain(|p| !matches!(p, ContentModel::Empty | ContentModel::Text));
+    if parts.len() == 1 {
+        if let Some(only) = parts.pop() {
+            return only;
+        }
+    }
     match parts.len() {
         0 => ContentModel::Empty,
-        1 => parts.pop().unwrap(),
         _ => ContentModel::Seq(parts),
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! The XPath fragment of the paper (§2.2):
 //!
 //! ```text

@@ -225,7 +225,9 @@ impl P {
         self.skip_ws();
         let mut s = String::new();
         while matches!(self.peek(), Some(c) if is_name_char(c)) {
-            s.push(self.bump().unwrap());
+            if let Some(c) = self.bump() {
+                s.push(c);
+            }
         }
         if s.is_empty() {
             return Err(self.err("expected a name"));

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # xpath2sql
 //!
 //! A from-scratch Rust reproduction of **Fan, Yu, Li, Ding, Qin — "Query
