@@ -27,8 +27,8 @@
 
 use std::env;
 use x2s_bench::{
-    analyze_report, bench_all, bench_json, bench_table, exp1, exp2, exp3, exp4, exp5,
-    measure_prepared, opt_ablation, table5, tables123, throughput, Table,
+    analyze_report, bench_all, bench_json, bench_table, exp1, exp2, exp3, exp4, exp5, load_harness,
+    measure_prepared, opt_ablation, quick_load, table5, tables123, throughput, Table,
 };
 use x2s_core::Engine;
 use x2s_dtd::{samples, Dtd};
@@ -135,6 +135,10 @@ fn main() {
             &format!("Throughput (concurrent serving, --threads {threads})"),
             throughput(scale, threads),
         );
+        emit(
+            "Serving load harness (closed/open loop, single-flight coalescing)",
+            load_harness(scale, threads),
+        );
     }
     if wants("tables123") {
         emit("Tables 1–3 (running example)", tables123());
@@ -239,7 +243,10 @@ fn sql_section(dtd_name: &str, query: &str) {
 fn bench_section(scale: f64, reps: usize, threads: usize, json: bool) {
     let records = bench_all(scale, reps, threads);
     if json {
-        let doc = bench_json(&records, scale, reps, threads);
+        // A quick closed-loop load run rides along so the JSON records
+        // serving latency quantiles + coalesce/rejection rates per PR.
+        let serving = quick_load(scale, threads.max(4));
+        let doc = bench_json(&records, scale, reps, threads, Some(&serving));
         let path = "BENCH_5.json";
         std::fs::write(path, &doc).unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
         println!(

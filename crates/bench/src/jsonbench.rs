@@ -12,6 +12,7 @@
 //! regression in *work done* is visible even when a faster machine hides it.
 
 use crate::harness::dataset;
+use crate::loadgen::{LoadMode, LoadReport};
 use std::sync::Arc;
 use std::time::Instant;
 use x2s_core::{Engine, Translator};
@@ -206,15 +207,65 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// Render a closed-/open-loop serving [`LoadReport`] as the `"serving"`
+/// object of the bench document.
+fn serving_json(r: &LoadReport, indent: &str) -> String {
+    let (mode, target_qps) = match r.mode {
+        LoadMode::Closed => ("closed", 0.0),
+        LoadMode::Open { target_qps } => ("open", target_qps),
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    let mut field = |name: &str, value: String, last: bool| {
+        out.push_str(&format!(
+            "{indent}  \"{name}\": {value}{}\n",
+            if last { "" } else { "," }
+        ));
+    };
+    field("mode", json_str(mode), false);
+    field("target_qps", format!("{target_qps:.1}"), false);
+    field("workers", r.workers.to_string(), false);
+    field("distinct_queries", r.distinct_queries.to_string(), false);
+    field("total_requests", r.total_requests.to_string(), false);
+    field("errors", r.errors.to_string(), false);
+    field(
+        "elapsed_ms",
+        format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
+        false,
+    );
+    field("qps", format!("{:.1}", r.qps), false);
+    field("p50_ms", format!("{:.3}", r.p50_ms), false);
+    field("p95_ms", format!("{:.3}", r.p95_ms), false);
+    field("p99_ms", format!("{:.3}", r.p99_ms), false);
+    field("max_ms", format!("{:.3}", r.max_ms), false);
+    field("rejected", r.rejected.to_string(), false);
+    field("coalesced", r.coalesced.to_string(), false);
+    field("flights", r.flights.to_string(), false);
+    field("coalesce_rate", format!("{:.4}", r.coalesce_rate), true);
+    out.push_str(&format!("{indent}}}"));
+    out
+}
+
 /// Render the records as the `BENCH_5.json` document (pretty-printed,
-/// hand-rolled — the image has no serde).
-pub fn bench_json(records: &[BenchRecord], scale: f64, reps: usize, threads: usize) -> String {
+/// hand-rolled — the image has no serde). `serving` adds the closed-loop
+/// load-harness section (p50/p95/p99, coalesce/rejection rates) when a
+/// load run accompanied the workloads.
+pub fn bench_json(
+    records: &[BenchRecord],
+    scale: f64,
+    reps: usize,
+    threads: usize,
+    serving: Option<&LoadReport>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"pr\": 5,\n");
     out.push_str(&format!("  \"scale\": {scale},\n"));
     out.push_str(&format!("  \"reps\": {reps},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
+    if let Some(report) = serving {
+        out.push_str(&format!("  \"serving\": {},\n", serving_json(report, "  ")));
+    }
     out.push_str("  \"workloads\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str("    {\n");
@@ -293,7 +344,7 @@ mod tests {
     fn bench_json_is_parseable_shape() {
         let recs = bench_all(0.005, 1, 1);
         assert_eq!(recs.len(), bench_cases().len());
-        let json = bench_json(&recs, 0.005, 1, 1);
+        let json = bench_json(&recs, 0.005, 1, 1, None);
         // cheap structural checks without a JSON parser
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
@@ -308,5 +359,38 @@ mod tests {
         }
         let table = bench_table(&recs);
         assert_eq!(table.rows.len(), recs.len());
+    }
+
+    #[test]
+    fn serving_section_round_trips_the_report_fields() {
+        use std::time::Duration;
+        let report = LoadReport {
+            mode: LoadMode::Closed,
+            workers: 8,
+            distinct_queries: 2,
+            total_requests: 100,
+            errors: 0,
+            elapsed: Duration::from_millis(500),
+            qps: 200.0,
+            p50_ms: 1.5,
+            p95_ms: 3.0,
+            p99_ms: 4.0,
+            max_ms: 5.0,
+            rejected: 0,
+            coalesced: 60,
+            flights: 40,
+            coalesce_rate: 0.6,
+        };
+        let json = bench_json(&[], 0.1, 1, 1, Some(&report));
+        assert!(json.contains("\"serving\": {"));
+        assert!(json.contains("\"mode\": \"closed\""));
+        assert!(json.contains("\"p99_ms\": 4.000"));
+        assert!(json.contains("\"coalesce_rate\": 0.6000"));
+        assert!(json.contains("\"rejected\": 0"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
     }
 }

@@ -12,6 +12,9 @@
 //! * [`workloads`] — one function per experiment (Exp-1 … Exp-5 / Table 5,
 //!   plus the concurrent-serving throughput sweep and the logical-optimizer
 //!   ablation) returning printable series tables;
+//! * [`loadgen`] — closed-/open-loop load generation against the serving
+//!   layer's query service with an HDR-style latency histogram
+//!   (p50/p95/p99) and single-flight coalescing accounting;
 //! * `src/bin/repro.rs` — the command-line runner that prints the
 //!   regenerated rows for every artifact;
 //! * `benches/` — Criterion micro-benchmarks of representative points of
@@ -23,6 +26,7 @@
 
 pub mod harness;
 pub mod jsonbench;
+pub mod loadgen;
 pub mod workloads;
 
 pub use harness::{
@@ -30,7 +34,8 @@ pub use harness::{
     measure_throughput, translate_with, Approach, Dataset, Measured, Throughput,
 };
 pub use jsonbench::{bench_all, bench_json, bench_table, BenchRecord};
+pub use loadgen::{quick_load, run_load, Histogram, LoadConfig, LoadMode, LoadReport};
 pub use workloads::{
-    analyze_report, exp1, exp2, exp3, exp4, exp5, opt_ablation, table5, tables123, throughput,
-    Table,
+    analyze_report, exp1, exp2, exp3, exp4, exp5, load_harness, opt_ablation, table5, tables123,
+    throughput, Table,
 };

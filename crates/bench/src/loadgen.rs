@@ -1,0 +1,429 @@
+//! Closed- and open-loop load generation against the serving layer.
+//!
+//! Drives [`x2s_serve::QueryService`] in-process (no sockets — this
+//! measures the serving stack's coalescing and the executor, not the
+//! kernel's TCP path) with M workers over K distinct queries. With K ≪ M
+//! the plan-cache delta shows flights ≈ K per wave while `coalesced`
+//! absorbs the rest — the single-flight story, quantified.
+//!
+//! Latencies land in an HDR-style log-bucketed [`Histogram`] (32 sub-buckets
+//! per power of two, ≲3 % relative error) so p50/p95/p99 come from one pass
+//! with no per-sample storage.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use x2s_core::Engine;
+use x2s_serve::QueryService;
+
+/// Number of sub-buckets per power of two (fixed precision).
+const SUBS: usize = 32;
+
+/// An HDR-style latency histogram over `u64` nanoseconds.
+///
+/// Values below 32 get exact buckets; above that, each power of two splits
+/// into 32 linear sub-buckets, giving a relative error bound of 1/32 (~3 %)
+/// at any magnitude.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // 64 powers of two × 32 sub-buckets bounds any u64 value.
+        Histogram {
+            buckets: vec![0; 64 * SUBS],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    fn index(v: u64) -> usize {
+        if v < SUBS as u64 {
+            v as usize
+        } else {
+            let exp = 63 - v.leading_zeros() as usize; // floor(log2 v), ≥ 5
+            let sub = ((v >> (exp - 5)) & 31) as usize;
+            (exp - 4) * SUBS + sub
+        }
+    }
+
+    /// Representative (lower-bound) value of bucket `i`.
+    fn value(i: usize) -> u64 {
+        if i < SUBS {
+            i as u64
+        } else {
+            let exp = i / SUBS + 4;
+            let sub = (i % SUBS) as u64;
+            (SUBS as u64 + sub) << (exp - 5)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::index(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (0 for an empty histogram).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            // the top-ranked sample is tracked exactly
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::value(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// How the generator issues load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Closed loop: each worker issues its next request the moment the
+    /// previous one completes (measures capacity).
+    Closed,
+    /// Open loop: requests arrive on a fixed schedule at `target_qps`
+    /// aggregate, regardless of completions; latency is measured from the
+    /// *scheduled* start, so queueing delay counts (no coordinated
+    /// omission).
+    Open {
+        /// Aggregate arrival rate across all workers, queries/second.
+        target_qps: f64,
+    },
+}
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent workers (M).
+    pub workers: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Closed or open loop.
+    pub mode: LoadMode,
+    /// Optional flight hold — widens the coalescing window (testing knob,
+    /// see [`QueryService::with_hold`]).
+    pub flight_hold: Option<Duration>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            workers: 4,
+            duration: Duration::from_millis(500),
+            mode: LoadMode::Closed,
+            flight_hold: None,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The mode the run used.
+    pub mode: LoadMode,
+    /// Workers (M).
+    pub workers: usize,
+    /// Distinct queries in the mix (K).
+    pub distinct_queries: usize,
+    /// Requests completed.
+    pub total_requests: u64,
+    /// Requests that returned an engine error.
+    pub errors: u64,
+    /// Wall-clock elapsed.
+    pub elapsed: Duration,
+    /// Completed requests per second.
+    pub qps: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst latency, milliseconds.
+    pub max_ms: f64,
+    /// Requests rejected at admission over the run (always 0 for the
+    /// in-process service — there is no queue to overflow — but populated
+    /// from the same stats delta so server-driven runs share the schema).
+    pub rejected: u64,
+    /// Requests that joined another request's flight.
+    pub coalesced: u64,
+    /// Executor flights actually run (plan-cache hits + misses delta:
+    /// only flight leaders prepare).
+    pub flights: u64,
+    /// `coalesced / total_requests` (0 when idle).
+    pub coalesce_rate: f64,
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Run `cfg` against `engine` (which must have a document loaded) over the
+/// query mix `queries`. Every worker cycles through the mix round-robin
+/// from a different offset, so with K ≪ M each query is always in flight
+/// on several workers at once.
+pub fn run_load(engine: &Engine<'_>, queries: &[&str], cfg: &LoadConfig) -> LoadReport {
+    assert!(!queries.is_empty(), "need at least one query");
+    let workers = cfg.workers.max(1);
+    let service = match cfg.flight_hold {
+        Some(hold) => QueryService::with_hold(engine, hold),
+        None => QueryService::new(engine),
+    };
+    let before = engine.stats();
+    let histogram = Mutex::new(Histogram::new());
+    let errors = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+    thread::scope(|s| {
+        for w in 0..workers {
+            let service = &service;
+            let histogram = &histogram;
+            let errors = &errors;
+            let completed = &completed;
+            s.spawn(move || {
+                let mut local = Histogram::new();
+                let mut i = 0usize;
+                // Open loop: this worker's share of the arrival schedule.
+                let interval = match cfg.mode {
+                    LoadMode::Open { target_qps } if target_qps > 0.0 => {
+                        Some(Duration::from_secs_f64(workers as f64 / target_qps))
+                    }
+                    _ => None,
+                };
+                loop {
+                    let scheduled = match interval {
+                        Some(step) => {
+                            let at =
+                                started + step.mul_f64((i * workers + w) as f64 / workers as f64);
+                            if at >= deadline {
+                                break;
+                            }
+                            if let Some(wait) = at.checked_duration_since(Instant::now()) {
+                                thread::sleep(wait);
+                            }
+                            at
+                        }
+                        None => {
+                            if Instant::now() >= deadline {
+                                break;
+                            }
+                            Instant::now()
+                        }
+                    };
+                    let query = queries[(w + i) % queries.len()];
+                    match service.query(query) {
+                        Ok(_) => {}
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Latency from the scheduled start: in open-loop mode a
+                    // stalled server shows up as queueing delay instead of
+                    // being silently omitted.
+                    local.record(scheduled.elapsed().as_nanos() as u64);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+                histogram
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .merge(&local);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let after = engine.stats();
+    let hist = histogram
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let total = completed.load(Ordering::Relaxed) as u64;
+    let coalesced = (after.requests_coalesced - before.requests_coalesced) as u64;
+    let flights = ((after.plan_cache_hits + after.plan_cache_misses)
+        - (before.plan_cache_hits + before.plan_cache_misses)) as u64;
+    LoadReport {
+        mode: cfg.mode,
+        workers,
+        distinct_queries: queries.len(),
+        total_requests: total,
+        errors: errors.load(Ordering::Relaxed) as u64,
+        elapsed,
+        qps: if elapsed.as_secs_f64() > 0.0 {
+            total as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        p50_ms: ns_to_ms(hist.quantile(0.50)),
+        p95_ms: ns_to_ms(hist.quantile(0.95)),
+        p99_ms: ns_to_ms(hist.quantile(0.99)),
+        max_ms: ns_to_ms(hist.max()),
+        rejected: (after.requests_rejected - before.requests_rejected) as u64,
+        coalesced,
+        flights,
+        coalesce_rate: if total > 0 {
+            coalesced as f64 / total as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// One-stop closed-loop run for `repro bench --json`: a Cross dataset at
+/// `scale`, `workers` workers over a 2-query mix (K ≪ M) with a small
+/// flight hold so the coalescing columns are meaningfully non-zero even on
+/// a fast machine.
+pub fn quick_load(scale: f64, workers: usize) -> LoadReport {
+    use x2s_dtd::samples;
+    let d = samples::cross();
+    let target = ((40_000f64 * scale) as usize).max(500);
+    let ds = crate::harness::dataset(&d, 12, 4, Some(target), 23);
+    let mut engine = Engine::builder(&d)
+        .exec_options(x2s_rel::ExecOptions::default())
+        .build();
+    engine.load_shared(std::sync::Arc::new(ds.db));
+    let cfg = LoadConfig {
+        workers: workers.max(2),
+        duration: Duration::from_millis(300),
+        mode: LoadMode::Closed,
+        flight_hold: Some(Duration::from_millis(5)),
+    };
+    run_load(&engine, &["a//d", "a/b//c/d"], &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use x2s_dtd::samples;
+    use x2s_rel::ExecOptions;
+
+    #[test]
+    fn histogram_quantiles_are_near_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // log-bucketed: within ~3% relative error
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.04, "{p50}");
+        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.04, "{p99}");
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_is_additive() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.quantile(0.25), 10);
+    }
+
+    #[test]
+    fn tiny_exact_values_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.25), 0);
+        assert_eq!(h.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn closed_loop_accounts_for_every_request() {
+        let dtd = samples::cross();
+        let ds = crate::harness::dataset(&dtd, 8, 3, Some(2_000), 23);
+        let mut engine = x2s_core::Engine::builder(&dtd)
+            .exec_options(ExecOptions::default())
+            .build();
+        engine.load_shared(Arc::new(ds.db));
+        let cfg = LoadConfig {
+            workers: 4,
+            duration: Duration::from_millis(200),
+            mode: LoadMode::Closed,
+            flight_hold: None,
+        };
+        let report = run_load(&engine, &["a//d", "a/b//c/d"], &cfg);
+        assert!(report.total_requests > 0);
+        assert_eq!(report.errors, 0);
+        assert_eq!(
+            report.coalesced + report.flights,
+            report.total_requests,
+            "every request either led a flight or joined one"
+        );
+        assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.p99_ms);
+    }
+
+    #[test]
+    fn open_loop_respects_target_rate_roughly() {
+        let dtd = samples::cross();
+        let ds = crate::harness::dataset(&dtd, 8, 3, Some(1_000), 23);
+        let mut engine = x2s_core::Engine::builder(&dtd)
+            .exec_options(ExecOptions::default())
+            .build();
+        engine.load_shared(Arc::new(ds.db));
+        let cfg = LoadConfig {
+            workers: 2,
+            duration: Duration::from_millis(400),
+            mode: LoadMode::Open { target_qps: 50.0 },
+            flight_hold: None,
+        };
+        let report = run_load(&engine, &["a//d"], &cfg);
+        // ~20 arrivals scheduled in 400ms at 50/s; allow wide slop for CI
+        assert!(
+            report.total_requests >= 5 && report.total_requests <= 40,
+            "got {}",
+            report.total_requests
+        );
+    }
+}

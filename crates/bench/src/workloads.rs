@@ -434,6 +434,88 @@ pub fn throughput(scale: f64, threads: usize) -> Vec<Table> {
     out
 }
 
+/// Closed-loop serving harness: M workers over K distinct queries with
+/// K ≪ M, through the serving layer's single-flight query service. The
+/// plan-cache delta counts executor *flights*; with a small flight hold
+/// each wave of an identical query runs once and everyone else joins, so
+/// the coalesce rate climbs as K shrinks.
+pub fn load_harness(scale: f64, workers: usize) -> Vec<Table> {
+    use crate::loadgen::{run_load, LoadConfig, LoadMode};
+    use std::time::Duration;
+
+    let d = samples::cross();
+    let workers = workers.max(2);
+    let ds = dataset(&d, 12, 4, Some(scaled(40_000, scale)), 23);
+    let elements = ds.tree.len();
+    let db = Arc::new(ds.db);
+    let all_queries = ["a//d", "a/b//c/d", "a[//c]//d", "a[not //c]", "a//a"];
+
+    let mut rows = Vec::new();
+    let mut run = |mode: LoadMode, k: usize, hold: Option<Duration>| {
+        let mut engine = x2s_core::Engine::builder(&d)
+            .exec_options(ExecOptions::default())
+            .build();
+        engine.load_shared(Arc::clone(&db));
+        let cfg = LoadConfig {
+            workers,
+            duration: Duration::from_millis(300),
+            mode,
+            flight_hold: hold,
+        };
+        let r = run_load(&engine, &all_queries[..k], &cfg);
+        let mode_label = match r.mode {
+            LoadMode::Closed => "closed".to_string(),
+            LoadMode::Open { target_qps } => format!("open @{target_qps:.0}/s"),
+        };
+        rows.push(vec![
+            mode_label,
+            format!("{workers}"),
+            format!("{k}"),
+            r.total_requests.to_string(),
+            format!("{:.0}", r.qps),
+            ms(r.p50_ms),
+            ms(r.p95_ms),
+            ms(r.p99_ms),
+            r.flights.to_string(),
+            r.coalesced.to_string(),
+            format!("{:.0}%", r.coalesce_rate * 100.0),
+        ]);
+    };
+    // K ≪ M with a small hold: flights per wave ≈ K, the rest coalesce.
+    let hold = Some(Duration::from_millis(5));
+    run(LoadMode::Closed, 1, hold);
+    run(LoadMode::Closed, 2, hold);
+    // Full mix, no hold: natural (racy) coalescing only.
+    run(LoadMode::Closed, all_queries.len(), None);
+    // Open loop at a modest arrival rate: latency includes queueing delay.
+    run(LoadMode::Open { target_qps: 200.0 }, 2, None);
+
+    vec![Table {
+        title: format!(
+            "Serving load harness — {workers} workers on Cross ({elements} elements), \
+             single-flight coalescing"
+        ),
+        headers: vec![
+            "mode".into(),
+            "M".into(),
+            "K".into(),
+            "requests".into(),
+            "QPS".into(),
+            "p50 (ms)".into(),
+            "p95 (ms)".into(),
+            "p99 (ms)".into(),
+            "flights".into(),
+            "coalesced".into(),
+            "coalesce%".into(),
+        ],
+        rows,
+        note: "M workers cycle through K distinct queries; flights = plan-cache \
+               hits+misses delta (only single-flight leaders prepare), so \
+               flights + coalesced = requests; K ≪ M drives the coalesce rate up"
+            .into(),
+    }]
+}
+
 /// Table 5: LFP / ALL operator counts (min/max/avg over all reachable node
 /// pairs) of the SQL programs produced via CycleE vs CycleEX.
 pub fn table5() -> Vec<Table> {

@@ -518,12 +518,19 @@ impl<'d> Engine<'d> {
     /// Prepare with explicit per-query options. Distinct options occupy
     /// distinct cache entries: a CycleE plan never masquerades as a CycleEX
     /// plan of the same query.
+    ///
+    /// The cache key is the *canonical* query text ([`Path::canonical`]):
+    /// trivially equivalent spellings — `a/descendant-or-self::*/b` vs
+    /// `a//b`, redundant `self::*`/`.` steps, nested descendants — share
+    /// one cache entry, so a serving layer coalescing on the same key
+    /// dedupes them into one flight too.
     pub fn prepare_with(
         &self,
         path: &Path,
         strategy: RecStrategy,
         sql_options: SqlOptions,
     ) -> Result<PreparedQuery<'_, 'd>, EngineError> {
+        let path = &path.canonical();
         let normalized = path.to_string();
         let key = PlanKey {
             query: normalized.clone(),
@@ -582,8 +589,22 @@ impl<'d> Engine<'d> {
     /// counters plus the merged execution counters of every query run. The
     /// counters are atomics — the snapshot is lock-free and can be taken
     /// while other threads serve queries.
+    ///
+    /// This is the *one* read path for observability: endpoints reporting
+    /// engine state should take a single snapshot and render it, rather
+    /// than loading individual atomic fields at different instants (a
+    /// snapshot is internally consistent per counter, and all counters are
+    /// read in one pass).
     pub fn stats(&self) -> Stats {
         self.stats.snapshot()
+    }
+
+    /// The engine's live statistics accumulator. Serving layers stacked on
+    /// top of the engine (admission queues, single-flight coalescing,
+    /// streaming encoders) record their counters here so one
+    /// [`Engine::stats`] snapshot covers the whole stack.
+    pub fn shared_stats(&self) -> &SharedStats {
+        &self.stats
     }
 
     /// Zero the accumulated statistics (the plan cache itself is kept).
@@ -720,6 +741,60 @@ mod tests {
         assert_eq!(a.xpath(), b.xpath());
         let stats = engine.stats();
         assert_eq!((stats.plan_cache_misses, stats.plan_cache_hits), (1, 1));
+    }
+
+    #[test]
+    fn canonicalization_unifies_equivalent_queries() {
+        let d = samples::dept_simplified();
+        let mut engine = Engine::new(&d);
+        engine
+            .load_xml("<dept><course><project/></course></dept>")
+            .unwrap();
+        // 6 spellings, 2 canonical queries: `dept//project` and
+        // `dept/course` — misses == distinct canonical queries, the rest
+        // are hits on the shared entries.
+        let spellings = [
+            "dept//project",
+            "dept/descendant-or-self::*/project",
+            "dept/./descendant-or-self::*/descendant-or-self::*/project",
+            "./dept//(//project)",
+            "dept/course",
+            "dept/child::course/self::*",
+        ];
+        let mut answers = Vec::new();
+        for q in spellings {
+            answers.push(engine.query(q).unwrap());
+        }
+        let stats = engine.stats();
+        assert_eq!(
+            (stats.plan_cache_misses, stats.plan_cache_hits),
+            (2, 4),
+            "hit count == spellings - distinct canonical queries"
+        );
+        assert_eq!(engine.cached_plans(), 2);
+        // equivalent spellings really returned the same answers
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[0], answers[2]);
+        assert_eq!(answers[0], answers[3]);
+        assert_eq!(answers[4], answers[5]);
+        // the prepared handle reports the canonical text
+        let p = engine
+            .prepare("dept/descendant-or-self::*/project")
+            .unwrap();
+        assert_eq!(p.xpath(), "dept//project");
+    }
+
+    #[test]
+    fn shared_stats_accessor_feeds_the_same_snapshot() {
+        let d = samples::dept_simplified();
+        let engine = Engine::new(&d);
+        engine.shared_stats().request_admitted();
+        engine.shared_stats().request_coalesced();
+        engine.shared_stats().add_stream_chunks(3);
+        let snap = engine.stats();
+        assert_eq!(snap.requests_admitted, 1);
+        assert_eq!(snap.requests_coalesced, 1);
+        assert_eq!(snap.stream_chunks, 3);
     }
 
     #[test]

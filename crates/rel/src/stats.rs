@@ -62,6 +62,18 @@ pub struct Stats {
     /// Non-fatal analyzer warnings (e.g. dead statements) across those
     /// checks.
     pub analyze_warnings: usize,
+    /// Serving layer: requests admitted into the bounded request queue.
+    pub requests_admitted: usize,
+    /// Serving layer: requests rejected at admission (queue full or
+    /// shutting down — the 503 + `Retry-After` path).
+    pub requests_rejected: usize,
+    /// Serving layer: requests that joined an identical in-flight query's
+    /// single-flight execution instead of running their own (the executor
+    /// ran `admitted - coalesced` flights, not `admitted`).
+    pub requests_coalesced: usize,
+    /// Serving layer: HTTP body chunks written by streaming result
+    /// encoders (answer sets leave in bounded chunks, never one buffer).
+    pub stream_chunks: usize,
 }
 
 impl Stats {
@@ -88,6 +100,10 @@ impl Stats {
         self.join_index_reuses += other.join_index_reuses;
         self.analyze_checked += other.analyze_checked;
         self.analyze_warnings += other.analyze_warnings;
+        self.requests_admitted += other.requests_admitted;
+        self.requests_rejected += other.requests_rejected;
+        self.requests_coalesced += other.requests_coalesced;
+        self.stream_chunks += other.stream_chunks;
     }
 }
 
@@ -122,6 +138,10 @@ pub struct SharedStats {
     join_index_reuses: AtomicU64,
     analyze_checked: AtomicU64,
     analyze_warnings: AtomicU64,
+    requests_admitted: AtomicU64,
+    requests_rejected: AtomicU64,
+    requests_coalesced: AtomicU64,
+    stream_chunks: AtomicU64,
 }
 
 impl SharedStats {
@@ -146,6 +166,27 @@ impl SharedStats {
         self.analyze_checked.fetch_add(1, Ordering::Relaxed);
         self.analyze_warnings
             .fetch_add(warnings as u64, Ordering::Relaxed);
+    }
+
+    /// Count one request admitted into a serving layer's bounded queue.
+    pub fn request_admitted(&self) {
+        self.requests_admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request rejected at admission (queue full / shutdown).
+    pub fn request_rejected(&self) {
+        self.requests_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request that joined an identical in-flight query instead
+    /// of executing its own flight (single-flight coalescing).
+    pub fn request_coalesced(&self) {
+        self.requests_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` streamed result chunks written by a response encoder.
+    pub fn add_stream_chunks(&self, n: usize) {
+        self.stream_chunks.fetch_add(n as u64, Ordering::Relaxed);
     }
 
     /// Add a finished run's counters (the lock-free analogue of
@@ -189,6 +230,14 @@ impl SharedStats {
             .fetch_add(s.analyze_checked as u64, Ordering::Relaxed);
         self.analyze_warnings
             .fetch_add(s.analyze_warnings as u64, Ordering::Relaxed);
+        self.requests_admitted
+            .fetch_add(s.requests_admitted as u64, Ordering::Relaxed);
+        self.requests_rejected
+            .fetch_add(s.requests_rejected as u64, Ordering::Relaxed);
+        self.requests_coalesced
+            .fetch_add(s.requests_coalesced as u64, Ordering::Relaxed);
+        self.stream_chunks
+            .fetch_add(s.stream_chunks as u64, Ordering::Relaxed);
     }
 
     /// Record the pass-level counters of one optimized translation (the
@@ -227,6 +276,10 @@ impl SharedStats {
             join_index_reuses: self.join_index_reuses.load(Ordering::Relaxed) as usize,
             analyze_checked: self.analyze_checked.load(Ordering::Relaxed) as usize,
             analyze_warnings: self.analyze_warnings.load(Ordering::Relaxed) as usize,
+            requests_admitted: self.requests_admitted.load(Ordering::Relaxed) as usize,
+            requests_rejected: self.requests_rejected.load(Ordering::Relaxed) as usize,
+            requests_coalesced: self.requests_coalesced.load(Ordering::Relaxed) as usize,
+            stream_chunks: self.stream_chunks.load(Ordering::Relaxed) as usize,
         }
     }
 
@@ -253,6 +306,10 @@ impl SharedStats {
         self.join_index_reuses.store(0, Ordering::Relaxed);
         self.analyze_checked.store(0, Ordering::Relaxed);
         self.analyze_warnings.store(0, Ordering::Relaxed);
+        self.requests_admitted.store(0, Ordering::Relaxed);
+        self.requests_rejected.store(0, Ordering::Relaxed);
+        self.requests_coalesced.store(0, Ordering::Relaxed);
+        self.stream_chunks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -260,7 +317,7 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed peak={} idx={} analyzed={}({} warns)",
+            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed peak={} idx={} analyzed={}({} warns) serve={}+{}-rej/{}-coal/{}-chunks",
             self.joins,
             self.unions,
             self.lfp_invocations,
@@ -279,6 +336,10 @@ impl fmt::Display for Stats {
             self.join_index_reuses,
             self.analyze_checked,
             self.analyze_warnings,
+            self.requests_admitted,
+            self.requests_rejected,
+            self.requests_coalesced,
+            self.stream_chunks,
         )
     }
 }
@@ -370,6 +431,30 @@ mod tests {
         merged.merge(&snap);
         assert_eq!(merged.analyze_checked, 4);
         assert!(merged.to_string().contains("analyzed="));
+        shared.reset();
+        assert_eq!(shared.snapshot(), Stats::default());
+    }
+
+    #[test]
+    fn serving_counters_round_trip() {
+        let shared = SharedStats::new();
+        shared.request_admitted();
+        shared.request_admitted();
+        shared.request_admitted();
+        shared.request_rejected();
+        shared.request_coalesced();
+        shared.add_stream_chunks(5);
+        let snap = shared.snapshot();
+        assert_eq!(snap.requests_admitted, 3);
+        assert_eq!(snap.requests_rejected, 1);
+        assert_eq!(snap.requests_coalesced, 1);
+        assert_eq!(snap.stream_chunks, 5);
+        let mut merged = Stats::default();
+        merged.merge(&snap);
+        merged.merge(&snap);
+        assert_eq!(merged.requests_admitted, 6);
+        assert_eq!(merged.stream_chunks, 10);
+        assert!(merged.to_string().contains("serve="));
         shared.reset();
         assert_eq!(shared.snapshot(), Stats::default());
     }

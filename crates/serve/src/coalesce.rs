@@ -1,0 +1,188 @@
+//! Single-flight coalescing: concurrent identical requests share one
+//! execution.
+//!
+//! When many clients ask the same (canonicalized) query at once, only the
+//! first — the *leader* — actually executes it; the rest — *followers* —
+//! block on the leader's flight and receive a clone of its result. This
+//! turns an N-client thundering herd on a cold plan cache into exactly one
+//! translation + one execution, which is why the concurrency tests can pin
+//! `plan_cache_misses == 1` for N identical first-time queries.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Whether a call led its flight or joined an existing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// This caller executed the work.
+    Led,
+    /// This caller waited on another caller's execution and shares its
+    /// result.
+    Joined,
+}
+
+struct Flight<V> {
+    result: Mutex<Option<V>>,
+    done: Condvar,
+}
+
+/// A single-flight group keyed by string (here: the canonical XPath text).
+///
+/// `V` must be `Clone` so followers can each take a copy of the leader's
+/// result; in the serving layer `V` wraps the answer set in an [`Arc`], so
+/// the clone is a pointer bump, not a data copy.
+pub struct SingleFlight<V> {
+    flights: Mutex<HashMap<String, Arc<Flight<V>>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<V: Clone> SingleFlight<V> {
+    /// An empty group.
+    pub fn new() -> Self {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of flights currently in the air (for tests/metrics).
+    pub fn in_flight(&self) -> usize {
+        lock(&self.flights).len()
+    }
+
+    /// Run `exec` under single-flight semantics for `key`.
+    ///
+    /// If no flight for `key` is in the air this caller becomes the leader:
+    /// it runs `exec`, publishes the result to the flight, and removes the
+    /// flight from the map. Otherwise the caller joins the existing flight
+    /// and blocks until the leader publishes.
+    ///
+    /// `exec` must not panic: a leader that unwinds would strand its
+    /// followers (they recover via poison-tolerant locking but would wait
+    /// for a result that never arrives). The serving layer satisfies this
+    /// by executing through the engine's typed-error API.
+    pub fn run<F>(&self, key: &str, exec: F) -> (V, Outcome)
+    where
+        F: FnOnce() -> V,
+    {
+        let (flight, leader) = {
+            let mut flights = lock(&self.flights);
+            match flights.get(key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    flights.insert(key.to_string(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if leader {
+            let value = exec();
+            // Publish before removing the flight from the map: a follower
+            // holding the Arc must find the result; a caller arriving after
+            // the removal simply starts a fresh flight.
+            *lock(&flight.result) = Some(value.clone());
+            flight.done.notify_all();
+            lock(&self.flights).remove(key);
+            (value, Outcome::Led)
+        } else {
+            let mut slot = lock(&flight.result);
+            loop {
+                if let Some(value) = slot.as_ref() {
+                    return (value.clone(), Outcome::Joined);
+                }
+                slot = flight
+                    .done
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+}
+
+impl<V: Clone> Default for SingleFlight<V> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn lone_caller_leads() {
+        let sf = SingleFlight::new();
+        let (v, outcome) = sf.run("k", || 42);
+        assert_eq!(v, 42);
+        assert_eq!(outcome, Outcome::Led);
+        assert_eq!(sf.in_flight(), 0, "flight removed after completion");
+    }
+
+    #[test]
+    fn concurrent_identical_keys_share_one_execution() {
+        const N: usize = 8;
+        let sf = SingleFlight::new();
+        let executions = AtomicUsize::new(0);
+        let barrier = Barrier::new(N);
+        let outcomes: Vec<Outcome> = thread::scope(|s| {
+            let handles: Vec<_> = (0..N)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        let (v, o) = sf.run("same", || {
+                            executions.fetch_add(1, Ordering::SeqCst);
+                            // hold the flight open long enough for every
+                            // thread to join it
+                            thread::sleep(Duration::from_millis(100));
+                            7
+                        });
+                        assert_eq!(v, 7);
+                        o
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "exactly one flight");
+        let led = outcomes.iter().filter(|o| **o == Outcome::Led).count();
+        assert_eq!(led, 1);
+        assert_eq!(outcomes.len() - led, N - 1, "everyone else joined");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf = SingleFlight::new();
+        let executions = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for key in ["a", "b", "c"] {
+                s.spawn(|| {
+                    sf.run(key, || {
+                        executions.fetch_add(1, Ordering::SeqCst);
+                        key.len()
+                    });
+                });
+            }
+        });
+        assert_eq!(executions.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let sf = SingleFlight::new();
+        let (_, first) = sf.run("k", || 1);
+        let (_, second) = sf.run("k", || 2);
+        assert_eq!(first, Outcome::Led);
+        assert_eq!(second, Outcome::Led, "flight was torn down in between");
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+//! Serving layer over the XPath-to-SQL engine: a dependency-free HTTP/1.1
+//! front end with explicit admission control, single-flight query
+//! coalescing, and streaming results.
+//!
+//! The stack, bottom-up:
+//!
+//! * [`queue`] — a bounded MPMC queue: overload is an immediate `503` +
+//!   `Retry-After`, never an unbounded backlog; closing drains every
+//!   admitted item (graceful shutdown loses no accepted request);
+//! * [`coalesce`] — single-flight groups: N concurrent identical queries
+//!   run one executor flight and share its result;
+//! * [`service`] — [`service::QueryService`]: parse → canonicalize
+//!   ([`x2s_xpath::Path::canonical`]) → coalesce → execute, so spelling
+//!   variants of a query share both the plan-cache entry and the flight;
+//! * [`protocol`] / [`stream`] — a minimal HTTP/1.1 parser and chunked
+//!   transfer encoding (answer sets leave one id per line in bounded
+//!   chunks, never one materialized buffer);
+//! * [`server`] — acceptor + fixed worker pool wiring it together, with a
+//!   [`server::ShutdownHandle`] for graceful stops.
+//!
+//! Everything observable lands in the engine's shared statistics
+//! ([`x2s_core::Engine::shared_stats`]): `requests_admitted`,
+//! `requests_rejected`, `requests_coalesced`, `stream_chunks` next to the
+//! executor's own counters, so one [`x2s_core::Engine::stats`] snapshot
+//! describes the whole serving stack (the `/stats` endpoint renders exactly
+//! one such snapshot).
+
+pub mod coalesce;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod stream;
+
+pub use coalesce::{Outcome, SingleFlight};
+pub use protocol::{read_request, write_rejection, write_simple, Request};
+pub use queue::{Bounded, PushError};
+pub use server::{stats_json, ServeConfig, Server, ShutdownHandle};
+pub use service::{FlightResult, QueryOutcome, QueryService};
+pub use stream::{stream_answers, ChunkedWriter};

@@ -1,0 +1,213 @@
+//! A bounded MPMC queue with explicit rejection and graceful drain.
+//!
+//! This is the serving layer's *admission control*: the acceptor thread
+//! [`Bounded::try_push`]es work, and a full queue is an immediate, explicit
+//! rejection (the caller turns it into `503` + `Retry-After`) instead of an
+//! unbounded backlog that converts overload into latency for everyone.
+//! Worker threads block in [`Bounded::pop`]. [`Bounded::close`] starts a
+//! graceful drain: new pushes are refused, but every item already admitted
+//! is still handed to a worker before `pop` returns `None` — shutdown never
+//! drops admitted work.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a push was refused.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue is closed (shutting down); the item is handed back.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recover the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue (mutex + condvar — the
+/// capacity is small and the critical sections are O(1), so a lock-free
+/// ring buys nothing here).
+pub struct Bounded<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+}
+
+/// Lock the queue state, recovering from poisoning: the state is a plain
+/// `VecDeque` plus a flag, both valid after any panic point.
+fn lock<T>(m: &Mutex<Inner<T>>) -> MutexGuard<'_, Inner<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`close`](Bounded::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        lock(&self.inner).closed
+    }
+
+    /// Admit `item`, or reject it immediately — never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = lock(&self.inner);
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Take the next item, blocking while the queue is open and empty.
+    /// Returns `None` only once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Refuse new admissions and wake every blocked consumer; items already
+    /// queued are still delivered (graceful drain).
+    pub fn close(&self) {
+        lock(&self.inner).closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = Bounded::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_admitted_items_then_ends() {
+        let q = Bounded::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        q.close();
+        match q.try_push(99) {
+            Err(PushError::Closed(item)) => assert_eq!(item, 99),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        let mut drained = Vec::new();
+        while let Some(item) = q.pop() {
+            drained.push(item);
+        }
+        assert_eq!(drained, vec![0, 1, 2, 3, 4], "no admitted item was lost");
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(1).is_ok());
+        assert!(matches!(q.try_push(2), Err(PushError::Full(_))));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_account_for_every_item() {
+        let q = Bounded::new(4);
+        let consumed = AtomicUsize::new(0);
+        let produced = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while q.pop().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for i in 0..200 {
+                        // retry on Full: producers outpace consumers
+                        let mut item = i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => {
+                                    produced.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(PushError::Full(back)) => {
+                                    item = back;
+                                    thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => return,
+                            }
+                        }
+                    }
+                });
+            }
+            // let the producers finish, then drain
+            while produced.load(Ordering::Relaxed) < 400 {
+                thread::yield_now();
+            }
+            q.close();
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), 400);
+    }
+}

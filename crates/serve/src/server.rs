@@ -1,0 +1,386 @@
+//! The HTTP server: acceptor, bounded admission queue, worker pool,
+//! graceful shutdown.
+//!
+//! One thread accepts connections and [`crate::queue::Bounded::try_push`]es
+//! them; a fixed pool of workers pops connections and serves exactly one
+//! request each. Overload is explicit: a full queue answers `503` with
+//! `Retry-After` immediately from the acceptor thread instead of queueing
+//! unboundedly. Shutdown (the `/shutdown` endpoint or
+//! [`ShutdownHandle::trigger`]) closes the queue, drains every admitted
+//! connection to a complete response, and joins the pool before
+//! [`Server::run`] returns — no admitted request is ever dropped.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use x2s_core::{Engine, EngineError};
+use x2s_rel::Stats;
+
+use crate::protocol::{read_request, write_rejection, write_simple, Request};
+use crate::queue::{Bounded, PushError};
+use crate::service::QueryService;
+use crate::stream::stream_answers;
+
+/// Tuning knobs for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads serving requests (the executor runs on these).
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are rejected with
+    /// `503` + `Retry-After`.
+    pub queue_capacity: usize,
+    /// The `Retry-After` hint (seconds) on rejections.
+    pub retry_after_secs: u64,
+    /// Answer rows per chunk in streaming responses.
+    pub rows_per_chunk: usize,
+    /// Optional flight hold applied to every query — a testing/demo knob
+    /// that widens the coalescing window (see
+    /// [`QueryService::with_hold`]).
+    pub flight_hold: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            retry_after_secs: 1,
+            rows_per_chunk: 4096,
+            flight_hold: None,
+        }
+    }
+}
+
+/// Triggers a graceful shutdown of a running [`Server`] from any thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown: sets the stop flag and pokes the listener with a
+    /// throwaway connection so a blocking `accept` observes it promptly.
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Ignore failure: if the connect fails, the next real connection
+        // (or listener teardown) unblocks the acceptor instead.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// The serving front end: a listener plus its admission state. Construct
+/// with [`Server::bind`], then [`Server::run`] against a loaded [`Engine`].
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:7878"`, or port `0` for an ephemeral
+    /// port — query it back with [`local_addr`](Server::local_addr)).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn shutdown_handle(&self) -> io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Serve until shutdown is triggered. Blocks the calling thread; worker
+    /// threads are scoped inside, so on return every admitted connection
+    /// has received a complete response and the pool is joined.
+    pub fn run(&self, engine: &Engine<'_>) -> io::Result<()> {
+        let service = match self.config.flight_hold {
+            Some(hold) => QueryService::with_hold(engine, hold),
+            None => QueryService::new(engine),
+        };
+        let queue: Bounded<TcpStream> = Bounded::new(self.config.queue_capacity);
+        let shutdown_handle = self.shutdown_handle()?;
+
+        thread::scope(|s| {
+            for _ in 0..self.config.workers.max(1) {
+                s.spawn(|| {
+                    while let Some(conn) = queue.pop() {
+                        // Per-connection failures (client hangup, timeout)
+                        // must not take a worker down.
+                        let _ = handle_connection(conn, &service, &self.config, &shutdown_handle);
+                    }
+                });
+            }
+
+            for conn in self.listener.incoming() {
+                let conn = match conn {
+                    Ok(c) => c,
+                    // Transient accept errors: keep serving.
+                    Err(_) => continue,
+                };
+                if self.shutdown.load(Ordering::SeqCst) {
+                    // This is either the shutdown self-poke or a late
+                    // client; either way, refuse and stop accepting.
+                    send_rejection(conn, self.config.retry_after_secs);
+                    break;
+                }
+                match queue.try_push(conn) {
+                    Ok(()) => engine.shared_stats().request_admitted(),
+                    Err(PushError::Full(conn)) | Err(PushError::Closed(conn)) => {
+                        engine.shared_stats().request_rejected();
+                        send_rejection(conn, self.config.retry_after_secs);
+                    }
+                }
+            }
+
+            // Drain: workers finish everything already admitted, then exit.
+            queue.close();
+        });
+
+        // Connections still in the kernel backlog were never admitted;
+        // reject them explicitly so their clients see a 503 instead of
+        // hanging until a timeout.
+        if self.listener.set_nonblocking(true).is_ok() {
+            while let Ok((conn, _)) = self.listener.accept() {
+                engine.shared_stats().request_rejected();
+                send_rejection(conn, self.config.retry_after_secs);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Write a `503` rejection and close the connection without racing the
+/// client: half-close the write side so the client sees EOF after the
+/// response, then drain whatever request bytes it sent — dropping a socket
+/// with unread data makes the kernel send RST, which would destroy the 503
+/// before the client reads it.
+fn send_rejection(mut conn: TcpStream, retry_after_secs: u64) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = write_rejection(&mut conn, retry_after_secs);
+    let _ = conn.shutdown(Shutdown::Write);
+    let mut sink = [0u8; 512];
+    loop {
+        match conn.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Render a [`Stats`] snapshot as JSON by hand (std-only crate).
+pub fn stats_json(stats: &Stats) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"requests_admitted\": {},\n",
+            "  \"requests_rejected\": {},\n",
+            "  \"requests_coalesced\": {},\n",
+            "  \"stream_chunks\": {},\n",
+            "  \"plan_cache_hits\": {},\n",
+            "  \"plan_cache_misses\": {},\n",
+            "  \"joins\": {},\n",
+            "  \"unions\": {},\n",
+            "  \"selects\": {},\n",
+            "  \"projects\": {},\n",
+            "  \"set_ops\": {},\n",
+            "  \"lfp_invocations\": {},\n",
+            "  \"lfp_iterations\": {},\n",
+            "  \"multilfp_invocations\": {},\n",
+            "  \"multilfp_iterations\": {},\n",
+            "  \"tuples_emitted\": {},\n",
+            "  \"stmts_evaluated\": {},\n",
+            "  \"stmts_skipped\": {},\n",
+            "  \"opt_stmts_eliminated\": {},\n",
+            "  \"opt_plans_hash_consed\": {},\n",
+            "  \"opt_preds_pushed\": {},\n",
+            "  \"lfp_peak_closure\": {},\n",
+            "  \"join_index_reuses\": {},\n",
+            "  \"analyze_checked\": {},\n",
+            "  \"analyze_warnings\": {}\n",
+            "}}\n"
+        ),
+        stats.requests_admitted,
+        stats.requests_rejected,
+        stats.requests_coalesced,
+        stats.stream_chunks,
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
+        stats.joins,
+        stats.unions,
+        stats.selects,
+        stats.projects,
+        stats.set_ops,
+        stats.lfp_invocations,
+        stats.lfp_iterations,
+        stats.multilfp_invocations,
+        stats.multilfp_iterations,
+        stats.tuples_emitted,
+        stats.stmts_evaluated,
+        stats.stmts_skipped,
+        stats.opt_stmts_eliminated,
+        stats.opt_plans_hash_consed,
+        stats.opt_preds_pushed,
+        stats.lfp_peak_closure,
+        stats.join_index_reuses,
+        stats.analyze_checked,
+        stats.analyze_warnings,
+    )
+}
+
+fn handle_connection(
+    mut conn: TcpStream,
+    service: &QueryService<'_, '_>,
+    config: &ServeConfig,
+    shutdown: &ShutdownHandle,
+) -> io::Result<()> {
+    // Bound every socket operation so a stalled client cannot pin a worker.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
+
+    let request = {
+        let mut reader = BufReader::new(conn.try_clone()?);
+        match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return write_simple(
+                    &mut conn,
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    &[],
+                    "malformed request\n",
+                );
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => write_simple(&mut conn, 200, "OK", "text/plain", &[], "ok\n"),
+        ("GET", "/stats") => {
+            // Satellite requirement: one coherent snapshot per request, not
+            // scattered per-field loads.
+            let snapshot = service.engine().stats();
+            let body = stats_json(&snapshot);
+            write_simple(&mut conn, 200, "OK", "application/json", &[], &body)
+        }
+        ("GET", "/query") | ("POST", "/query") => serve_query(&mut conn, &request, service, config),
+        ("GET", "/shutdown") | ("POST", "/shutdown") => {
+            let response = write_simple(&mut conn, 200, "OK", "text/plain", &[], "shutting down\n");
+            shutdown.trigger();
+            response
+        }
+        _ => write_simple(
+            &mut conn,
+            404,
+            "Not Found",
+            "text/plain",
+            &[],
+            "not found\n",
+        ),
+    }
+}
+
+fn serve_query(
+    conn: &mut TcpStream,
+    request: &Request,
+    service: &QueryService<'_, '_>,
+    config: &ServeConfig,
+) -> io::Result<()> {
+    let xpath = match request.param("q") {
+        Some(q) if !q.is_empty() => q.to_string(),
+        _ if !request.body.trim().is_empty() => request.body.trim().to_string(),
+        _ => {
+            return write_simple(
+                conn,
+                400,
+                "Bad Request",
+                "text/plain",
+                &[],
+                "missing query: pass ?q=<xpath> or a POST body\n",
+            );
+        }
+    };
+    // Per-request hold override widens the coalescing window on demand
+    // (used by the CI smoke test to pin a deterministic coalesce).
+    let hold = request
+        .param("delay_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis);
+
+    let outcome = match service.query_with_hold(&xpath, hold.or(config.flight_hold)) {
+        Ok(outcome) => outcome,
+        Err(EngineError::Xpath(e)) => {
+            let body = format!("xpath error: {e}\n");
+            return write_simple(conn, 400, "Bad Request", "text/plain", &[], &body);
+        }
+        Err(e) => {
+            let body = format!("engine error: {e}\n");
+            return write_simple(conn, 500, "Internal Server Error", "text/plain", &[], &body);
+        }
+    };
+
+    let count = outcome.answers.len().to_string();
+    let coalesced = if outcome.coalesced { "true" } else { "false" };
+    write!(
+        conn,
+        concat!(
+            "HTTP/1.1 200 OK\r\n",
+            "Content-Type: text/plain\r\n",
+            "Transfer-Encoding: chunked\r\n",
+            "Connection: close\r\n",
+            "X-Answer-Count: {}\r\n",
+            "X-Coalesced: {}\r\n",
+            "\r\n"
+        ),
+        count, coalesced
+    )?;
+    let chunks = stream_answers(conn, &outcome.answers, config.rows_per_chunk)?;
+    service.engine().shared_stats().add_stream_chunks(chunks);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_json_contains_every_serving_counter() {
+        let stats = Stats {
+            requests_admitted: 5,
+            requests_rejected: 2,
+            requests_coalesced: 3,
+            stream_chunks: 7,
+            ..Stats::default()
+        };
+        let json = stats_json(&stats);
+        assert!(json.contains("\"requests_admitted\": 5"));
+        assert!(json.contains("\"requests_rejected\": 2"));
+        assert!(json.contains("\"requests_coalesced\": 3"));
+        assert!(json.contains("\"stream_chunks\": 7"));
+        assert!(json.contains("\"plan_cache_hits\": 0"));
+    }
+}

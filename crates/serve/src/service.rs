@@ -1,0 +1,165 @@
+//! The query service: canonicalize, coalesce, execute.
+//!
+//! [`QueryService`] is the seam between the HTTP front end and the
+//! [`Engine`]: it parses the request's XPath (per-request — parse errors
+//! are never coalesced), canonicalizes it so that spelling variants of the
+//! same query share both the plan-cache entry *and* the flight, and runs
+//! the execution under [`SingleFlight`] so concurrent identical queries
+//! cost one translation + one execution total.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use x2s_core::{Engine, EngineError};
+use x2s_xpath::parse_xpath;
+
+use crate::coalesce::{Outcome, SingleFlight};
+
+/// The shared result of a flight: the answer set behind an [`Arc`] (so
+/// followers clone a pointer, not the ids) or the engine's typed error.
+pub type FlightResult = Result<Arc<BTreeSet<u32>>, EngineError>;
+
+/// What a single query call produced.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The node ids answering the query, shared across coalesced callers.
+    pub answers: Arc<BTreeSet<u32>>,
+    /// `true` when this caller joined another caller's flight instead of
+    /// executing itself.
+    pub coalesced: bool,
+}
+
+/// A thread-safe query façade over one [`Engine`].
+pub struct QueryService<'e, 'd> {
+    engine: &'e Engine<'d>,
+    flights: SingleFlight<FlightResult>,
+    hold: Option<Duration>,
+}
+
+impl<'e, 'd> QueryService<'e, 'd> {
+    /// Wrap `engine`. The engine must already have a document loaded.
+    pub fn new(engine: &'e Engine<'d>) -> Self {
+        QueryService {
+            engine,
+            flights: SingleFlight::new(),
+            hold: None,
+        }
+    }
+
+    /// Like [`new`](QueryService::new), but every flight leader sleeps for
+    /// `hold` *inside* the flight before executing. This is a testing knob:
+    /// it widens the coalescing window so tests and smoke scripts can make
+    /// "N concurrent identical queries ⇒ 1 flight" deterministic instead of
+    /// racing the executor.
+    pub fn with_hold(engine: &'e Engine<'d>, hold: Duration) -> Self {
+        QueryService {
+            engine,
+            flights: SingleFlight::new(),
+            hold: Some(hold),
+        }
+    }
+
+    /// The engine this service executes against.
+    pub fn engine(&self) -> &'e Engine<'d> {
+        self.engine
+    }
+
+    /// Parse, canonicalize, and execute `xpath` under single-flight
+    /// semantics, using the service's configured hold (if any).
+    pub fn query(&self, xpath: &str) -> Result<QueryOutcome, EngineError> {
+        self.query_with_hold(xpath, self.hold)
+    }
+
+    /// [`query`](QueryService::query) with an explicit per-call hold
+    /// overriding the service default (used by the HTTP layer's `delay_ms`
+    /// parameter and by the load generator).
+    pub fn query_with_hold(
+        &self,
+        xpath: &str,
+        hold: Option<Duration>,
+    ) -> Result<QueryOutcome, EngineError> {
+        // Parse errors are this caller's own problem: report them directly
+        // rather than coalescing garbage under a shared key.
+        let path = parse_xpath(xpath)?;
+        let canon = path.canonical();
+        let key = canon.to_string();
+
+        let (result, outcome) = self.flights.run(&key, || {
+            if let Some(d) = hold {
+                std::thread::sleep(d);
+            }
+            self.engine
+                .prepare_path(&canon)
+                .and_then(|p| p.execute())
+                .map(Arc::new)
+        });
+
+        let coalesced = outcome == Outcome::Joined;
+        if coalesced {
+            self.engine.shared_stats().request_coalesced();
+        }
+        result.map(|answers| QueryOutcome { answers, coalesced })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+    use std::thread;
+    use x2s_dtd::samples;
+
+    fn engine() -> Engine<'static> {
+        let dtd = Box::leak(Box::new(samples::dept_simplified()));
+        let mut e = Engine::new(dtd);
+        e.load_xml("<dept><course><course><project/></course><project/></course></dept>")
+            .unwrap();
+        e
+    }
+
+    #[test]
+    fn spelling_variants_share_one_plan_and_one_flight_key() {
+        let e = engine();
+        let svc = QueryService::new(&e);
+        let a = svc.query("dept//project").unwrap();
+        let b = svc.query("dept/descendant-or-self::*/project").unwrap();
+        assert_eq!(a.answers, b.answers);
+        let stats = e.stats();
+        assert_eq!(stats.plan_cache_misses, 1, "one canonical plan");
+        assert_eq!(stats.plan_cache_hits, 1, "second spelling hit it");
+    }
+
+    #[test]
+    fn parse_errors_surface_without_flights() {
+        let e = engine();
+        let svc = QueryService::new(&e);
+        let err = svc.query("dept[").unwrap_err();
+        assert!(matches!(err, EngineError::Xpath(_)));
+        assert_eq!(e.stats().plan_cache_misses, 0);
+    }
+
+    #[test]
+    fn concurrent_identical_queries_coalesce_into_one_flight() {
+        const N: usize = 6;
+        let e = engine();
+        let svc = QueryService::with_hold(&e, Duration::from_millis(120));
+        let barrier = Barrier::new(N);
+        thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    barrier.wait();
+                    let out = svc.query("dept//project").unwrap();
+                    assert!(!out.answers.is_empty());
+                });
+            }
+        });
+        let stats = e.stats();
+        assert_eq!(stats.plan_cache_misses, 1, "only the leader prepared");
+        assert_eq!(
+            stats.requests_coalesced,
+            N - 1,
+            "everyone else joined the leader's flight"
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Canonicalization of equivalent query spellings.
+//!
+//! Production XPath workloads are many-users/few-distinct-queries, and the
+//! serving layer's plan cache and single-flight coalescing both key on the
+//! query text — so two *trivially equivalent* spellings of the same query
+//! should share one cache entry and one in-flight execution. Full XPath
+//! containment is expensive in general (Neven & Schwentick), but the cheap
+//! cases cover the common editor- and tool-generated variants:
+//!
+//! * `a/descendant-or-self::*/b` is the canonical expansion of `a//b`
+//!   (parsed as the chain `a / //. / b`): a `//.` step followed by another
+//!   step fuses into a single descendant step — `a//b`;
+//! * redundant `self::*` / `.` steps inside a chain disappear:
+//!   `./a/./b` ⇒ `a/b`;
+//! * descendant-or-self is idempotent, so nested descendants collapse:
+//!   `//(//b)` ⇒ `//b`, and `//.` before a descendant step is absorbed;
+//! * duplicated union arms collapse (`p | p` ⇒ `p`), and double negation
+//!   in qualifiers cancels (`not(not q)` ⇒ `q`).
+//!
+//! [`Path::canonical`] applies these rules bottom-up and returns an
+//! equivalent path; callers that key caches on query text should key on
+//! `path.canonical().to_string()` (the `Engine` does exactly this). Every
+//! rule is pinned against the native evaluator in this module's tests.
+
+use crate::ast::{Path, Qual};
+
+impl Path {
+    /// An equivalent path with trivially-equivalent spellings normalized
+    /// (see the [module docs](self) for the rule set). Idempotent:
+    /// `p.canonical().canonical() == p.canonical()`.
+    pub fn canonical(&self) -> Path {
+        canon_path(self)
+    }
+}
+
+impl Qual {
+    /// Canonicalize the paths inside a qualifier and cancel double
+    /// negation ([`Path::canonical`]).
+    pub fn canonical(&self) -> Qual {
+        canon_qual(self)
+    }
+}
+
+/// Does `p`'s leftmost step begin with a descendant-or-self axis? If so,
+/// prefixing another descendant-or-self (`//.` or an enclosing `//(…)`)
+/// is a no-op: the axis is reflexive and transitive, hence idempotent
+/// under composition.
+fn leading_descendant(p: &Path) -> bool {
+    match p {
+        Path::Descendant(_) => true,
+        Path::Seq(a, _) => leading_descendant(a),
+        Path::Qualified(base, _) => leading_descendant(base),
+        Path::Union(a, b) => leading_descendant(a) && leading_descendant(b),
+        _ => false,
+    }
+}
+
+/// Append `p` to a flattened step chain, splicing nested `Seq`s.
+fn push_steps(p: Path, steps: &mut Vec<Path>) {
+    if let Path::Seq(a, b) = p {
+        push_steps(*a, steps);
+        push_steps(*b, steps);
+    } else {
+        steps.push(p);
+    }
+}
+
+fn canon_path(p: &Path) -> Path {
+    match p {
+        Path::Empty | Path::Label(_) | Path::Wildcard | Path::EmptySet => p.clone(),
+        Path::Union(a, b) => {
+            let a = canon_path(a);
+            let b = canon_path(b);
+            if a == b {
+                a
+            } else {
+                Path::Union(Box::new(a), Box::new(b))
+            }
+        }
+        Path::Qualified(base, q) => Path::Qualified(Box::new(canon_path(base)), canon_qual(q)),
+        Path::Descendant(inner) => {
+            let inner = canon_path(inner);
+            // `//(//p)` ≡ `//p`: drop the outer axis when the inner path
+            // already starts with one.
+            if leading_descendant(&inner) {
+                inner
+            } else {
+                Path::Descendant(Box::new(inner))
+            }
+        }
+        Path::Seq(..) => {
+            let mut steps = Vec::new();
+            push_steps(p.clone(), &mut steps);
+            // Canonicalized steps may themselves be chains (a collapsed
+            // descendant can expose a Seq), so re-flatten after recursion.
+            let mut flat = Vec::new();
+            for s in &steps {
+                push_steps(canon_path(s), &mut flat);
+            }
+            let mut out: Vec<Path> = Vec::new();
+            // `pending` marks a `//.` (descendant-or-self::*) step awaiting
+            // a successor to fuse with: `p₁/ //. /p₂` ≡ `p₁//p₂`.
+            let mut pending = false;
+            for s in flat {
+                let s = if pending {
+                    pending = false;
+                    if leading_descendant(&s) {
+                        s
+                    } else {
+                        Path::Descendant(Box::new(s))
+                    }
+                } else {
+                    s
+                };
+                match s {
+                    // `p/./q` ≡ `p/q`: ε is the identity step of a chain.
+                    Path::Empty => {}
+                    Path::Descendant(inner) if *inner == Path::Empty => pending = true,
+                    other => out.push(other),
+                }
+            }
+            if pending {
+                // a trailing `//.` selects descendants-or-self; keep it
+                out.push(Path::Descendant(Box::new(Path::Empty)));
+            }
+            // rebuild left-associated, matching the parser's shape
+            let mut iter = out.into_iter();
+            let mut acc = match iter.next() {
+                Some(first) => first,
+                // the whole chain was ε steps
+                None => return Path::Empty,
+            };
+            for s in iter {
+                acc = Path::Seq(Box::new(acc), Box::new(s));
+            }
+            acc
+        }
+    }
+}
+
+fn canon_qual(q: &Qual) -> Qual {
+    match q {
+        Qual::Path(p) => Qual::Path(Box::new(canon_path(p))),
+        Qual::TextEq(c) => Qual::TextEq(c.clone()),
+        Qual::Not(inner) => match canon_qual(inner) {
+            // ¬¬q ≡ q under the fragment's two-valued semantics
+            Qual::Not(q) => *q,
+            other => Qual::Not(Box::new(other)),
+        },
+        Qual::And(a, b) => {
+            let a = canon_qual(a);
+            let b = canon_qual(b);
+            if a == b {
+                a
+            } else {
+                Qual::And(Box::new(a), Box::new(b))
+            }
+        }
+        Qual::Or(a, b) => {
+            let a = canon_qual(a);
+            let b = canon_qual(b);
+            if a == b {
+                a
+            } else {
+                Qual::Or(Box::new(a), Box::new(b))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::Path;
+    use crate::eval::eval_from_document;
+    use crate::parser::parse_xpath;
+    use x2s_xml::{Generator, GeneratorConfig};
+
+    fn canon_str(q: &str) -> String {
+        parse_xpath(q).unwrap().canonical().to_string()
+    }
+
+    #[test]
+    fn descendant_or_self_chains_fuse_to_double_slash() {
+        assert_eq!(canon_str("a/descendant-or-self::*/b"), "a//b");
+        assert_eq!(canon_str("a//b"), "a//b");
+        assert_eq!(
+            canon_str("a/descendant-or-self::*/descendant-or-self::*/b"),
+            "a//b"
+        );
+        assert_eq!(canon_str("descendant-or-self::*/b"), "//b");
+        // a trailing descendant-or-self step is meaningful and survives
+        assert_eq!(canon_str("a/descendant-or-self::*"), "a//.");
+    }
+
+    #[test]
+    fn redundant_self_steps_disappear() {
+        assert_eq!(canon_str("./a"), "a");
+        assert_eq!(canon_str("a/."), "a");
+        assert_eq!(canon_str("a/./b"), "a/b");
+        assert_eq!(canon_str("a/self::*/b"), "a/b");
+        assert_eq!(canon_str("././."), ".");
+    }
+
+    #[test]
+    fn explicit_axes_normalize_to_fragment_syntax() {
+        assert_eq!(canon_str("a/child::b"), "a/b");
+        assert_eq!(canon_str("child::*"), "*");
+        assert_eq!(canon_str("descendant::d"), "//d");
+        assert_eq!(canon_str("a/descendant::d"), "a//d");
+    }
+
+    #[test]
+    fn nested_descendants_collapse() {
+        assert_eq!(canon_str("//(//b)"), "//b");
+        assert_eq!(canon_str("a//(//b)"), "a//b");
+        assert_eq!(canon_str("//((//a)[b])"), "(//a)[b]");
+    }
+
+    #[test]
+    fn union_and_qualifier_cleanups() {
+        assert_eq!(canon_str("a | a"), "a");
+        assert_eq!(canon_str("a[not not b]"), "a[b]");
+        assert_eq!(canon_str("a[b and b]"), "a[b]");
+        assert_eq!(canon_str("a[./b]"), "a[b]");
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        for q in [
+            "a/descendant-or-self::*/b",
+            "./a/./b[not not c]//(//d)",
+            "(a | a)/descendant-or-self::*",
+            "a[b or b]/child::c",
+        ] {
+            let once = parse_xpath(q).unwrap().canonical();
+            assert_eq!(once.canonical(), once, "not idempotent for {q}");
+        }
+    }
+
+    #[test]
+    fn untouched_shapes_are_preserved() {
+        for q in [
+            "dept//project",
+            "a[not //c]",
+            "(a | b)/c",
+            "a//.",
+            "//.",
+            ".",
+            "∅",
+            "a/b//c/d",
+        ] {
+            let p = parse_xpath(q).unwrap();
+            assert_eq!(p.canonical(), p, "canonical changed {q}");
+        }
+    }
+
+    /// Every rewrite rule is equivalence-preserving: canonical and original
+    /// agree with the native evaluator on generated documents.
+    #[test]
+    fn canonical_agrees_with_native_eval() {
+        let dtd = x2s_dtd::samples::cross();
+        let pairs = [
+            "a/descendant-or-self::*/b",
+            "a/descendant-or-self::*/descendant-or-self::*/d",
+            "./a/./b",
+            "a/self::*//c",
+            "a//(//d)",
+            "a[not not //c]",
+            "(a//d | a//d)",
+            "a/child::b/descendant::d",
+            "a/descendant-or-self::*",
+            "a/descendant-or-self::*/b[c and c]",
+        ];
+        for seed in [3u64, 17, 99] {
+            let tree = Generator::new(
+                &dtd,
+                GeneratorConfig::shaped(8, 3, Some(1_500)).with_seed(seed),
+            )
+            .generate();
+            for q in pairs {
+                let p = parse_xpath(q).unwrap();
+                let c = p.canonical();
+                assert_eq!(
+                    eval_from_document(&p, &tree, &dtd),
+                    eval_from_document(&c, &tree, &dtd),
+                    "canonicalization changed the answer of {q} (→ {c}) on seed {seed}"
+                );
+            }
+        }
+    }
+
+    /// The canonical form of a parser-produced AST always re-parses to
+    /// itself, so it is usable as a cache-key string.
+    #[test]
+    fn canonical_round_trips_through_the_parser() {
+        for q in [
+            "a/descendant-or-self::*/b",
+            "a/descendant-or-self::*",
+            "descendant-or-self::*",
+            "./.",
+            "a/./b//(//c)",
+            "a[self::* and b]",
+        ] {
+            let c = parse_xpath(q).unwrap().canonical();
+            let reparsed = parse_xpath(&c.to_string()).unwrap();
+            assert_eq!(reparsed, c, "canonical({q}) = {c} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn self_star_alone_is_empty_path() {
+        assert_eq!(parse_xpath("self::*").unwrap(), Path::Empty);
+        assert_eq!(canon_str("self::*"), ".");
+    }
+}

@@ -9,13 +9,17 @@
 //!
 //! This crate provides the AST ([`Path`], [`Qual`]), a parser
 //! ([`parse_xpath`]) accepting both ASCII (`|`, `not`, `and`, `or`) and the
-//! paper's symbols (`∪`, `¬`, `∧`, `∨`), and a direct in-memory evaluator
+//! paper's symbols (`∪`, `¬`, `∧`, `∨`), a canonicalizer for trivially
+//! equivalent spellings ([`Path::canonical`], used by plan-cache keys so
+//! `a/descendant-or-self::*/b` and `a//b` share one entry), and a direct
+//! in-memory evaluator
 //! ([`eval()`](eval()), [`eval_from_document`]) over `x2s_xml::Tree` documents. The
 //! evaluator is the *correctness oracle* for the whole reproduction: every
 //! translation path (extended XPath, SQL over shredded relations, the
 //! SQLGen-R baseline) is tested against it.
 
 pub mod ast;
+pub mod canon;
 pub mod eval;
 pub mod parser;
 

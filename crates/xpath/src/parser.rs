@@ -4,6 +4,12 @@
 //!
 //! * steps: names, `*`, `.` (ε), parenthesised sub-paths;
 //! * axes: `/` (child), `//` (descendant-or-self), leading `/` and `//`;
+//!   explicit axis spellings are accepted and mapped onto the fragment:
+//!   `child::A`/`child::*`, `self::*` (ε), `descendant::A`/`descendant::*`
+//!   (`//A`), and `descendant-or-self::*` (`//.`) — so
+//!   `a/descendant-or-self::*/b` parses (and canonicalizes) to `a//b`.
+//!   Other axes are rejected; note this reserves names containing `::`
+//!   (plain QNames with a single `:` still work);
 //! * union: `|` or `∪` (also the keyword `union` is *not* accepted — it is a
 //!   valid element name);
 //! * qualifiers: `[q]` with `and`/`∧`, `or`/`∨`, `not q`/`¬q`/`!q`,
@@ -215,9 +221,50 @@ impl P {
             }
             Some(c) if is_name_start(c) => {
                 let name = self.name()?;
-                Ok(Path::Label(name))
+                match name.find("::") {
+                    Some(split) => self.axis_step(&name[..split], &name[split + 2..]),
+                    None => Ok(Path::Label(name)),
+                }
             }
             _ => Err(self.err("expected a step (name, `*`, `.`, or `(`)")),
+        }
+    }
+
+    /// Desugar an explicit-axis step `axis::test` onto the fragment. The
+    /// name scanner has already consumed `axis::` plus any name-shaped
+    /// `test`; a `*` test is still pending in the input.
+    fn axis_step(&mut self, axis: &str, test: &str) -> Result<Path, ParseError> {
+        // `test` is empty when the node test is `*` (not a name character)
+        let star = test.is_empty() && self.eat('*');
+        match axis {
+            "child" => match (star, test) {
+                (true, _) => Ok(Path::Wildcard),
+                (false, "") => Err(self.err("expected a node test after `child::`")),
+                (false, name) => Ok(Path::Label(name.to_string())),
+            },
+            "self" => {
+                if star {
+                    // every node of the model is an element: self::* is ε
+                    Ok(Path::Empty)
+                } else {
+                    Err(self.err("only `self::*` is supported"))
+                }
+            }
+            "descendant" => match (star, test) {
+                (true, _) => Ok(Path::descendant(Path::Wildcard)),
+                (false, "") => Err(self.err("expected a node test after `descendant::`")),
+                (false, name) => Ok(Path::descendant(Path::label(name))),
+            },
+            "descendant-or-self" => {
+                if star {
+                    Ok(Path::descendant(Path::Empty))
+                } else {
+                    Err(self.err("only `descendant-or-self::*` is supported"))
+                }
+            }
+            other => Err(self.err(&format!(
+                "unsupported axis `{other}::` (supported: child, self, descendant, descendant-or-self)"
+            ))),
         }
     }
 
@@ -551,6 +598,37 @@ mod tests {
             assert!(printed.starts_with('('), "composite base parenthesized");
             assert_eq!(parse_xpath(&printed).unwrap(), shape, "{printed:?}");
         }
+    }
+
+    #[test]
+    fn explicit_axes_desugar_onto_the_fragment() {
+        assert_eq!(p("child::course"), Path::label("course"));
+        assert_eq!(p("child::*"), Path::Wildcard);
+        assert_eq!(p("self::*"), Path::Empty);
+        assert_eq!(p("descendant::d"), Path::descendant(Path::label("d")));
+        assert_eq!(p("descendant::*"), Path::descendant(Path::Wildcard));
+        assert_eq!(p("descendant-or-self::*"), Path::descendant(Path::Empty));
+        assert_eq!(
+            p("a/descendant-or-self::*/b"),
+            Path::label("a")
+                .then(Path::descendant(Path::Empty))
+                .then(Path::label("b"))
+        );
+        // axes work inside qualifiers too
+        assert_eq!(
+            p("a[descendant::c]"),
+            Path::label("a").with_qual(Qual::path(Path::descendant(Path::label("c"))))
+        );
+    }
+
+    #[test]
+    fn unsupported_axes_are_rejected() {
+        assert!(parse_xpath("ancestor::a").is_err());
+        assert!(parse_xpath("self::a").is_err());
+        assert!(parse_xpath("descendant-or-self::a").is_err());
+        assert!(parse_xpath("child::").is_err());
+        // a single colon is still an ordinary QName character
+        assert_eq!(p("xs:foo"), Path::label("xs:foo"));
     }
 
     #[test]

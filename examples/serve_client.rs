@@ -1,0 +1,77 @@
+//! Talk to the serving layer over plain TCP: start a server on an
+//! ephemeral port, issue `GET /query`, print the streamed (chunked)
+//! answer, and shut the server down gracefully.
+//!
+//! ```text
+//! cargo run --example serve_client
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+
+use xpath2sql::core::Engine;
+use xpath2sql::dtd::samples;
+use xpath2sql::serve::{ServeConfig, Server};
+use xpath2sql::xml::{Generator, GeneratorConfig};
+
+fn main() {
+    let dtd = samples::dept_simplified();
+    let tree = Generator::new(
+        &dtd,
+        GeneratorConfig::shaped(8, 3, Some(2_000)).with_seed(11),
+    )
+    .generate();
+    let mut engine = Engine::new(&dtd);
+    engine.load(&tree);
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle().unwrap();
+
+    thread::scope(|s| {
+        s.spawn(|| server.run(&engine).unwrap());
+
+        // A hand-rolled HTTP client: one request, read to EOF
+        // (every response is Connection: close).
+        let exchange = |target: &str| -> String {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            write!(conn, "GET {target} HTTP/1.1\r\nHost: example\r\n\r\n").unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response
+        };
+
+        let response = exchange("/query?q=dept//project");
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        println!("-- response head --\n{head}\n");
+
+        // Decode the chunked body: `size-in-hex CRLF data CRLF`, 0 ends.
+        let mut ids = Vec::new();
+        let mut rest = body;
+        loop {
+            let (size_line, after) = rest.split_once("\r\n").unwrap();
+            let size = usize::from_str_radix(size_line.trim(), 16).unwrap();
+            if size == 0 {
+                break;
+            }
+            ids.extend(after[..size].lines().map(str::to_string));
+            rest = &after[size + 2..]; // skip data + CRLF
+        }
+        println!("-- {} answer node id(s) --", ids.len());
+        println!("{}", ids.join(" "));
+
+        let stats = exchange("/stats");
+        let admitted = stats
+            .lines()
+            .find(|l| l.contains("\"requests_admitted\""))
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        println!("\n-- one /stats snapshot covers the serving stack --");
+        println!("{admitted}");
+
+        shutdown.trigger();
+    });
+    println!("server drained and shut down");
+}

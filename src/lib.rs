@@ -44,6 +44,7 @@ pub use x2s_core as core;
 pub use x2s_dtd as dtd;
 pub use x2s_exp as exp;
 pub use x2s_rel as rel;
+pub use x2s_serve as serve;
 pub use x2s_shred as shred;
 pub use x2s_sqlgenr as sqlgenr;
 pub use x2s_xml as xml;

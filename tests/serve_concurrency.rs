@@ -1,0 +1,367 @@
+//! Concurrency contract of the serving layer (`x2s_serve`):
+//!
+//! * N threads issuing the *same* query produce exactly one executor
+//!   flight — one plan-cache miss, N−1 coalesced joins — and everyone
+//!   gets the oracle answer;
+//! * a full admission queue rejects explicitly (`503` + `Retry-After`),
+//!   it never panics or hangs;
+//! * graceful shutdown under load completes every admitted request: each
+//!   accepted connection receives a complete response (a terminated
+//!   chunked body or an explicit rejection) before `run` returns;
+//! * streaming answers leave in multiple bounded chunks when asked.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use xpath2sql::core::Engine;
+use xpath2sql::dtd::samples;
+use xpath2sql::serve::{Bounded, PushError, QueryService, ServeConfig, Server};
+use xpath2sql::xml::{Generator, GeneratorConfig};
+use xpath2sql::xpath::{eval_from_document, parse_xpath};
+
+fn loaded_engine() -> (Engine<'static>, xpath2sql::xml::Tree) {
+    let dtd = Box::leak(Box::new(samples::dept_simplified()));
+    // Starred roots can produce near-empty documents for an unlucky seed;
+    // retry a few so the serving tests exercise real answer sets.
+    let tree = (0..16)
+        .map(|s| {
+            Generator::new(
+                dtd,
+                GeneratorConfig::shaped(8, 3, Some(3_000)).with_seed(7 + s),
+            )
+            .generate()
+        })
+        .find(|t| t.len() >= 500)
+        .expect("some seed yields a non-trivial document");
+    let mut engine = Engine::new(dtd);
+    engine.load(&tree);
+    (engine, tree)
+}
+
+/// A raw one-shot HTTP exchange: send `request`, read what arrives.
+/// Read errors (reset, timeout) yield whatever partial response was read —
+/// the asserting tests decide whether that is acceptable.
+fn raw_http(addr: &str, request: &str) -> String {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    conn.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    let _ = conn.read_to_string(&mut response);
+    response
+}
+
+fn get(addr: &str, target: &str) -> String {
+    raw_http(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+/// Split a response into (status line, headers, raw body).
+fn split_response(resp: &str) -> (&str, &str, &str) {
+    let (head, body) = resp.split_once("\r\n\r\n").expect("header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status, headers, body)
+}
+
+/// Decode a chunked body into (payload, chunk count); panics unless the
+/// terminating 0-chunk is present (i.e. the response is *complete*).
+fn decode_chunked(body: &str) -> (String, usize) {
+    let mut reader = BufReader::new(body.as_bytes());
+    let mut payload = String::new();
+    let mut chunks = 0usize;
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line).unwrap();
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("chunk size");
+        if size == 0 {
+            return (payload, chunks);
+        }
+        let mut data = vec![0u8; size + 2]; // data + CRLF
+        reader.read_exact(&mut data).unwrap();
+        payload.push_str(std::str::from_utf8(&data[..size]).unwrap());
+        chunks += 1;
+    }
+}
+
+#[test]
+fn n_identical_queries_one_flight_one_cache_miss() {
+    const N: usize = 8;
+    let (engine, tree) = loaded_engine();
+    let oracle: BTreeSet<u32> =
+        eval_from_document(&parse_xpath("dept//project").unwrap(), &tree, engine.dtd())
+            .into_iter()
+            .map(|n| n.0)
+            .collect();
+
+    let service = QueryService::with_hold(&engine, Duration::from_millis(80));
+    let barrier = Barrier::new(N);
+    thread::scope(|s| {
+        for _ in 0..N {
+            s.spawn(|| {
+                barrier.wait();
+                let out = service.query("dept//project").unwrap();
+                assert_eq!(*out.answers, oracle, "coalesced answer matches oracle");
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.plan_cache_misses, 1, "exactly one flight prepared");
+    assert_eq!(stats.plan_cache_hits, 0);
+    assert_eq!(stats.requests_coalesced, N - 1);
+
+    // A second wave after the first completes is a fresh flight — but a
+    // plan-cache *hit* now.
+    let out = service.query("dept//project").unwrap();
+    assert!(!out.coalesced);
+    assert_eq!(engine.stats().plan_cache_hits, 1);
+}
+
+#[test]
+fn spelling_variants_coalesce_under_one_canonical_key() {
+    const N: usize = 6;
+    // Three spellings of the same canonical query, issued concurrently:
+    // canonicalization must unify the flight key, not just the plan key.
+    let spellings = [
+        "dept//project",
+        "dept/descendant-or-self::*/project",
+        "dept//self::*/project",
+    ];
+    let (engine, _tree) = loaded_engine();
+    let service = QueryService::with_hold(&engine, Duration::from_millis(80));
+    let barrier = Barrier::new(N);
+    thread::scope(|s| {
+        for i in 0..N {
+            let spelling = spellings[i % spellings.len()];
+            let service = &service;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                service.query(spelling).unwrap();
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(
+        stats.plan_cache_misses, 1,
+        "all spellings share one canonical plan"
+    );
+    assert_eq!(stats.requests_coalesced, N - 1, "and one flight");
+}
+
+#[test]
+fn full_queue_rejects_explicitly_never_panics() {
+    let q: Bounded<u32> = Bounded::new(2);
+    q.try_push(1).unwrap();
+    q.try_push(2).unwrap();
+    assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+    q.close();
+    assert!(matches!(q.try_push(4), Err(PushError::Closed(4))));
+    assert_eq!(q.pop(), Some(1));
+    assert_eq!(q.pop(), Some(2));
+    assert_eq!(q.pop(), None, "closed and drained");
+}
+
+#[test]
+fn overloaded_server_sends_503_with_retry_after() {
+    let (engine, _tree) = loaded_engine();
+    // One worker, queue of one, every flight pinned for 300ms: concurrent
+    // clients must overflow admission.
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        flight_hold: Some(Duration::from_millis(300)),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle().unwrap();
+
+    thread::scope(|s| {
+        let server = &server;
+        let engine = &engine;
+        s.spawn(move || server.run(engine).unwrap());
+
+        let responses: Vec<String> = thread::scope(|cs| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let addr = addr.clone();
+                    cs.spawn(move || get(&addr, "/query?q=dept//project"))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let rejected: Vec<&String> = responses
+            .iter()
+            .filter(|r| r.starts_with("HTTP/1.1 503 "))
+            .collect();
+        let served = responses
+            .iter()
+            .filter(|r| r.starts_with("HTTP/1.1 200 "))
+            .count();
+        assert!(
+            !rejected.is_empty(),
+            "8 clients vs 1 worker + 1 slot must overflow"
+        );
+        assert!(served >= 1, "admitted requests are served");
+        for r in &rejected {
+            let (_, headers, _) = split_response(r);
+            assert!(
+                headers.contains("Retry-After:"),
+                "rejection carries Retry-After: {headers}"
+            );
+        }
+        let stats = engine.stats();
+        assert!(stats.requests_rejected >= rejected.len());
+        assert!(stats.requests_admitted >= served);
+
+        shutdown.trigger();
+    });
+}
+
+#[test]
+fn shutdown_under_load_completes_every_admitted_request() {
+    const CLIENTS: usize = 12;
+    let (engine, _tree) = loaded_engine();
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        flight_hold: Some(Duration::from_millis(50)),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle().unwrap();
+
+    thread::scope(|s| {
+        let server = &server;
+        let engine = &engine;
+        let run = s.spawn(move || server.run(engine));
+
+        let responses: Vec<String> = thread::scope(|cs| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|i| {
+                    let addr = addr.clone();
+                    let shutdown = shutdown.clone();
+                    cs.spawn(move || {
+                        // trigger shutdown mid-flight, from a client thread
+                        if i == CLIENTS / 2 {
+                            thread::sleep(Duration::from_millis(20));
+                            shutdown.trigger();
+                        }
+                        // distinct queries so flights don't absorb the load
+                        let q = ["dept//project", "dept//student", "dept//course"][i % 3];
+                        get(&addr, &format!("/query?q={q}"))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        assert!(run.join().unwrap().is_ok(), "run() returns after drain");
+
+        // Every ADMITTED connection got a COMPLETE response: a 200 whose
+        // chunked body terminates. Connections refused at or after the
+        // shutdown edge see an explicit 503 (the backlog sweep), never a
+        // torn response.
+        let mut served = 0usize;
+        for r in &responses {
+            if r.starts_with("HTTP/1.1 200 ") {
+                let (_, headers, body) = split_response(r);
+                assert!(headers.contains("Transfer-Encoding: chunked"));
+                decode_chunked(body); // panics if not terminated
+                served += 1;
+            } else {
+                assert!(
+                    r.starts_with("HTTP/1.1 503 "),
+                    "complete response required, got: {:?}",
+                    r.lines().next().unwrap_or("")
+                );
+            }
+        }
+        assert!(served >= 1, "work in flight at shutdown still completed");
+        let stats = engine.stats();
+        assert!(
+            stats.requests_admitted >= served,
+            "every 200 was an admitted request"
+        );
+    });
+}
+
+#[test]
+fn streaming_splits_large_answers_into_chunks() {
+    let (engine, _tree) = loaded_engine();
+    let config = ServeConfig {
+        workers: 1,
+        rows_per_chunk: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle().unwrap();
+
+    thread::scope(|s| {
+        let server = &server;
+        let engine = &engine;
+        s.spawn(move || server.run(engine).unwrap());
+
+        let resp = get(&addr, "/query?q=dept//project");
+        shutdown.trigger();
+
+        let (status, headers, body) = split_response(&resp);
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        assert!(headers.contains("Transfer-Encoding: chunked"));
+        let count: usize = headers
+            .lines()
+            .find_map(|l| l.strip_prefix("X-Answer-Count: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let (payload, chunks) = decode_chunked(body);
+        assert_eq!(payload.lines().count(), count, "one id per line");
+        assert!(count >= 2, "document large enough to have several answers");
+        assert_eq!(chunks, count, "rows_per_chunk=1 → one chunk per answer");
+        assert!(engine.stats().stream_chunks >= chunks);
+    });
+}
+
+#[test]
+fn endpoints_health_stats_and_errors() {
+    let (engine, _tree) = loaded_engine();
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle().unwrap();
+
+    thread::scope(|s| {
+        let server = &server;
+        let engine = &engine;
+        s.spawn(move || server.run(engine).unwrap());
+
+        let health = get(&addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"));
+        assert!(health.contains("ok"));
+
+        let _ = get(&addr, "/query?q=dept//project");
+        let stats = get(&addr, "/stats");
+        assert!(stats.starts_with("HTTP/1.1 200"));
+        // one coherent snapshot with the serving counters present
+        assert!(stats.contains("\"requests_admitted\""));
+        assert!(stats.contains("\"requests_coalesced\""));
+        assert!(stats.contains("\"plan_cache_misses\": 1"));
+
+        let bad = get(&addr, "/query?q=dept%5B");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+
+        let missing = get(&addr, "/query");
+        assert!(missing.starts_with("HTTP/1.1 400"));
+
+        let nowhere = get(&addr, "/nope");
+        assert!(nowhere.starts_with("HTTP/1.1 404"));
+
+        shutdown.trigger();
+    });
+}
