@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|sql|opt|analyze|bench|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]
+//! repro [all|sql|opt|analyze|satcheck|bench|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]
 //!       [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH]
 //!       [--quick] [--json]
 //! ```
@@ -15,6 +15,10 @@
 //! The `analyze` section runs the static plan analyzer over every Table-5
 //! workload program (optimizer off and on) and prints the inferred result
 //! schemas — zero diagnostics expected.
+//! The `satcheck` section runs the DTD-aware satisfiability gate over the
+//! Table-5 queries plus a seeded random corpus: verdicts, witnesses, prune
+//! rate, per-check time, with every Empty verdict soundness-checked
+//! against the native oracle.
 //! The `sql` section translates `--query` (default `dept//project`) over
 //! `--dtd` (default `dept`) and prints the generated SQL'(LFP) script before
 //! executing it against a freshly generated document.
@@ -28,7 +32,8 @@
 use std::env;
 use x2s_bench::{
     analyze_report, bench_all, bench_json, bench_table, exp1, exp2, exp3, exp4, exp5, load_harness,
-    measure_prepared, opt_ablation, quick_load, table5, tables123, throughput, Table,
+    measure_prepared, opt_ablation, quick_load, satcheck_report, table5, tables123, throughput,
+    Table,
 };
 use x2s_core::Engine;
 use x2s_dtd::{samples, Dtd};
@@ -130,6 +135,12 @@ fn main() {
             analyze_report(),
         );
     }
+    if wants("satcheck") {
+        emit(
+            "Satisfiability gate (verdicts, witnesses, prune rate)",
+            satcheck_report(),
+        );
+    }
     if wants("throughput") {
         emit(
             &format!("Throughput (concurrent serving, --threads {threads})"),
@@ -191,13 +202,24 @@ fn sql_section(dtd_name: &str, query: &str) {
             Ok(p) => p,
             Err(e) => usage(&format!("cannot prepare query {query:?}: {e}")),
         };
-        println!(
-            "\nextended XPath (step 1, pruned):\n    {}",
-            prepared.translation().extended
-        );
-        println!("\nlogical optimizer (between steps 2 and execution):\n");
-        for line in x2s_rel::explain_opt_report(&prepared.translation().opt).lines() {
-            println!("    {line}");
+        match prepared.translation() {
+            Some(translation) => {
+                println!(
+                    "\nextended XPath (step 1, pruned):\n    {}",
+                    translation.extended
+                );
+                println!("\nlogical optimizer (between steps 2 and execution):\n");
+                for line in x2s_rel::explain_opt_report(&translation.opt).lines() {
+                    println!("    {line}");
+                }
+            }
+            None => {
+                let witness = prepared
+                    .sat_witness()
+                    .map(|w| w.to_string())
+                    .unwrap_or_default();
+                println!("\nstatically empty — never translated:\n    {witness}");
+            }
         }
         println!("\nSQL'(LFP) script (step 2, SQL'99 dialect, optimized):\n");
         for line in prepared.sql_text().lines() {
@@ -219,9 +241,20 @@ fn sql_section(dtd_name: &str, query: &str) {
             Generator::new(&dtd, GeneratorConfig::shaped(8, 3, Some(2_000))).generate()
         });
     engine.load(&tree);
-    // This prepare is a plan-cache hit: the translation above is reused.
+    // A satisfiable query re-prepares as a plan-cache hit (the translation
+    // above is reused); a statically-empty one is re-pruned by the gate.
     let prepared = engine.prepare(query).expect("already prepared once");
     let answers = prepared.execute().expect("sample programs execute");
+    if prepared.is_statically_empty() {
+        assert_eq!(engine.stats().sat_pruned, 2, "both prepares pruned");
+        assert!(answers.is_empty(), "pruned queries answer ∅");
+        println!(
+            "statically empty: answered ∅ against a generated {}-element \
+             document with no translation, plan, or executor time",
+            engine.doc_len()
+        );
+        return;
+    }
     assert_eq!(engine.stats().plan_cache_hits, 1, "second prepare hits");
     println!(
         "executed against a generated {}-element document: {} answer node(s)",
@@ -269,7 +302,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [all|sql|opt|analyze|bench|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]… \
+        "usage: repro [all|sql|opt|analyze|satcheck|bench|throughput|exp1|exp2|exp3|exp4|exp5|table5|tables123]… \
          [--scale F] [--reps N] [--threads N] [--dtd NAME] [--query XPATH] [--quick] [--json]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

@@ -241,6 +241,8 @@ fn serving_json(r: &LoadReport, indent: &str) -> String {
     field("rejected", r.rejected.to_string(), false);
     field("coalesced", r.coalesced.to_string(), false);
     field("flights", r.flights.to_string(), false);
+    field("sat_checked", r.sat_checks.to_string(), false);
+    field("sat_pruned", r.pruned.to_string(), false);
     field("coalesce_rate", format!("{:.4}", r.coalesce_rate), true);
     out.push_str(&format!("{indent}}}"));
     out
@@ -379,6 +381,8 @@ mod tests {
             rejected: 0,
             coalesced: 60,
             flights: 40,
+            sat_checks: 40,
+            pruned: 0,
             coalesce_rate: 0.6,
         };
         let json = bench_json(&[], 0.1, 1, 1, Some(&report));

@@ -36,6 +36,6 @@ pub use harness::{
 pub use jsonbench::{bench_all, bench_json, bench_table, BenchRecord};
 pub use loadgen::{quick_load, run_load, Histogram, LoadConfig, LoadMode, LoadReport};
 pub use workloads::{
-    analyze_report, exp1, exp2, exp3, exp4, exp5, load_harness, opt_ablation, table5, tables123,
-    throughput, Table,
+    analyze_report, exp1, exp2, exp3, exp4, exp5, load_harness, opt_ablation, satcheck_report,
+    table5, tables123, throughput, Table,
 };

@@ -193,6 +193,12 @@ pub struct LoadReport {
     /// Executor flights actually run (plan-cache hits + misses delta:
     /// only flight leaders prepare).
     pub flights: u64,
+    /// Satisfiability checks run over the load (gate delta: pruned
+    /// requests plus flight leaders that passed the gate).
+    pub sat_checks: u64,
+    /// Requests the satisfiability gate answered statically (∅ against the
+    /// DTD) without occupying a flight.
+    pub pruned: u64,
     /// `coalesced / total_requests` (0 when idle).
     pub coalesce_rate: f64,
 }
@@ -286,6 +292,8 @@ pub fn run_load(engine: &Engine<'_>, queries: &[&str], cfg: &LoadConfig) -> Load
     let coalesced = (after.requests_coalesced - before.requests_coalesced) as u64;
     let flights = ((after.plan_cache_hits + after.plan_cache_misses)
         - (before.plan_cache_hits + before.plan_cache_misses)) as u64;
+    let sat_checks = (after.sat_checked - before.sat_checked) as u64;
+    let pruned = (after.sat_pruned - before.sat_pruned) as u64;
     LoadReport {
         mode: cfg.mode,
         workers,
@@ -305,6 +313,8 @@ pub fn run_load(engine: &Engine<'_>, queries: &[&str], cfg: &LoadConfig) -> Load
         rejected: (after.requests_rejected - before.requests_rejected) as u64,
         coalesced,
         flights,
+        sat_checks,
+        pruned,
         coalesce_rate: if total > 0 {
             coalesced as f64 / total as f64
         } else {
@@ -393,13 +403,16 @@ mod tests {
             mode: LoadMode::Closed,
             flight_hold: None,
         };
-        let report = run_load(&engine, &["a//d", "a/b//c/d"], &cfg);
+        // `a/d` is statically empty on the cross DTD (no a→d edge): those
+        // requests are answered by the admission gate, not by flights.
+        let report = run_load(&engine, &["a//d", "a/b//c/d", "a/d"], &cfg);
         assert!(report.total_requests > 0);
         assert_eq!(report.errors, 0);
+        assert!(report.pruned > 0, "the statically-empty query was pruned");
         assert_eq!(
-            report.coalesced + report.flights,
+            report.coalesced + report.flights + report.pruned,
             report.total_requests,
-            "every request either led a flight or joined one"
+            "every request led a flight, joined one, or was pruned"
         );
         assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.p99_ms);
     }

@@ -17,7 +17,7 @@ use x2s_rel::{ExecOptions, Stats};
 use x2s_shred::edge_database;
 use x2s_xml::generator::mark_values;
 use x2s_xml::parse_xml;
-use x2s_xpath::parse_xpath;
+use x2s_xpath::{parse_xpath, Path, Qual};
 
 /// A printable series table.
 pub struct Table {
@@ -448,7 +448,9 @@ pub fn load_harness(scale: f64, workers: usize) -> Vec<Table> {
     let ds = dataset(&d, 12, 4, Some(scaled(40_000, scale)), 23);
     let elements = ds.tree.len();
     let db = Arc::new(ds.db);
-    let all_queries = ["a//d", "a/b//c/d", "a[//c]//d", "a[not //c]", "a//a"];
+    // `a/d` is statically empty on Cross (no a→d edge): the admission
+    // gate answers it without a flight, populating the pruned column.
+    let all_queries = ["a//d", "a/b//c/d", "a[//c]//d", "a[not //c]", "a//a", "a/d"];
 
     let mut rows = Vec::new();
     let mut run = |mode: LoadMode, k: usize, hold: Option<Duration>| {
@@ -478,6 +480,8 @@ pub fn load_harness(scale: f64, workers: usize) -> Vec<Table> {
             ms(r.p99_ms),
             r.flights.to_string(),
             r.coalesced.to_string(),
+            r.sat_checks.to_string(),
+            r.pruned.to_string(),
             format!("{:.0}%", r.coalesce_rate * 100.0),
         ]);
     };
@@ -506,12 +510,16 @@ pub fn load_harness(scale: f64, workers: usize) -> Vec<Table> {
             "p99 (ms)".into(),
             "flights".into(),
             "coalesced".into(),
+            "sat_checked".into(),
+            "pruned".into(),
             "coalesce%".into(),
         ],
         rows,
         note: "M workers cycle through K distinct queries; flights = plan-cache \
                hits+misses delta (only single-flight leaders prepare), so \
-               flights + coalesced = requests; K ≪ M drives the coalesce rate up"
+               flights + coalesced + pruned = requests; K ≪ M drives the \
+               coalesce rate up; pruned requests were answered by the \
+               satisfiability gate without a flight"
             .into(),
     }]
 }
@@ -700,6 +708,250 @@ pub fn analyze_report() -> Vec<Table> {
                well-formedness verification with zero errors, optimizer off and on"
             .into(),
     }]
+}
+
+/// Random path over a fixed label alphabet for the satcheck corpus — the
+/// same weighted grammar the property suite uses (labels include ones the
+/// DTD does not declare, exercising the unknown-tag witness).
+fn satcheck_arb_path(rng: &mut x2s_xml::rng::SplitMix64, labels: &[&str], depth: u32) -> Path {
+    if depth == 0 {
+        return satcheck_arb_leaf(rng, labels);
+    }
+    match rng.gen_range(0..9) {
+        0..=2 => Path::Seq(
+            Box::new(satcheck_arb_path(rng, labels, depth - 1)),
+            Box::new(satcheck_arb_path(rng, labels, depth - 1)),
+        ),
+        3..=4 => Path::Descendant(Box::new(satcheck_arb_path(rng, labels, depth - 1))),
+        5 => Path::Union(
+            Box::new(satcheck_arb_path(rng, labels, depth - 1)),
+            Box::new(satcheck_arb_path(rng, labels, depth - 1)),
+        ),
+        6 => {
+            let p = satcheck_arb_path(rng, labels, depth - 1);
+            let q = satcheck_arb_qual(rng, labels, depth - 1, 2);
+            Path::Qualified(Box::new(p), q)
+        }
+        _ => satcheck_arb_leaf(rng, labels),
+    }
+}
+
+fn satcheck_arb_leaf(rng: &mut x2s_xml::rng::SplitMix64, labels: &[&str]) -> Path {
+    match rng.gen_range(0..6) {
+        0..=3 => Path::label(labels[rng.gen_range(0..labels.len())]),
+        4 => Path::Wildcard,
+        _ => Path::Empty,
+    }
+}
+
+fn satcheck_arb_qual(
+    rng: &mut x2s_xml::rng::SplitMix64,
+    labels: &[&str],
+    depth: u32,
+    qdepth: u32,
+) -> Qual {
+    if qdepth > 0 && rng.gen_bool(0.4) {
+        return match rng.gen_range(0..4) {
+            0..=1 => Qual::not(satcheck_arb_qual(rng, labels, depth, qdepth - 1)),
+            2 => satcheck_arb_qual(rng, labels, depth, qdepth - 1).and(satcheck_arb_qual(
+                rng,
+                labels,
+                depth,
+                qdepth - 1,
+            )),
+            _ => satcheck_arb_qual(rng, labels, depth, qdepth - 1).or(satcheck_arb_qual(
+                rng,
+                labels,
+                depth,
+                qdepth - 1,
+            )),
+        };
+    }
+    if rng.gen_range(0..5) < 4 {
+        Qual::path(satcheck_arb_path(rng, labels, depth.min(2)))
+    } else {
+        let consts = ["v0", "v1", "sel"];
+        Qual::TextEq(consts[rng.gen_range(0..consts.len())].into())
+    }
+}
+
+/// `repro satcheck` — the DTD-aware admission gate measured: every Table-5
+/// workload query's verdict (with witness and per-check time), then a
+/// seeded random corpus per DTD reporting the prune rate and, crucially,
+/// an inline soundness check — every `Empty` verdict is replayed against
+/// the native oracle on generated documents and must return zero answers.
+/// Completeness (oracle-empty queries the analyzer could not prove empty)
+/// is measured and reported, not required.
+pub fn satcheck_report() -> Vec<Table> {
+    use std::collections::BTreeSet;
+    use std::time::Instant;
+    use x2s_xml::rng::SplitMix64;
+    use x2s_xml::{Generator, GeneratorConfig};
+    use x2s_xpath::{eval_from_document, Sat, SatAnalyzer};
+
+    // ——— Table 1: workload queries, plus known-impossible companions so
+    // the report shows real witnesses next to real verdicts ———
+    let impossible: &[(&str, &str)] = &[
+        ("Cross", "a/d"),
+        ("Cross", "a//zzz"),
+        ("Cross", "a/c[d/a]"),
+        ("Dept", "dept/student"),
+        ("Dept", "dept//course[text()=\"x\" and not text()=\"x\"]"),
+        ("GedML", "Even/Data"),
+        ("BIOML", "gene/locus[dna]"),
+    ];
+    let mut verdict_rows = Vec::new();
+    for (name, dtd, queries) in &table5_workloads() {
+        let analyzer = SatAnalyzer::new(dtd);
+        let extra = impossible
+            .iter()
+            .filter(|(d, _)| d == name)
+            .map(|&(_, q)| q);
+        for q in queries.iter().copied().chain(extra) {
+            let path = parse_xpath(q).expect("satcheck queries parse");
+            let started = Instant::now();
+            let verdict = analyzer.check(&path);
+            let micros = started.elapsed().as_secs_f64() * 1e6;
+            let (verdict_cell, witness_cell) = match verdict {
+                Sat::NonEmpty { types } => (
+                    format!("non-empty → {{{}}}", types.join(", ")),
+                    String::new(),
+                ),
+                Sat::Empty { witness } => ("EMPTY".to_string(), witness.to_string()),
+            };
+            verdict_rows.push(vec![
+                name.to_string(),
+                q.to_string(),
+                verdict_cell,
+                witness_cell,
+                format!("{micros:.1}"),
+            ]);
+        }
+    }
+
+    // ——— Table 2: seeded random corpus per DTD, soundness-checked ———
+    let corpora: &[(&str, Dtd, &[&str])] = &[
+        ("Cross", samples::cross(), &["a", "b", "c", "d", "zzz"]),
+        (
+            "Dept",
+            samples::dept_simplified(),
+            &["dept", "course", "student", "project", "zzz"],
+        ),
+        (
+            "GedML",
+            samples::gedml(),
+            &["Even", "Sour", "Note", "Obje", "Data", "zzz"],
+        ),
+    ];
+    let mut corpus_rows = Vec::new();
+    for (name, dtd, labels) in corpora {
+        let analyzer = SatAnalyzer::new(dtd);
+        // a couple of generated documents per DTD as the oracle's ground
+        let docs: Vec<_> = (0..2u64)
+            .map(|s| {
+                Generator::new(
+                    dtd,
+                    GeneratorConfig::shaped(7, 3, Some(400)).with_seed(91 + s),
+                )
+                .generate()
+            })
+            .collect();
+        let (mut total, mut empty, mut unsound, mut incomplete) = (0usize, 0usize, 0usize, 0usize);
+        let mut nanos = 0u128;
+        let mut sample_witness = String::new();
+        for seed in 0..3u64 {
+            for case in 0..40usize {
+                let mut rng = SplitMix64::seed_from_u64(
+                    0x5A7C_4E61u64
+                        .wrapping_mul(seed.wrapping_add(17))
+                        .wrapping_add(case as u64),
+                );
+                let query = satcheck_arb_path(&mut rng, labels, 3);
+                total += 1;
+                let started = Instant::now();
+                let verdict = analyzer.check(&query);
+                nanos += started.elapsed().as_nanos();
+                let oracle_empty = docs.iter().all(|t| {
+                    eval_from_document(&query, t, dtd)
+                        .into_iter()
+                        .map(|n| n.0)
+                        .collect::<BTreeSet<u32>>()
+                        .is_empty()
+                });
+                match verdict {
+                    Sat::Empty { witness } => {
+                        empty += 1;
+                        if sample_witness.is_empty() {
+                            sample_witness = witness.to_string();
+                        }
+                        if !oracle_empty {
+                            unsound += 1;
+                        }
+                    }
+                    Sat::NonEmpty { .. } => {
+                        if oracle_empty {
+                            incomplete += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            unsound, 0,
+            "{name}: an Empty verdict contradicted the native oracle"
+        );
+        corpus_rows.push(vec![
+            name.to_string(),
+            total.to_string(),
+            empty.to_string(),
+            format!("{:.0}%", empty as f64 / total as f64 * 100.0),
+            format!("{:.1}", nanos as f64 / total as f64 / 1e3),
+            unsound.to_string(),
+            incomplete.to_string(),
+            sample_witness,
+        ]);
+    }
+
+    vec![
+        Table {
+            title: "Satisfiability gate — Table-5 workload queries + known-impossible companions"
+                .into(),
+            headers: vec![
+                "DTD".into(),
+                "query".into(),
+                "verdict".into(),
+                "witness".into(),
+                "µs".into(),
+            ],
+            rows: verdict_rows,
+            note: "EMPTY verdicts are proofs: the engine answers these queries ∅ without \
+                   translation, planning, or execution; the witness names the offending \
+                   step and the schema fact that kills it"
+                .into(),
+        },
+        Table {
+            title: "Satisfiability gate — seeded random corpus, soundness-checked against \
+                    the native oracle"
+                .into(),
+            headers: vec![
+                "DTD".into(),
+                "queries".into(),
+                "empty".into(),
+                "prune rate".into(),
+                "µs/check".into(),
+                "unsound".into(),
+                "missed-empty".into(),
+                "sample witness".into(),
+            ],
+            rows: corpus_rows,
+            note: "unsound = Empty verdicts with oracle answers (hard-asserted 0: every \
+                   prune is a proof); missed-empty = queries empty on the sampled \
+                   documents the analyzer could not prove empty (completeness is \
+                   best-effort — document-dependent emptiness is invisible to a \
+                   schema-only analysis)"
+                .into(),
+        },
+    ]
 }
 
 /// The first table reports static counts per query — LFP and ALL (Table
@@ -1025,6 +1277,36 @@ mod tests {
             if row[2] == "Full" {
                 assert_eq!(row[5], "0", "optimized program has warnings: {row:?}");
             }
+        }
+    }
+
+    #[test]
+    fn satcheck_report_proves_workloads_satisfiable_and_prunes_soundly() {
+        // the soundness assertion (no Empty verdict with oracle answers)
+        // runs inside satcheck_report over the random corpus
+        let tables = satcheck_report();
+        assert_eq!(tables.len(), 2);
+        let verdicts = &tables[0];
+        // every Table-5 workload query is satisfiable; every hand-picked
+        // companion is proven empty with a witness
+        for row in &verdicts.rows {
+            if row[2] == "EMPTY" {
+                assert!(row[3].starts_with('['), "witness rendered: {row:?}");
+            } else {
+                assert!(row[2].starts_with("non-empty"), "verdict: {row:?}");
+                assert!(row[3].is_empty(), "no witness for non-empty: {row:?}");
+            }
+        }
+        assert!(
+            verdicts.rows.iter().any(|r| r[2] == "EMPTY"),
+            "companions exercise the witness column"
+        );
+        let corpus = &tables[1];
+        assert_eq!(corpus.rows.len(), 3, "Cross, Dept, GedML corpora");
+        for row in &corpus.rows {
+            assert_eq!(row[1], "120", "corpus size");
+            assert!(row[2].parse::<usize>().unwrap() > 0, "some query pruned");
+            assert_eq!(row[5], "0", "zero unsound verdicts");
         }
     }
 

@@ -40,8 +40,9 @@
 //!   lock anywhere on the serving path. (At small configured capacities the
 //!   cache collapses to a single shard so global LRU order stays exact.)
 //! * **Atomic statistics** — hit/miss and execution counters are lock-free
-//!   atomics ([`x2s_rel::SharedStats`]); `hits + misses` always equals the
-//!   number of prepares, with no lost updates under contention.
+//!   atomics ([`x2s_rel::SharedStats`]); `hits + misses + sat_pruned`
+//!   always equals the number of prepares, with no lost updates under
+//!   contention.
 //! * **Shared read-only store** — the loaded edge database sits behind an
 //!   `Arc` ([`Engine::load_shared`] adopts an existing one without copying);
 //!   loading requires `&mut self`, so queries never observe a store swap.
@@ -76,7 +77,7 @@ use x2s_rel::{
 };
 use x2s_shred::edge_database;
 use x2s_xml::{parse_xml, validate, Tree, ValidationError, XmlError};
-use x2s_xpath::{parse_xpath, ParseError, Path};
+use x2s_xpath::{parse_xpath, ParseError, Path, Sat, SatAnalyzer, Witness};
 
 /// Default number of cached translations per engine.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
@@ -358,6 +359,7 @@ impl<'d> EngineBuilder<'d> {
             doc_len: 0,
             cache: ShardedPlanCache::new(self.cache_capacity),
             stats: SharedStats::new(),
+            sat: SatAnalyzer::new(self.dtd),
         }
     }
 }
@@ -395,6 +397,7 @@ pub struct Engine<'d> {
     doc_len: usize,
     cache: ShardedPlanCache,
     stats: SharedStats,
+    sat: SatAnalyzer<'d>,
 }
 
 impl fmt::Debug for Engine<'_> {
@@ -519,18 +522,26 @@ impl<'d> Engine<'d> {
     /// distinct cache entries: a CycleE plan never masquerades as a CycleEX
     /// plan of the same query.
     ///
-    /// The cache key is the *canonical* query text ([`Path::canonical`]):
-    /// trivially equivalent spellings — `a/descendant-or-self::*/b` vs
-    /// `a//b`, redundant `self::*`/`.` steps, nested descendants — share
-    /// one cache entry, so a serving layer coalescing on the same key
-    /// dedupes them into one flight too.
+    /// The cache key is the *normalized* query text
+    /// ([`Engine::normalize_path`]): trivially equivalent spellings —
+    /// `a/descendant-or-self::*/b` vs `a//b`, redundant `self::*`/`.`
+    /// steps, reordered qualifier conjuncts, DTD-implied tautological
+    /// qualifiers — share one cache entry, so a serving layer coalescing
+    /// on the same key dedupes them into one flight too.
+    ///
+    /// Before translating, the query passes the static satisfiability gate
+    /// ([`x2s_xpath::sat`]): a query no document of the DTD can answer
+    /// returns a constant-empty [`PreparedQuery`] carrying the proof
+    /// ([`PreparedQuery::sat_witness`]) and never reaches CycleEX, SQL
+    /// generation, the plan cache, or the executor. Such prepares count in
+    /// `sat_pruned`, not in the plan-cache hit/miss counters.
     pub fn prepare_with(
         &self,
         path: &Path,
         strategy: RecStrategy,
         sql_options: SqlOptions,
     ) -> Result<PreparedQuery<'_, 'd>, EngineError> {
-        let path = &path.canonical();
+        let path = &self.sat.normalize(path);
         let normalized = path.to_string();
         let key = PlanKey {
             query: normalized.clone(),
@@ -541,9 +552,22 @@ impl<'d> Engine<'d> {
             self.stats.plan_cache_hit();
             return Ok(PreparedQuery {
                 engine: self,
-                translation,
+                plan: Plan::Translated(translation),
                 query: normalized,
             });
+        }
+        // Satisfiability gate — only on the miss path: a cached plan
+        // already proved itself satisfiable when it was first admitted.
+        match self.sat.check(path) {
+            Sat::Empty { witness } => {
+                self.stats.sat_check(true);
+                return Ok(PreparedQuery {
+                    engine: self,
+                    plan: Plan::StaticallyEmpty(Arc::new(witness)),
+                    query: normalized,
+                });
+            }
+            Sat::NonEmpty { .. } => self.stats.sat_check(false),
         }
         self.stats.plan_cache_miss();
         // Translate outside any lock: CycleEX is the expensive part, and a
@@ -568,9 +592,25 @@ impl<'d> Engine<'d> {
         self.cache.insert(key, Arc::clone(&translation));
         Ok(PreparedQuery {
             engine: self,
-            translation,
+            plan: Plan::Translated(translation),
             query: normalized,
         })
+    }
+
+    /// The DTD-aware normal form of `path` used for plan-cache and
+    /// single-flight keys: [`Path::canonical`] plus schema-driven
+    /// simplifications ([`SatAnalyzer::normalize`] — tautological
+    /// qualifiers dropped, statically-empty union arms removed). Pure: no
+    /// counters move and the plan cache is not consulted.
+    pub fn normalize_path(&self, path: &Path) -> Path {
+        self.sat.normalize(path)
+    }
+
+    /// Statically check `path` against the engine's DTD without preparing
+    /// it ([`SatAnalyzer::check`]). Pure: no counters move. Serving layers
+    /// use this to answer impossible queries before occupying a flight.
+    pub fn check_sat(&self, path: &Path) -> Sat {
+        self.sat.check(path)
     }
 
     /// One-shot convenience: prepare (through the cache) and execute.
@@ -627,24 +667,40 @@ impl<'d> Engine<'d> {
     }
 }
 
-/// A translated query handle: executes against the engine's store and
+/// What a [`PreparedQuery`] will do when executed: run a real translated
+/// program, or return the constant empty set the satisfiability gate
+/// proved.
+#[derive(Clone)]
+enum Plan {
+    /// A finished translation admitted to the plan cache.
+    Translated(Arc<Translation>),
+    /// The satisfiability gate proved the query empty; the witness says
+    /// which step failed and why.
+    StaticallyEmpty(Arc<Witness>),
+}
+
+/// A prepared query handle: executes against the engine's store and
 /// renders SQL, without ever re-translating.
 ///
-/// Handles are cheap (an `Arc` around the finished [`Translation`]) and
+/// Handles are cheap (an `Arc` around the finished [`Translation`], or
+/// around the emptiness [`Witness`] for statically-pruned queries) and
 /// borrow the engine shared, so any number can be alive at once.
 #[derive(Clone)]
 pub struct PreparedQuery<'e, 'd> {
     engine: &'e Engine<'d>,
-    translation: Arc<Translation>,
+    plan: Plan,
     query: String,
 }
 
 impl fmt::Debug for PreparedQuery<'_, '_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PreparedQuery")
-            .field("query", &self.query)
-            .field("statements", &self.translation.program.len())
-            .finish_non_exhaustive()
+        let mut s = f.debug_struct("PreparedQuery");
+        s.field("query", &self.query);
+        match &self.plan {
+            Plan::Translated(tr) => s.field("statements", &tr.program.len()),
+            Plan::StaticallyEmpty(w) => s.field("statically_empty", &w.to_string()),
+        };
+        s.finish_non_exhaustive()
     }
 }
 
@@ -654,9 +710,30 @@ impl PreparedQuery<'_, '_> {
         &self.query
     }
 
-    /// The underlying translation (extended XPath + SQL program).
-    pub fn translation(&self) -> &Translation {
-        &self.translation
+    /// The underlying translation (extended XPath + SQL program), or
+    /// `None` if the satisfiability gate proved the query empty and no
+    /// translation was ever produced.
+    pub fn translation(&self) -> Option<&Translation> {
+        match &self.plan {
+            Plan::Translated(tr) => Some(tr),
+            Plan::StaticallyEmpty(_) => None,
+        }
+    }
+
+    /// The satisfiability gate's emptiness proof, if this query was
+    /// statically pruned ([`PreparedQuery::is_statically_empty`]).
+    pub fn sat_witness(&self) -> Option<&Witness> {
+        match &self.plan {
+            Plan::Translated(_) => None,
+            Plan::StaticallyEmpty(w) => Some(w),
+        }
+    }
+
+    /// Whether the satisfiability gate proved this query can return no
+    /// answers on *any* document valid against the engine's DTD. Such
+    /// queries execute to the empty set without touching the store.
+    pub fn is_statically_empty(&self) -> bool {
+        matches!(self.plan, Plan::StaticallyEmpty(_))
     }
 
     /// Execute with the engine's configured [`ExecOptions`]; returns answer
@@ -667,17 +744,30 @@ impl PreparedQuery<'_, '_> {
 
     /// Execute with explicit options (e.g. eager evaluation or naive
     /// fixpoints for comparison runs).
+    ///
+    /// A statically-empty query answers `Ok(∅)` immediately — even with no
+    /// document loaded, since the proof holds for every valid document.
     pub fn execute_with(&self, opts: ExecOptions) -> Result<BTreeSet<u32>, EngineError> {
+        let Plan::Translated(translation) = &self.plan else {
+            return Ok(BTreeSet::new());
+        };
         let db = self.engine.db.as_ref().ok_or(EngineError::NoDocument)?;
         let mut stats = Stats::default();
-        let result = self.translation.try_run(db, opts, &mut stats);
+        let result = translation.try_run(db, opts, &mut stats);
         self.engine.record(&stats);
         Ok(result?)
     }
 
-    /// Render the cached program as SQL in `dialect`.
+    /// Render the cached program as SQL in `dialect`. A statically-empty
+    /// query renders as a constant-empty `SELECT` carrying the witness as
+    /// a comment.
     pub fn sql(&self, dialect: SqlDialect) -> String {
-        render_program(&self.translation.program, dialect)
+        match &self.plan {
+            Plan::Translated(tr) => render_program(&tr.program, dialect),
+            Plan::StaticallyEmpty(w) => {
+                format!("-- statically empty: {w}\nSELECT 0 WHERE 0 = 1;\n")
+            }
+        }
     }
 
     /// Render in the engine's default dialect.
@@ -782,6 +872,68 @@ mod tests {
             .prepare("dept/descendant-or-self::*/project")
             .unwrap();
         assert_eq!(p.xpath(), "dept//project");
+    }
+
+    #[test]
+    fn statically_empty_queries_skip_translation_and_planning() {
+        let d = samples::dept_simplified();
+        let engine = Engine::new(&d);
+        // `student` is never a direct child of `dept` in this DTD.
+        let p = engine.prepare("dept/student").unwrap();
+        assert!(p.is_statically_empty());
+        assert!(p.translation().is_none());
+        let w = p.sat_witness().expect("pruned query carries a witness");
+        assert_eq!(w.kind, x2s_xpath::WitnessKind::NoChildEdge);
+        // Executes to the empty set without a loaded document: the proof
+        // holds for every valid document.
+        assert_eq!(p.execute().unwrap(), BTreeSet::new());
+        assert!(p.sql_text().contains("statically empty"));
+        let stats = engine.stats();
+        assert_eq!((stats.sat_checked, stats.sat_pruned), (1, 1));
+        assert_eq!((stats.plan_cache_misses, stats.plan_cache_hits), (0, 0));
+        assert_eq!(engine.cached_plans(), 0);
+    }
+
+    #[test]
+    fn prepare_counter_identity_includes_pruned_queries() {
+        // `hits + misses + sat_pruned == prepares`, across a mixed batch.
+        // Pruned queries never enter the cache, so repeating one prunes it
+        // again rather than hitting.
+        let d = samples::dept_simplified();
+        let engine = Engine::new(&d);
+        let batch = [
+            "dept//project",
+            "dept//project",
+            "dept/student",
+            "dept/student",
+        ];
+        for q in batch {
+            engine.prepare(q).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!((stats.plan_cache_misses, stats.plan_cache_hits), (1, 1));
+        assert_eq!(stats.sat_pruned, 2);
+        // one pre-miss check plus two prunes; the cache hit skips the gate
+        assert_eq!(stats.sat_checked, 3);
+        assert_eq!(
+            stats.plan_cache_hits + stats.plan_cache_misses + stats.sat_pruned,
+            batch.len()
+        );
+    }
+
+    #[test]
+    fn qualifier_reordered_spellings_share_one_plan() {
+        let d = samples::dept_simplified();
+        let mut engine = Engine::new(&d);
+        engine
+            .load_xml("<dept><course><student/><project/></course></dept>")
+            .unwrap();
+        let a = engine.query("dept/course[student][project]").unwrap();
+        let b = engine.query("dept/course[project][student]").unwrap();
+        assert_eq!(a, b);
+        let stats = engine.stats();
+        assert_eq!((stats.plan_cache_misses, stats.plan_cache_hits), (1, 1));
+        assert_eq!(engine.cached_plans(), 1);
     }
 
     #[test]

@@ -71,6 +71,41 @@ impl ContentModel {
         }
     }
 
+    /// Element types that occur at least once in **every** word of the
+    /// model — the children a valid element is *guaranteed* to have.
+    /// Sequencing requires the union of its parts' required sets, a choice
+    /// only what every alternative requires, and `*`/`?` require nothing.
+    /// The dual of [`child_occurrences`](Self::child_occurrences) (may vs
+    /// must), used by static query analysis to certify qualifiers that can
+    /// never fail on a valid document.
+    pub fn required_children(&self) -> Vec<ElemId> {
+        let mut out = match self {
+            ContentModel::Empty | ContentModel::Text => Vec::new(),
+            ContentModel::Elem(id) => vec![*id],
+            ContentModel::Seq(parts) => {
+                let mut all = Vec::new();
+                for p in parts {
+                    all.extend(p.required_children());
+                }
+                all
+            }
+            ContentModel::Choice(parts) => {
+                let mut sets = parts.iter().map(|p| p.required_children());
+                match sets.next() {
+                    None => Vec::new(),
+                    Some(first) => sets.fold(first, |acc, next| {
+                        acc.into_iter().filter(|id| next.contains(id)).collect()
+                    }),
+                }
+            }
+            ContentModel::Star(_) | ContentModel::Opt(_) => Vec::new(),
+            ContentModel::Plus(inner) => inner.required_children(),
+        };
+        out.sort_by_key(|id| id.0);
+        out.dedup();
+        out
+    }
+
     /// Whether the model permits a text value anywhere.
     pub fn allows_text(&self) -> bool {
         match self {

@@ -62,6 +62,12 @@ pub struct Stats {
     /// Non-fatal analyzer warnings (e.g. dead statements) across those
     /// checks.
     pub analyze_warnings: usize,
+    /// Queries run through the static satisfiability analyzer on the
+    /// prepare/admission path (the engine's `x2s_xpath::sat` gate).
+    pub sat_checked: usize,
+    /// Queries proven statically empty and answered without translation or
+    /// execution (a subset of `sat_checked`).
+    pub sat_pruned: usize,
     /// Serving layer: requests admitted into the bounded request queue.
     pub requests_admitted: usize,
     /// Serving layer: requests rejected at admission (queue full or
@@ -100,6 +106,8 @@ impl Stats {
         self.join_index_reuses += other.join_index_reuses;
         self.analyze_checked += other.analyze_checked;
         self.analyze_warnings += other.analyze_warnings;
+        self.sat_checked += other.sat_checked;
+        self.sat_pruned += other.sat_pruned;
         self.requests_admitted += other.requests_admitted;
         self.requests_rejected += other.requests_rejected;
         self.requests_coalesced += other.requests_coalesced;
@@ -138,6 +146,8 @@ pub struct SharedStats {
     join_index_reuses: AtomicU64,
     analyze_checked: AtomicU64,
     analyze_warnings: AtomicU64,
+    sat_checked: AtomicU64,
+    sat_pruned: AtomicU64,
     requests_admitted: AtomicU64,
     requests_rejected: AtomicU64,
     requests_coalesced: AtomicU64,
@@ -166,6 +176,16 @@ impl SharedStats {
         self.analyze_checked.fetch_add(1, Ordering::Relaxed);
         self.analyze_warnings
             .fetch_add(warnings as u64, Ordering::Relaxed);
+    }
+
+    /// Count one prepare-time satisfiability analysis; `pruned` marks a
+    /// verdict that statically emptied the query, skipping translation and
+    /// execution entirely.
+    pub fn sat_check(&self, pruned: bool) {
+        self.sat_checked.fetch_add(1, Ordering::Relaxed);
+        if pruned {
+            self.sat_pruned.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Count one request admitted into a serving layer's bounded queue.
@@ -230,6 +250,10 @@ impl SharedStats {
             .fetch_add(s.analyze_checked as u64, Ordering::Relaxed);
         self.analyze_warnings
             .fetch_add(s.analyze_warnings as u64, Ordering::Relaxed);
+        self.sat_checked
+            .fetch_add(s.sat_checked as u64, Ordering::Relaxed);
+        self.sat_pruned
+            .fetch_add(s.sat_pruned as u64, Ordering::Relaxed);
         self.requests_admitted
             .fetch_add(s.requests_admitted as u64, Ordering::Relaxed);
         self.requests_rejected
@@ -276,6 +300,8 @@ impl SharedStats {
             join_index_reuses: self.join_index_reuses.load(Ordering::Relaxed) as usize,
             analyze_checked: self.analyze_checked.load(Ordering::Relaxed) as usize,
             analyze_warnings: self.analyze_warnings.load(Ordering::Relaxed) as usize,
+            sat_checked: self.sat_checked.load(Ordering::Relaxed) as usize,
+            sat_pruned: self.sat_pruned.load(Ordering::Relaxed) as usize,
             requests_admitted: self.requests_admitted.load(Ordering::Relaxed) as usize,
             requests_rejected: self.requests_rejected.load(Ordering::Relaxed) as usize,
             requests_coalesced: self.requests_coalesced.load(Ordering::Relaxed) as usize,
@@ -306,6 +332,8 @@ impl SharedStats {
         self.join_index_reuses.store(0, Ordering::Relaxed);
         self.analyze_checked.store(0, Ordering::Relaxed);
         self.analyze_warnings.store(0, Ordering::Relaxed);
+        self.sat_checked.store(0, Ordering::Relaxed);
+        self.sat_pruned.store(0, Ordering::Relaxed);
         self.requests_admitted.store(0, Ordering::Relaxed);
         self.requests_rejected.store(0, Ordering::Relaxed);
         self.requests_coalesced.store(0, Ordering::Relaxed);
@@ -317,7 +345,7 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed peak={} idx={} analyzed={}({} warns) serve={}+{}-rej/{}-coal/{}-chunks",
+            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed peak={} idx={} analyzed={}({} warns) sat={}/{}-pruned serve={}+{}-rej/{}-coal/{}-chunks",
             self.joins,
             self.unions,
             self.lfp_invocations,
@@ -336,6 +364,8 @@ impl fmt::Display for Stats {
             self.join_index_reuses,
             self.analyze_checked,
             self.analyze_warnings,
+            self.sat_checked,
+            self.sat_pruned,
             self.requests_admitted,
             self.requests_rejected,
             self.requests_coalesced,
@@ -431,6 +461,24 @@ mod tests {
         merged.merge(&snap);
         assert_eq!(merged.analyze_checked, 4);
         assert!(merged.to_string().contains("analyzed="));
+        shared.reset();
+        assert_eq!(shared.snapshot(), Stats::default());
+    }
+
+    #[test]
+    fn sat_check_counts_checks_and_prunes() {
+        let shared = SharedStats::new();
+        shared.sat_check(false);
+        shared.sat_check(true);
+        shared.sat_check(true);
+        let snap = shared.snapshot();
+        assert_eq!(snap.sat_checked, 3);
+        assert_eq!(snap.sat_pruned, 2);
+        let mut merged = Stats::default();
+        merged.merge(&snap);
+        merged.merge(&snap);
+        assert_eq!((merged.sat_checked, merged.sat_pruned), (6, 4));
+        assert!(merged.to_string().contains("sat="));
         shared.reset();
         assert_eq!(shared.snapshot(), Stats::default());
     }

@@ -219,7 +219,9 @@ pub fn stats_json(stats: &Stats) -> String {
             "  \"lfp_peak_closure\": {},\n",
             "  \"join_index_reuses\": {},\n",
             "  \"analyze_checked\": {},\n",
-            "  \"analyze_warnings\": {}\n",
+            "  \"analyze_warnings\": {},\n",
+            "  \"sat_checked\": {},\n",
+            "  \"sat_pruned\": {}\n",
             "}}\n"
         ),
         stats.requests_admitted,
@@ -247,6 +249,8 @@ pub fn stats_json(stats: &Stats) -> String {
         stats.join_index_reuses,
         stats.analyze_checked,
         stats.analyze_warnings,
+        stats.sat_checked,
+        stats.sat_pruned,
     )
 }
 
@@ -345,6 +349,7 @@ fn serve_query(
 
     let count = outcome.answers.len().to_string();
     let coalesced = if outcome.coalesced { "true" } else { "false" };
+    let pruned = if outcome.pruned { "true" } else { "false" };
     write!(
         conn,
         concat!(
@@ -354,9 +359,10 @@ fn serve_query(
             "Connection: close\r\n",
             "X-Answer-Count: {}\r\n",
             "X-Coalesced: {}\r\n",
+            "X-Sat-Pruned: {}\r\n",
             "\r\n"
         ),
-        count, coalesced
+        count, coalesced, pruned
     )?;
     let chunks = stream_answers(conn, &outcome.answers, config.rows_per_chunk)?;
     service.engine().shared_stats().add_stream_chunks(chunks);
@@ -374,6 +380,8 @@ mod tests {
             requests_rejected: 2,
             requests_coalesced: 3,
             stream_chunks: 7,
+            sat_checked: 4,
+            sat_pruned: 1,
             ..Stats::default()
         };
         let json = stats_json(&stats);
@@ -382,5 +390,7 @@ mod tests {
         assert!(json.contains("\"requests_coalesced\": 3"));
         assert!(json.contains("\"stream_chunks\": 7"));
         assert!(json.contains("\"plan_cache_hits\": 0"));
+        assert!(json.contains("\"sat_checked\": 4"));
+        assert!(json.contains("\"sat_pruned\": 1"));
     }
 }

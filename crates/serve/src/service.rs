@@ -1,18 +1,20 @@
-//! The query service: canonicalize, coalesce, execute.
+//! The query service: canonicalize, admit, coalesce, execute.
 //!
 //! [`QueryService`] is the seam between the HTTP front end and the
 //! [`Engine`]: it parses the request's XPath (per-request — parse errors
-//! are never coalesced), canonicalizes it so that spelling variants of the
-//! same query share both the plan-cache entry *and* the flight, and runs
-//! the execution under [`SingleFlight`] so concurrent identical queries
-//! cost one translation + one execution total.
+//! are never coalesced), normalizes it so that spelling variants of the
+//! same query share both the plan-cache entry *and* the flight, runs the
+//! satisfiability gate ([`Engine::check_sat`]) so statically-impossible
+//! queries answer `∅` without occupying an executor flight, and runs the
+//! execution under [`SingleFlight`] so concurrent identical queries cost
+//! one translation + one execution total.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
 
 use x2s_core::{Engine, EngineError};
-use x2s_xpath::parse_xpath;
+use x2s_xpath::{parse_xpath, Sat};
 
 use crate::coalesce::{Outcome, SingleFlight};
 
@@ -28,6 +30,9 @@ pub struct QueryOutcome {
     /// `true` when this caller joined another caller's flight instead of
     /// executing itself.
     pub coalesced: bool,
+    /// `true` when the satisfiability gate proved the query empty against
+    /// the engine's DTD and answered it without an executor flight.
+    pub pruned: bool,
 }
 
 /// A thread-safe query façade over one [`Engine`].
@@ -82,7 +87,20 @@ impl<'e, 'd> QueryService<'e, 'd> {
         // Parse errors are this caller's own problem: report them directly
         // rather than coalescing garbage under a shared key.
         let path = parse_xpath(xpath)?;
-        let canon = path.canonical();
+        let canon = self.engine.normalize_path(&path);
+        // Admission gate: a query the DTD proves empty is answered here —
+        // it never occupies a flight or touches the executor. The check is
+        // counted only when it prunes; satisfiable queries are counted by
+        // the engine on their prepare path, so each request's check lands
+        // exactly once.
+        if let Sat::Empty { .. } = self.engine.check_sat(&canon) {
+            self.engine.shared_stats().sat_check(true);
+            return Ok(QueryOutcome {
+                answers: Arc::new(BTreeSet::new()),
+                coalesced: false,
+                pruned: true,
+            });
+        }
         let key = canon.to_string();
 
         let (result, outcome) = self.flights.run(&key, || {
@@ -99,7 +117,11 @@ impl<'e, 'd> QueryService<'e, 'd> {
         if coalesced {
             self.engine.shared_stats().request_coalesced();
         }
-        result.map(|answers| QueryOutcome { answers, coalesced })
+        result.map(|answers| QueryOutcome {
+            answers,
+            coalesced,
+            pruned: false,
+        })
     }
 }
 
@@ -137,6 +159,21 @@ mod tests {
         let err = svc.query("dept[").unwrap_err();
         assert!(matches!(err, EngineError::Xpath(_)));
         assert_eq!(e.stats().plan_cache_misses, 0);
+    }
+
+    #[test]
+    fn statically_empty_queries_answer_without_a_flight() {
+        let e = engine();
+        let svc = QueryService::new(&e);
+        // `student` is never a direct child of `dept` in this DTD: the
+        // admission gate answers ∅ before any flight or translation.
+        let out = svc.query("dept/student").unwrap();
+        assert!(out.pruned);
+        assert!(!out.coalesced);
+        assert!(out.answers.is_empty());
+        let stats = e.stats();
+        assert_eq!((stats.sat_checked, stats.sat_pruned), (1, 1));
+        assert_eq!(stats.plan_cache_misses, 0, "no flight, no plan");
     }
 
     #[test]

@@ -14,8 +14,15 @@
 //!   `./a/./b` ⇒ `a/b`;
 //! * descendant-or-self is idempotent, so nested descendants collapse:
 //!   `//(//b)` ⇒ `//b`, and `//.` before a descendant step is absorbed;
-//! * duplicated union arms collapse (`p | p` ⇒ `p`), and double negation
-//!   in qualifiers cancels (`not(not q)` ⇒ `q`).
+//! * union is commutative and idempotent: arms flatten, sort, and dedup
+//!   (`b | a | b` ⇒ `(a | b)`), and double negation in qualifiers cancels
+//!   (`not(not q)` ⇒ `q`);
+//! * qualifier chains are conjunctions, so `p[q₁][q₂]`, `p[q₂][q₁]` and
+//!   `p[q₁ and q₂]` all normalize to one sorted, deduplicated chain; a
+//!   conjunct that is a step-prefix of a sibling is subsumed by it
+//!   (`a[b][b/c]` ⇒ `a[b/c]` — a `b/c` node certifies the `b` node), and
+//!   vacuous `[.]` conjuncts disappear; `and`/`or` operands themselves
+//!   flatten, sort, and dedup the same way.
 //!
 //! [`Path::canonical`] applies these rules bottom-up and returns an
 //! equivalent path; callers that key caches on query text should key on
@@ -65,19 +72,135 @@ fn push_steps(p: Path, steps: &mut Vec<Path>) {
     }
 }
 
+/// Splice an already-canonical path into a flat union-arm list.
+fn push_arms(p: Path, arms: &mut Vec<Path>) {
+    if let Path::Union(a, b) = p {
+        push_arms(*a, arms);
+        push_arms(*b, arms);
+    } else {
+        arms.push(p);
+    }
+}
+
+/// Splice an already-canonical qualifier into a flat conjunct list.
+fn push_conjuncts(q: Qual, out: &mut Vec<Qual>) {
+    if let Qual::And(a, b) = q {
+        push_conjuncts(*a, out);
+        push_conjuncts(*b, out);
+    } else {
+        out.push(q);
+    }
+}
+
+/// Splice an already-canonical qualifier into a flat disjunct list.
+fn push_disjuncts(q: Qual, out: &mut Vec<Qual>) {
+    if let Qual::Or(a, b) = q {
+        push_disjuncts(*a, out);
+        push_disjuncts(*b, out);
+    } else {
+        out.push(q);
+    }
+}
+
+/// The flat step chain of `p` (nested `Seq`s spliced), for the prefix test.
+fn step_chain(p: &Path) -> Vec<&Path> {
+    fn walk<'p>(p: &'p Path, out: &mut Vec<&'p Path>) {
+        if let Path::Seq(a, b) = p {
+            walk(a, out);
+            walk(b, out);
+        } else {
+            out.push(p);
+        }
+    }
+    let mut out = Vec::new();
+    walk(p, &mut out);
+    out
+}
+
+/// Remove path conjuncts subsumed by a sibling: `[p]` is implied by
+/// `[p/…]`, because any node the longer chain reaches passes through a
+/// node the prefix reaches.
+fn drop_subsumed(conjuncts: &mut Vec<Qual>) {
+    let keep: Vec<bool> = (0..conjuncts.len())
+        .map(|i| {
+            let Qual::Path(pi) = &conjuncts[i] else {
+                return true;
+            };
+            let si = step_chain(pi);
+            !conjuncts.iter().enumerate().any(|(j, qj)| {
+                if i == j {
+                    return false;
+                }
+                let Qual::Path(pj) = qj else {
+                    return false;
+                };
+                let sj = step_chain(pj);
+                sj.len() > si.len() && sj[..si.len()] == si[..]
+            })
+        })
+        .collect();
+    let mut it = keep.iter();
+    conjuncts.retain(|_| *it.next().unwrap_or(&true));
+}
+
+/// Rebuild a sorted, deduplicated operand list left-associatively with
+/// `join`, matching the parser's shape (a single operand stands alone).
+fn rebuild<T>(parts: Vec<T>, join: impl Fn(T, T) -> T) -> Option<T> {
+    let mut iter = parts.into_iter();
+    let first = iter.next()?;
+    Some(iter.fold(first, join))
+}
+
 fn canon_path(p: &Path) -> Path {
     match p {
         Path::Empty | Path::Label(_) | Path::Wildcard | Path::EmptySet => p.clone(),
-        Path::Union(a, b) => {
-            let a = canon_path(a);
-            let b = canon_path(b);
-            if a == b {
-                a
-            } else {
-                Path::Union(Box::new(a), Box::new(b))
+        Path::Union(..) => {
+            // union is associative, commutative, and idempotent: flatten,
+            // sort by rendering, dedup
+            let mut arms = Vec::new();
+            push_arms(p.clone(), &mut arms);
+            let mut flat = Vec::new();
+            for arm in arms {
+                push_arms(canon_path(&arm), &mut flat);
+            }
+            flat.sort_by_key(|a| a.to_string());
+            flat.dedup();
+            match rebuild(flat, |a, b| Path::Union(Box::new(a), Box::new(b))) {
+                Some(u) => u,
+                // unreachable: a union always has arms
+                None => p.clone(),
             }
         }
-        Path::Qualified(base, q) => Path::Qualified(Box::new(canon_path(base)), canon_qual(q)),
+        Path::Qualified(..) => {
+            // peel the whole `base[q₁][q₂]…` chain (qualifier chains filter
+            // conjunctively, so they sort and dedup like `and`), splicing
+            // top-level conjunctions: `p[q₁ and q₂]` ≡ `p[q₁][q₂]`
+            let mut rev_quals: Vec<&Qual> = Vec::new();
+            let mut base = p;
+            while let Path::Qualified(b, q) = base {
+                rev_quals.push(q);
+                base = b;
+            }
+            let mut conjuncts: Vec<Qual> = Vec::new();
+            for q in rev_quals.into_iter().rev() {
+                push_conjuncts(canon_qual(q), &mut conjuncts);
+            }
+            // canonicalizing the base may expose further qualifier layers
+            // (e.g. a collapsed descendant) — fold them into the same chain
+            let mut base = canon_path(base);
+            while let Path::Qualified(b, q) = base {
+                push_conjuncts(q, &mut conjuncts);
+                base = *b;
+            }
+            // `[.]` (self::*) is vacuously true at any context node
+            conjuncts.retain(|q| !matches!(q, Qual::Path(p) if **p == Path::Empty));
+            conjuncts.sort_by_key(|q| q.to_string());
+            conjuncts.dedup();
+            drop_subsumed(&mut conjuncts);
+            conjuncts
+                .into_iter()
+                .fold(base, |acc, q| Path::Qualified(Box::new(acc), q))
+        }
         Path::Descendant(inner) => {
             let inner = canon_path(inner);
             // `//(//p)` ≡ `//p`: drop the outer axis when the inner path
@@ -148,21 +271,27 @@ fn canon_qual(q: &Qual) -> Qual {
             other => Qual::Not(Box::new(other)),
         },
         Qual::And(a, b) => {
-            let a = canon_qual(a);
-            let b = canon_qual(b);
-            if a == b {
-                a
-            } else {
-                Qual::And(Box::new(a), Box::new(b))
+            // conjunction is associative, commutative, and idempotent
+            let mut parts = Vec::new();
+            push_conjuncts(canon_qual(a), &mut parts);
+            push_conjuncts(canon_qual(b), &mut parts);
+            parts.sort_by_key(|x| x.to_string());
+            parts.dedup();
+            match rebuild(parts, |x, y| Qual::And(Box::new(x), Box::new(y))) {
+                Some(and) => and,
+                None => q.clone(), // unreachable: both operands were pushed
             }
         }
         Qual::Or(a, b) => {
-            let a = canon_qual(a);
-            let b = canon_qual(b);
-            if a == b {
-                a
-            } else {
-                Qual::Or(Box::new(a), Box::new(b))
+            // disjunction normalizes the same way
+            let mut parts = Vec::new();
+            push_disjuncts(canon_qual(a), &mut parts);
+            push_disjuncts(canon_qual(b), &mut parts);
+            parts.sort_by_key(|x| x.to_string());
+            parts.dedup();
+            match rebuild(parts, |x, y| Qual::Or(Box::new(x), Box::new(y))) {
+                Some(or) => or,
+                None => q.clone(), // unreachable: both operands were pushed
             }
         }
     }
@@ -222,6 +351,37 @@ mod tests {
         assert_eq!(canon_str("a[not not b]"), "a[b]");
         assert_eq!(canon_str("a[b and b]"), "a[b]");
         assert_eq!(canon_str("a[./b]"), "a[b]");
+    }
+
+    #[test]
+    fn qualifier_conjuncts_sort_and_dedup() {
+        // reordered chains, `and`-spellings, and duplicates all normalize
+        // to one sorted chain — the plan-cache / single-flight key
+        assert_eq!(canon_str("a[c][b]"), "a[b][c]");
+        assert_eq!(canon_str("a[b][c]"), "a[b][c]");
+        assert_eq!(canon_str("a[b and c]"), "a[b][c]");
+        assert_eq!(canon_str("a[c and b]"), "a[b][c]");
+        assert_eq!(canon_str("a[b][c][b]"), "a[b][c]");
+        assert_eq!(canon_str("a[self::*][b]"), "a[b]");
+        // inside boolean operators the same commutativity applies
+        assert_eq!(canon_str("a[not (c and b)]"), canon_str("a[not (b and c)]"));
+        assert_eq!(canon_str("a[c or b]"), canon_str("a[b or c]"));
+    }
+
+    #[test]
+    fn step_prefix_conjuncts_are_subsumed() {
+        // a `b/c` witness node passes through a `b` node, so `[b]` adds
+        // nothing next to `[b/c]`
+        assert_eq!(canon_str("a[b][b/c]"), "a[b/c]");
+        assert_eq!(canon_str("a[b][b//c]"), "a[b//c]");
+        // distinct chains both survive
+        assert_eq!(canon_str("a[b/d][b/c]"), "a[b/c][b/d]");
+    }
+
+    #[test]
+    fn union_arms_sort_and_flatten() {
+        assert_eq!(canon_str("b | a"), "(a | b)");
+        assert_eq!(canon_str("c | a | b | a"), "((a | b) | c)");
     }
 
     #[test]

@@ -17,12 +17,20 @@
 //! evaluator is the *correctness oracle* for the whole reproduction: every
 //! translation path (extended XPath, SQL over shredded relations, the
 //! SQLGen-R baseline) is tested against it.
+//!
+//! The [`sat`] module adds DTD-aware *static* analysis on top: a
+//! satisfiability check ([`SatAnalyzer::check`]) that proves queries empty
+//! before translation, and a schema-driven normal form
+//! ([`SatAnalyzer::normalize`]) that drops qualifiers the DTD makes
+//! tautological.
 
 pub mod ast;
 pub mod canon;
 pub mod eval;
 pub mod parser;
+pub mod sat;
 
 pub use ast::{Path, Qual};
 pub use eval::{eval, eval_from_document};
 pub use parser::{parse_xpath, ParseError};
+pub use sat::{check_sat, Sat, SatAnalyzer, Witness, WitnessKind};

@@ -92,9 +92,12 @@ fn main() {
     let mut engine = Engine::new(&dtd);
     engine.load(&tree);
     let q1_prepared = engine.prepare("dept//project").unwrap();
+    let q1_translation = q1_prepared
+        .translation()
+        .expect("dept//project is satisfiable");
     println!(
         "extended XPath translation (pruned):\n{}",
-        q1_prepared.translation().extended
+        q1_translation.extended
     );
     let answers_x = q1_prepared.execute().unwrap();
     let stats_x = engine.stats();

@@ -42,10 +42,10 @@ fn main() {
         .prepare("machine//part[serial]")
         .expect("the query prepares");
 
-    println!(
-        "\n-- extended XPath (step 1):\n{}",
-        prepared.translation().extended
-    );
+    let translation = prepared
+        .translation()
+        .expect("the query is satisfiable against this DTD");
+    println!("\n-- extended XPath (step 1):\n{}", translation.extended);
     println!(
         "\n-- SQL (step 2, first 30 lines, SQL'99 dialect):\n{}",
         prepared

@@ -13,7 +13,7 @@
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::sync::{Arc, Barrier};
+use std::sync::Barrier;
 use std::thread;
 use std::time::Duration;
 
@@ -149,6 +149,88 @@ fn spelling_variants_coalesce_under_one_canonical_key() {
         "all spellings share one canonical plan"
     );
     assert_eq!(stats.requests_coalesced, N - 1, "and one flight");
+}
+
+#[test]
+fn qualifier_reordered_spellings_coalesce_under_one_key() {
+    const N: usize = 6;
+    // `a[b][c]` ≡ `a[c][b]`: conjunct order is normalized away, so the
+    // reordered spellings must share one plan-cache entry AND one flight.
+    let spellings = [
+        "dept/course[student][project]",
+        "dept/course[project][student]",
+        "dept/course[project and student]",
+    ];
+    let (engine, _tree) = loaded_engine();
+    let service = QueryService::with_hold(&engine, Duration::from_millis(80));
+    let barrier = Barrier::new(N);
+    thread::scope(|s| {
+        for i in 0..N {
+            let spelling = spellings[i % spellings.len()];
+            let service = &service;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                service.query(spelling).unwrap();
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(
+        stats.plan_cache_misses, 1,
+        "reordered qualifier chains share one plan-cache key"
+    );
+    assert_eq!(stats.requests_coalesced, N - 1, "and one flight");
+}
+
+#[test]
+fn statically_empty_queries_are_answered_without_flights() {
+    let (engine, _tree) = loaded_engine();
+    let service = QueryService::new(&engine);
+    // `student` is never a direct child of `dept` in this DTD: the
+    // admission gate answers ∅ before any flight, translation, or plan.
+    let out = service.query("dept/student").unwrap();
+    assert!(out.pruned);
+    assert!(out.answers.is_empty());
+    let stats = engine.stats();
+    assert_eq!((stats.sat_checked, stats.sat_pruned), (1, 1));
+    assert_eq!(stats.plan_cache_misses, 0, "no flight ever prepared");
+    assert_eq!(engine.cached_plans(), 0);
+}
+
+#[test]
+fn http_prune_path_sets_header_and_stats() {
+    let (engine, _tree) = loaded_engine();
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle().unwrap();
+
+    thread::scope(|s| {
+        let server = &server;
+        let engine = &engine;
+        s.spawn(move || server.run(engine).unwrap());
+
+        // statically empty: 200 with zero answers, marked pruned
+        let pruned = get(&addr, "/query?q=dept/student");
+        let (status, headers, body) = split_response(&pruned);
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        assert!(headers.contains("X-Sat-Pruned: true"), "{headers}");
+        assert!(headers.contains("X-Answer-Count: 0"), "{headers}");
+        let (payload, _) = decode_chunked(body);
+        assert!(payload.trim().is_empty(), "no answer ids for ∅");
+
+        // satisfiable queries are not marked pruned
+        let served = get(&addr, "/query?q=dept//project");
+        let (_, headers, _) = split_response(&served);
+        assert!(headers.contains("X-Sat-Pruned: false"), "{headers}");
+
+        // both sat counters surface on /stats
+        let stats = get(&addr, "/stats");
+        assert!(stats.contains("\"sat_checked\""), "{stats}");
+        assert!(stats.contains("\"sat_pruned\": 1"), "{stats}");
+
+        shutdown.trigger();
+    });
 }
 
 #[test]
