@@ -92,7 +92,11 @@ fn sample_dtd(name: &str) -> Dtd {
     }
 }
 
-/// One measured workload record.
+/// One measured workload record. Each workload is executed **both ways**
+/// when the query admits the interval fast path: once with the interval
+/// rewrite disabled (`execute_ms`, the LFP baseline every earlier PR
+/// reported) and once with it enabled (`interval_execute_ms`) — an honest
+/// ablation, same store, same prepared-plan warmup, answers asserted equal.
 pub struct BenchRecord {
     /// Workload name.
     pub name: String,
@@ -102,22 +106,47 @@ pub struct BenchRecord {
     pub elements: usize,
     /// Translate wall-clock (fastest of reps), milliseconds.
     pub translate_ms: f64,
-    /// Execute wall-clock (fastest of reps, warm prepared query), ms.
+    /// Execute wall-clock (fastest of reps, warm prepared query), ms —
+    /// the LFP path (interval rewrite disabled), comparable across PRs.
     pub execute_ms: f64,
-    /// Answer nodes.
+    /// Execute wall-clock with the interval fast path, ms. `None` when the
+    /// query has no rewritable `rec(A, B)` (no `//` reaching elements).
+    pub interval_execute_ms: Option<f64>,
+    /// `IntervalJoin` nodes in the rewritten program (0 when `None` above).
+    pub interval_rewrites: usize,
+    /// Sorted-view entries scanned by the interval run (its work proxy).
+    pub interval_rows_scanned: u64,
+    /// Answer nodes (asserted identical across both paths).
     pub answers: usize,
-    /// Tuples emitted by one execution (work proxy).
+    /// Tuples emitted by one LFP-path execution (work proxy).
     pub tuples_emitted: u64,
-    /// Tuples emitted per execute-second (throughput).
+    /// Tuples emitted by one interval-path execution — near the answer
+    /// count, since no closure is materialized.
+    pub interval_tuples_emitted: u64,
+    /// Tuples emitted per execute-second (throughput, LFP path).
     pub rows_per_sec: f64,
     /// Largest closure materialized by any LFP in one execution.
     pub peak_closure: usize,
+    /// Largest closure on the interval path (0 when the rewrite covers
+    /// every fixpoint of the program).
+    pub interval_peak_closure: usize,
     /// Total LFP iterations in one execution.
     pub lfp_iterations: usize,
     /// Statements evaluated (allocation-count proxy: one relation each).
     pub stmts_evaluated: usize,
     /// Joins served from a cached base-edge index (no build table allocated).
     pub join_index_reuses: usize,
+}
+
+impl BenchRecord {
+    /// LFP-over-interval execute speedup (`None` without an interval run).
+    pub fn interval_speedup(&self) -> Option<f64> {
+        let iv = self.interval_execute_ms?;
+        if iv <= 0.0 {
+            return None;
+        }
+        Some(self.execute_ms / iv)
+    }
 }
 
 /// Run every workload at `scale` with `reps` repetitions (fastest kept) and
@@ -128,6 +157,34 @@ pub fn bench_all(scale: f64, reps: usize, threads: usize) -> Vec<BenchRecord> {
         .iter()
         .map(|c| bench_one(c, scale, reps, exec))
         .collect()
+}
+
+/// One warm execute-phase measurement: prepared query against the shared
+/// store, fastest of `reps`, stats of the fastest run.
+fn execute_phase(
+    dtd: &Dtd,
+    query: &str,
+    db: &Arc<x2s_rel::Database>,
+    reps: usize,
+    exec: ExecOptions,
+) -> (f64, usize, Stats) {
+    let mut engine = Engine::builder(dtd).exec_options(exec).build();
+    engine.load_shared(Arc::clone(db));
+    let prepared = engine.prepare(query).expect("bench queries prepare");
+    let mut execute_ms = f64::INFINITY;
+    let mut answers = 0usize;
+    let mut best_stats = Stats::default();
+    for _ in 0..reps.max(1) {
+        engine.reset_stats();
+        let started = Instant::now();
+        answers = prepared.execute().expect("bench queries execute").len();
+        let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        if elapsed < execute_ms {
+            execute_ms = elapsed;
+            best_stats = engine.stats();
+        }
+    }
+    (execute_ms, answers, best_stats)
 }
 
 fn bench_one(case: &BenchCase, scale: f64, reps: usize, exec: ExecOptions) -> BenchRecord {
@@ -146,32 +203,36 @@ fn bench_one(case: &BenchCase, scale: f64, reps: usize, exec: ExecOptions) -> Be
 
     // Phase 1: translate, cold each rep.
     let mut translate_ms = f64::INFINITY;
+    let mut has_interval_variant = false;
     for _ in 0..reps.max(1) {
         let started = Instant::now();
         let tr = Translator::new(&dtd).translate(&path).expect("translates");
         translate_ms = translate_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        has_interval_variant = tr.interval.is_some();
         std::hint::black_box(&tr.program);
     }
 
-    // Phase 2: execute, warm prepared query against the loaded store.
-    let mut engine = Engine::builder(&dtd).exec_options(exec).build();
-    engine.load_shared(Arc::new(ds.db));
-    let prepared = engine.prepare(case.query).expect("bench queries prepare");
-    let mut execute_ms = f64::INFINITY;
-    let mut answers = 0usize;
-    let mut last_stats = Stats::default();
-    for _ in 0..reps.max(1) {
-        engine.reset_stats();
-        let started = Instant::now();
-        answers = prepared.execute().expect("bench queries execute").len();
-        let elapsed = started.elapsed().as_secs_f64() * 1e3;
-        if elapsed < execute_ms {
-            execute_ms = elapsed;
-            last_stats = engine.stats();
-        }
-    }
+    // Phase 2: execute both ways against the same shared store — the LFP
+    // baseline first (comparable to earlier PRs), then the interval fast
+    // path when the translation admits one.
+    let db = Arc::new(ds.db);
+    let (execute_ms, answers, lfp_stats) =
+        execute_phase(&dtd, case.query, &db, reps, exec.with_interval(false));
+    let (interval_execute_ms, interval_stats) = if has_interval_variant {
+        let (ms, iv_answers, stats) =
+            execute_phase(&dtd, case.query, &db, reps, exec.with_interval(true));
+        assert_eq!(iv_answers, answers, "{}: interval path diverged", case.name);
+        assert!(
+            stats.interval_rewrites > 0,
+            "{}: interval variant compiled but never selected",
+            case.name
+        );
+        (Some(ms), stats)
+    } else {
+        (None, Stats::default())
+    };
     let rows_per_sec = if execute_ms > 0.0 {
-        last_stats.tuples_emitted as f64 / (execute_ms / 1e3)
+        lfp_stats.tuples_emitted as f64 / (execute_ms / 1e3)
     } else {
         0.0
     };
@@ -181,13 +242,18 @@ fn bench_one(case: &BenchCase, scale: f64, reps: usize, exec: ExecOptions) -> Be
         elements,
         translate_ms,
         execute_ms,
+        interval_execute_ms,
+        interval_rewrites: interval_stats.interval_rewrites,
+        interval_rows_scanned: interval_stats.interval_rows_scanned,
         answers,
-        tuples_emitted: last_stats.tuples_emitted,
+        tuples_emitted: lfp_stats.tuples_emitted,
+        interval_tuples_emitted: interval_stats.tuples_emitted,
         rows_per_sec,
-        peak_closure: last_stats.lfp_peak_closure,
-        lfp_iterations: last_stats.lfp_iterations,
-        stmts_evaluated: last_stats.stmts_evaluated,
-        join_index_reuses: last_stats.join_index_reuses,
+        peak_closure: lfp_stats.lfp_peak_closure,
+        interval_peak_closure: interval_stats.lfp_peak_closure,
+        lfp_iterations: lfp_stats.lfp_iterations,
+        stmts_evaluated: lfp_stats.stmts_evaluated,
+        join_index_reuses: lfp_stats.join_index_reuses,
     }
 }
 
@@ -261,7 +327,7 @@ pub fn bench_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 5,\n");
+    out.push_str("  \"pr\": 9,\n");
     out.push_str(&format!("  \"scale\": {scale},\n"));
     out.push_str(&format!("  \"reps\": {reps},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
@@ -276,6 +342,32 @@ pub fn bench_json(
         out.push_str(&format!("      \"elements\": {},\n", r.elements));
         out.push_str(&format!("      \"translate_ms\": {:.3},\n", r.translate_ms));
         out.push_str(&format!("      \"execute_ms\": {:.3},\n", r.execute_ms));
+        match r.interval_execute_ms {
+            Some(ms) => {
+                out.push_str(&format!("      \"interval_execute_ms\": {ms:.3},\n"));
+                out.push_str(&format!(
+                    "      \"interval_speedup\": {:.2},\n",
+                    r.interval_speedup().unwrap_or(0.0)
+                ));
+            }
+            None => out.push_str("      \"interval_execute_ms\": null,\n"),
+        }
+        out.push_str(&format!(
+            "      \"interval_rewrites\": {},\n",
+            r.interval_rewrites
+        ));
+        out.push_str(&format!(
+            "      \"interval_rows_scanned\": {},\n",
+            r.interval_rows_scanned
+        ));
+        out.push_str(&format!(
+            "      \"interval_tuples_emitted\": {},\n",
+            r.interval_tuples_emitted
+        ));
+        out.push_str(&format!(
+            "      \"interval_peak_closure\": {},\n",
+            r.interval_peak_closure
+        ));
         out.push_str(&format!("      \"answers\": {},\n", r.answers));
         out.push_str(&format!(
             "      \"tuples_emitted\": {},\n",
@@ -308,14 +400,15 @@ pub fn bench_json(
 /// Render records as a printable summary table (the non-`--json` mode).
 pub fn bench_table(records: &[BenchRecord]) -> crate::workloads::Table {
     crate::workloads::Table {
-        title: "Perf trajectory — Table-5 execute-phase workloads".into(),
+        title: "Perf trajectory — Table-5 execute-phase workloads (LFP vs interval)".into(),
         headers: vec![
             "workload".into(),
             "elements".into(),
             "translate (ms)".into(),
-            "execute (ms)".into(),
+            "lfp exec (ms)".into(),
+            "interval exec (ms)".into(),
+            "speedup".into(),
             "answers".into(),
-            "tuples/s".into(),
             "peak closure".into(),
             "idx reuses".into(),
         ],
@@ -327,14 +420,21 @@ pub fn bench_table(records: &[BenchRecord]) -> crate::workloads::Table {
                     r.elements.to_string(),
                     format!("{:.1}", r.translate_ms),
                     format!("{:.1}", r.execute_ms),
+                    r.interval_execute_ms
+                        .map(|ms| format!("{ms:.1}"))
+                        .unwrap_or_else(|| "—".into()),
+                    r.interval_speedup()
+                        .map(|s| format!("{s:.1}×"))
+                        .unwrap_or_else(|| "—".into()),
                     r.answers.to_string(),
-                    format!("{:.0}", r.rows_per_sec),
                     r.peak_closure.to_string(),
                     r.join_index_reuses.to_string(),
                 ]
             })
             .collect(),
-        note: "fastest of N reps; execute is warm (prepared plan, loaded store)".into(),
+        note: "fastest of N reps; execute is warm (prepared plan, loaded store); \
+               interval column is the pre/post range-join fast path on the same store"
+            .into(),
     }
 }
 
@@ -351,6 +451,7 @@ mod tests {
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"name\":").count(), recs.len());
+        assert_eq!(json.matches("\"interval_execute_ms\":").count(), recs.len());
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -359,6 +460,13 @@ mod tests {
         for r in &recs {
             assert!(r.execute_ms >= 0.0 && r.translate_ms >= 0.0);
         }
+        // every Table-5 workload here has a `//` step reaching elements, so
+        // each record carries the ablation with at least one rewrite
+        assert!(
+            recs.iter()
+                .all(|r| r.interval_execute_ms.is_some() && r.interval_rewrites > 0),
+            "descendant workloads all take the interval fast path"
+        );
         let table = bench_table(&recs);
         assert_eq!(table.rows.len(), recs.len());
     }

@@ -51,7 +51,7 @@ pub use cycleex::RecTable;
 pub use e2sql::{exp_to_sql, exp_to_sql_with_report, SqlOptions};
 pub use engine::{Engine, EngineBuilder, EngineError, PreparedQuery};
 pub use graph::{TransGraph, DOC};
-pub use pipeline::{RecStrategy, TranslateError, Translation, Translator};
+pub use pipeline::{IntervalVariant, RecStrategy, TranslateError, Translation, Translator};
 pub use views::rewrite_for_view;
 pub use x2e::{xpath_to_exp, XpathTranslation};
 pub use x2s_rel::{OptLevel, OptReport};

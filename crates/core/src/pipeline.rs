@@ -1,13 +1,13 @@
 //! The end-to-end translator (paper Fig. 5): XPath → extended XPath → SQL.
 
 use crate::e2sql::{exp_to_sql_with_report, SqlOptions};
-use crate::x2e::{xpath_to_exp, RecMode};
+use crate::x2e::{xpath_to_exp, RecMode, XpathTranslation};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use x2s_dtd::Dtd;
 use x2s_exp::ExtendedQuery;
 use x2s_rel::opt::OptReport;
-use x2s_rel::{Database, ExecError, ExecOptions, Program, Stats};
+use x2s_rel::{Database, ExecError, ExecOptions, IntervalJoinSpec, Plan, Program, Stats};
 use x2s_xpath::Path;
 
 /// Which algorithm instantiates `rec(A, B)` for the descendant axis.
@@ -76,6 +76,26 @@ impl From<x2s_rel::AnalyzeError> for TranslateError {
     }
 }
 
+/// The interval fast-path compilation of a query: the same extended query
+/// compiled with every whole-`rec(A, B)` variable overridden by a
+/// [`Plan::IntervalJoin`] pre/post range join instead of an `LFP`.
+///
+/// Kept *alongside* the LFP program, never instead of it: the schema-level
+/// translation, all SQL dialect renderers and stores without interval
+/// labels keep consuming [`Translation::program`]. [`Translation::try_run`]
+/// picks this variant only when both the caller
+/// ([`ExecOptions::interval`]) and the store
+/// ([`Database::has_intervals`]) permit it.
+#[derive(Debug)]
+pub struct IntervalVariant {
+    /// The interval-rewritten program (same optimizer level as the main
+    /// program).
+    pub program: Program,
+    /// Number of `IntervalJoin` nodes in the optimized program — each one
+    /// is an `LFP(descendant)` that became a range join.
+    pub rewrites: usize,
+}
+
 /// A completed translation: the intermediate extended XPath query and the
 /// final SQL program.
 #[derive(Debug)]
@@ -89,6 +109,9 @@ pub struct Translation {
     /// What the optimizer did: operator counts before/after and pass-level
     /// counters ([`x2s_rel::opt::OptStats`]).
     pub opt: OptReport,
+    /// Interval fast-path variant, when the query has at least one
+    /// rewritable `rec(A, B)` and the translator has the path enabled.
+    pub interval: Option<IntervalVariant>,
 }
 
 impl Translation {
@@ -105,7 +128,14 @@ impl Translation {
         opts: ExecOptions,
         stats: &mut Stats,
     ) -> Result<BTreeSet<u32>, ExecError> {
-        let rel = self.program.execute(db, opts, stats)?;
+        let program = match &self.interval {
+            Some(v) if opts.interval && db.has_intervals() => {
+                stats.interval_rewrites += v.rewrites;
+                &v.program
+            }
+            _ => &self.program,
+        };
+        let rel = program.execute(db, opts, stats)?;
         Ok(rel.rows().filter_map(|t| t[0].as_id()).collect())
     }
 }
@@ -115,15 +145,17 @@ pub struct Translator<'a> {
     dtd: &'a Dtd,
     strategy: RecStrategy,
     sql_options: SqlOptions,
+    interval: bool,
 }
 
 impl<'a> Translator<'a> {
-    /// Default translator (CycleEX + all optimizations).
+    /// Default translator (CycleEX + all optimizations + interval variant).
     pub fn new(dtd: &'a Dtd) -> Self {
         Translator {
             dtd,
             strategy: RecStrategy::CycleEx,
             sql_options: SqlOptions::default(),
+            interval: true,
         }
     }
 
@@ -139,27 +171,91 @@ impl<'a> Translator<'a> {
         self
     }
 
+    /// Enable or disable compiling the interval fast-path variant
+    /// (enabled by default; the main LFP program is built either way).
+    pub fn with_interval(mut self, interval: bool) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    fn rec_mode(&self) -> RecMode {
+        match &self.strategy {
+            RecStrategy::CycleEx => RecMode::CycleEx,
+            RecStrategy::CycleE { cap } => RecMode::CycleE { cap: *cap },
+        }
+    }
+
     /// Step 1 only: XPath → pruned extended XPath (also the view-rewriting
     /// entry point, §3.4).
     pub fn to_extended(&self, path: &Path) -> Result<ExtendedQuery, TranslateError> {
-        let mode = match &self.strategy {
-            RecStrategy::CycleEx => RecMode::CycleEx,
-            RecStrategy::CycleE { cap } => RecMode::CycleE { cap: *cap },
-        };
-        let tr = xpath_to_exp(path, self.dtd, &mode)?;
+        let tr = xpath_to_exp(path, self.dtd, &self.rec_mode())?;
         Ok(tr.query.pruned())
     }
 
     /// Full pipeline: XPath → extended XPath → SQL program (optimized at
     /// [`SqlOptions::optimize`]).
+    ///
+    /// When the query has whole-`rec(A, B)` variables ([`crate::x2e::RecHint`])
+    /// and the interval path is enabled, a second program is compiled with
+    /// those variables overridden by [`Plan::IntervalJoin`] range joins; the
+    /// main program stays pure LFP so schema-only translation and dialect
+    /// rendering are unchanged.
     pub fn translate(&self, path: &Path) -> Result<Translation, TranslateError> {
-        let extended = self.to_extended(path)?;
+        let tr = xpath_to_exp(path, self.dtd, &self.rec_mode())?;
+        let (extended, var_map) = tr.query.pruned_with_map();
         let (program, opt) = exp_to_sql_with_report(&extended, &self.sql_options, &HashMap::new())?;
+        let interval = self.compile_interval_variant(&tr, &extended, &var_map)?;
         Ok(Translation {
             extended,
             program,
             opt,
+            interval,
         })
+    }
+
+    /// Compile the interval fast-path variant, if the query admits one.
+    /// Returns `None` when disabled, when no hint survives pruning, or when
+    /// the optimizer eliminated every rewritten variable (e.g. the pruned
+    /// query never reads it), so callers can trust `rewrites > 0`.
+    fn compile_interval_variant(
+        &self,
+        tr: &XpathTranslation,
+        extended: &ExtendedQuery,
+        var_map: &HashMap<x2s_exp::VarId, x2s_exp::VarId>,
+    ) -> Result<Option<IntervalVariant>, TranslateError> {
+        if !self.interval || tr.rec_hints.is_empty() {
+            return Ok(None);
+        }
+        let overrides: HashMap<x2s_exp::VarId, Plan> = tr
+            .rec_hints
+            .iter()
+            .filter_map(|hint| {
+                // hints name unpruned variables; drop those pruned away
+                let new_var = *var_map.get(&hint.var)?;
+                let spec = IntervalJoinSpec {
+                    left: Box::new(Plan::Scan(format!("R_{}", hint.from))),
+                    left_col: 1,
+                    right: format!("R_{}", hint.to),
+                };
+                Some((new_var, Plan::IntervalJoin(spec)))
+            })
+            .collect();
+        if overrides.is_empty() {
+            return Ok(None);
+        }
+        let (program, _) = exp_to_sql_with_report(extended, &self.sql_options, &overrides)?;
+        let mut rewrites = 0usize;
+        for stmt in &program.stmts {
+            stmt.plan.visit(&mut |p| {
+                if matches!(p, Plan::IntervalJoin(_)) {
+                    rewrites += 1;
+                }
+            });
+        }
+        if rewrites == 0 {
+            return Ok(None);
+        }
+        Ok(Some(IntervalVariant { program, rewrites }))
     }
 }
 

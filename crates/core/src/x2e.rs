@@ -56,6 +56,24 @@ pub struct ExternalRec {
     pub to: TNode,
 }
 
+/// A variable known to denote exactly `rec(A, B)` for one element-type
+/// pair: the final CycleEX table cell for `(A, B)` was a bare variable, so
+/// on a loaded instance the variable's relation (restricted to `A`-typed
+/// sources, which every use site guarantees) is precisely the set of
+/// ancestor/descendant node pairs `(x, y)` with `x` of type `A` and `y` of
+/// type `B`. The engine's interval fast path overrides these variables with
+/// a pre/post range join instead of an `LFP`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecHint {
+    /// The variable (ids refer to the *unpruned* query; follow them through
+    /// [`ExtendedQuery::pruned_with_map`]).
+    pub var: VarId,
+    /// Source element-type name (`A`).
+    pub from: String,
+    /// Target element-type name (`B`).
+    pub to: String,
+}
+
 /// Result of `XPathToEXp`.
 pub struct XpathTranslation {
     /// The extended XPath query (not yet pruned).
@@ -64,6 +82,11 @@ pub struct XpathTranslation {
     pub reach_result: Vec<TNode>,
     /// Placeholder `rec` variables (External mode only).
     pub external_recs: Vec<ExternalRec>,
+    /// Variables denoting a whole `rec(A, B)` between element types
+    /// (CycleEX mode only) — candidates for the interval fast path.
+    /// Document-sourced pairs and ambiguous variables (one variable observed
+    /// for two different pairs) are excluded.
+    pub rec_hints: Vec<RecHint>,
 }
 
 /// Translate an XPath query over `dtd` to an extended XPath query.
@@ -81,6 +104,7 @@ pub fn xpath_to_exp(
         cyclee_cache: HashMap::new(),
         external_cache: HashMap::new(),
         external_recs: Vec::new(),
+        rec_vars: HashMap::new(),
     };
     let table = tr.translate(path)?;
     let doc = g.doc();
@@ -96,10 +120,27 @@ pub fn xpath_to_exp(
     // non-element and contributes nothing to the answer set, but keeping it
     // is harmless; simplification tidies the union.
     tr.query.result = simplify(&result);
+    let rec_hints = tr
+        .rec_vars
+        .iter()
+        .filter_map(|(&var, pair)| {
+            let (a, c) = (*pair)?;
+            // doc-sourced pairs stay on the LFP path: the document node has
+            // no interval label (it is not stored)
+            g.elem(a)?;
+            g.elem(c)?;
+            Some(RecHint {
+                var,
+                from: g.name(a).to_string(),
+                to: g.name(c).to_string(),
+            })
+        })
+        .collect();
     Ok(XpathTranslation {
         query: tr.query,
         reach_result,
         external_recs: tr.external_recs,
+        rec_hints,
     })
 }
 
@@ -131,6 +172,9 @@ struct X2e<'a> {
     cyclee_cache: HashMap<(TNode, TNode), Exp>,
     external_cache: HashMap<(TNode, TNode), Exp>,
     external_recs: Vec<ExternalRec>,
+    /// Variables observed as a whole final `rec(a, c)` cell, with conflict
+    /// detection: a variable seen for two different pairs maps to `None`.
+    rec_vars: HashMap<VarId, Option<(TNode, TNode)>>,
 }
 
 impl<'a> X2e<'a> {
@@ -145,7 +189,18 @@ impl<'a> X2e<'a> {
                         self.rec_table.get_or_insert(t)
                     }
                 };
-                Ok(table.rec_eps_free(a, c).clone())
+                let exp = table.rec_eps_free(a, c).clone();
+                if let Exp::Var(v) = exp {
+                    self.rec_vars
+                        .entry(v)
+                        .and_modify(|pair| {
+                            if *pair != Some((a, c)) {
+                                *pair = None;
+                            }
+                        })
+                        .or_insert(Some((a, c)));
+                }
+                Ok(exp)
             }
             RecMode::CycleE { cap } => {
                 if let Some(e) = self.cyclee_cache.get(&(a, c)) {

@@ -111,6 +111,15 @@ impl ExtendedQuery {
     /// equations the result does not transitively use. Variables are
     /// re-numbered densely.
     pub fn pruned(&self) -> ExtendedQuery {
+        self.pruned_with_map().0
+    }
+
+    /// [`ExtendedQuery::pruned`] plus the old→new variable map for the
+    /// equations that survive. Inlined and dead variables have no entry —
+    /// callers that tag variables before pruning (e.g. `rec(A, B)` hints for
+    /// the interval fast path) use the map to follow them through the dense
+    /// renumbering.
+    pub fn pruned_with_map(&self) -> (ExtendedQuery, HashMap<VarId, VarId>) {
         let mut equations = self.equations.clone();
         let mut result = self.result.clone();
 
@@ -177,8 +186,10 @@ impl ExtendedQuery {
 
         // Re-number densely, preserving order.
         let mut remap: HashMap<VarId, Exp> = HashMap::new();
+        let mut var_map: HashMap<VarId, VarId> = HashMap::new();
         for (i, eq) in equations.iter().enumerate() {
             remap.insert(eq.var, Exp::Var(VarId(i as u32)));
+            var_map.insert(eq.var, VarId(i as u32));
         }
         let equations = equations
             .iter()
@@ -189,10 +200,13 @@ impl ExtendedQuery {
                 note: eq.note.clone(),
             })
             .collect();
-        ExtendedQuery {
-            equations,
-            result: substitute(&result, &remap),
-        }
+        (
+            ExtendedQuery {
+                equations,
+                result: substitute(&result, &remap),
+            },
+            var_map,
+        )
     }
 
     /// Evaluate from the virtual document node; returns element nodes.

@@ -550,7 +550,38 @@ impl Ctx<'_> {
             Plan::Distinct(input) => self.infer(input),
             Plan::Lfp(spec) => self.infer_lfp(spec),
             Plan::MultiLfp(spec) => self.infer_multilfp(spec),
+            Plan::IntervalJoin(spec) => self.infer_interval_join(spec),
         }
+    }
+
+    /// Interval join: the probe column must hold node ids and be in range;
+    /// the right side must be a base relation of edge shape (arity ≥ 2,
+    /// its `T` column supplies the descendants). Output is always the
+    /// binary `(ancestor, descendant)` pair set.
+    fn infer_interval_join(
+        &self,
+        spec: &crate::plan::IntervalJoinSpec,
+    ) -> Result<Schema, AnalyzeErrorKind> {
+        let left = self.infer(&spec.left)?;
+        if let Some(arity) = left.arity() {
+            if spec.left_col >= arity {
+                return Err(AnalyzeErrorKind::ColumnOutOfRange {
+                    context: "interval join probe column".into(),
+                    col: spec.left_col,
+                    arity,
+                });
+            }
+        }
+        let right = (self.scan_schema)(&spec.right);
+        if let Some(arity) = right.arity() {
+            if arity < 2 {
+                return Err(AnalyzeErrorKind::BadClosureShape(format!(
+                    "interval join view relation {} has arity {arity}, need at least 2",
+                    spec.right
+                )));
+            }
+        }
+        Ok(Schema::known(vec![ColType::NodeId, ColType::NodeId]))
     }
 
     /// Diff / Intersect: equal arities; result rows come from the left.

@@ -21,6 +21,7 @@
 
 use crate::dict::Dictionary;
 use crate::fxhash::{fx_hash_one, fx_map_with_capacity, fx_set_with_capacity, FxHashMap};
+use crate::interval::{eval_interval_join, IntervalLabels, IntervalView};
 use crate::lfp::eval_lfp;
 use crate::multilfp::eval_multilfp;
 use crate::plan::{JoinKind, Plan, Pred};
@@ -31,8 +32,20 @@ use crate::value::Value;
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread;
+
+/// Acquire a read lock, recovering the data from a poisoned lock (the
+/// caches hold derived data that is rebuilt deterministically, so a
+/// panicked writer cannot leave them logically inconsistent).
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire a write lock, recovering from poisoning (see [`read_lock`]).
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A per-column hash index over a stored relation: value → row indexes.
 /// NULL keys are excluded (they can never compare equal in a join).
@@ -70,22 +83,55 @@ impl ColIndex {
 }
 
 /// A database: named base relations (the shredded store), their load-time
-/// string [`Dictionary`], and cached per-relation edge indexes.
+/// string [`Dictionary`], cached per-relation edge indexes, and — when the
+/// store was shredded from a document — per-node pre/post
+/// [`IntervalLabels`] with per-relation sorted interval views.
 ///
 /// # Invariants
 ///
 /// * Dictionary codes ([`Value::Code`]) stored in the relations are
 ///   load-scoped to this database's dictionary;
-/// * the cached indexes are immutable once the store sits behind an `Arc`
-///   — [`Database::insert`] drops the stale index for the replaced
-///   relation, and [`Database::build_indexes`] (idempotent) rebuilds
-///   whatever is missing.
-#[derive(Clone, Debug, Default)]
+/// * cached indexes and interval views are **derived** data:
+///   [`Database::insert`] drops the replaced relation's cache entries and
+///   the document-wide interval labels (inserted rows carry no label), and
+///   the next use rebuilds indexes lazily — a mutated store never serves
+///   stale index results;
+/// * lazy rebuilds only happen on stores that opted into indexing via
+///   [`Database::build_indexes`] — a never-indexed database keeps
+///   returning `None` from [`Database::index_of`].
+#[derive(Debug, Default)]
 pub struct Database {
     relations: HashMap<String, Relation>,
     dict: Dictionary,
     /// name → (index on col 0, index on col 1), for arity ≥ 2 relations.
-    indexes: HashMap<String, [ColIndex; 2]>,
+    /// Interior-mutable so invalidated entries rebuild lazily on next use
+    /// (`&self`), even behind an `Arc`.
+    indexes: RwLock<HashMap<String, [Arc<ColIndex>; 2]>>,
+    /// Whether [`Database::build_indexes`] has run — the opt-in that
+    /// enables lazy index (re)builds in [`Database::index_of`].
+    indexed: bool,
+    /// Pre/post interval labels from the shredder's DFS, or `None` for
+    /// stores that were not shredded from a document — or were mutated
+    /// after shredding (any [`Database::insert`] clears this, which makes
+    /// executions fall back to the LFP path).
+    intervals: Option<Arc<IntervalLabels>>,
+    /// name → that relation's `T`-column nodes sorted by `start` label
+    /// (the sort-merge side of [`Plan::IntervalJoin`]); built alongside
+    /// the hash indexes, rebuilt lazily like them.
+    interval_views: RwLock<HashMap<String, Arc<IntervalView>>>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            relations: self.relations.clone(),
+            dict: self.dict.clone(),
+            indexes: RwLock::new(read_lock(&self.indexes).clone()),
+            indexed: self.indexed,
+            intervals: self.intervals.clone(),
+            interval_views: RwLock::new(read_lock(&self.interval_views).clone()),
+        }
+    }
 }
 
 impl Database {
@@ -94,10 +140,17 @@ impl Database {
         Database::default()
     }
 
-    /// Register a base relation (drops any cached index for that name —
-    /// call [`Database::build_indexes`] after bulk loading).
+    /// Register a base relation. Drops the replaced relation's cached
+    /// index and interval view, and clears the document-wide interval
+    /// labels — rows inserted after shredding carry no pre/post label, so
+    /// the interval fast path must not run against a mutated store.
+    /// Hash indexes rebuild lazily on next use (if
+    /// [`Database::build_indexes`] ever ran); interval labels only come
+    /// back via a fresh [`Database::set_intervals`].
     pub fn insert(&mut self, name: &str, rel: Relation) {
-        self.indexes.remove(name);
+        write_lock(&self.indexes).remove(name);
+        write_lock(&self.interval_views).remove(name);
+        self.intervals = None;
         self.relations.insert(name.to_string(), rel);
     }
 
@@ -150,32 +203,100 @@ impl Database {
     }
 
     /// Build the per-relation edge-column indexes (`F` → rows, `T` → rows)
-    /// for every arity ≥ 2 relation that does not have one yet. Loaders
-    /// call this once before the store goes behind an `Arc`; idempotent.
+    /// for every arity ≥ 2 relation that does not have one yet — and, when
+    /// interval labels are present, the per-relation sorted interval views
+    /// alongside them. Loaders call this once before the store goes behind
+    /// an `Arc`; idempotent. It also opts the store into *lazy* rebuilds:
+    /// after a later [`Database::insert`], the next [`Database::index_of`]
+    /// on the replaced relation rebuilds its index on the fly.
     pub fn build_indexes(&mut self) {
+        self.indexed = true;
+        let mut indexes = write_lock(&self.indexes);
+        let mut views = write_lock(&self.interval_views);
         for (name, rel) in &self.relations {
-            if rel.arity() < 2 || self.indexes.contains_key(name) {
+            if rel.arity() < 2 {
                 continue;
             }
-            self.indexes.insert(
-                name.clone(),
-                [ColIndex::build(rel, 0), ColIndex::build(rel, 1)],
-            );
+            if !indexes.contains_key(name) {
+                indexes.insert(
+                    name.clone(),
+                    [
+                        Arc::new(ColIndex::build(rel, 0)),
+                        Arc::new(ColIndex::build(rel, 1)),
+                    ],
+                );
+            }
+            if let Some(labels) = &self.intervals {
+                if !views.contains_key(name) {
+                    views.insert(name.clone(), Arc::new(IntervalView::build(rel, labels)));
+                }
+            }
         }
     }
 
-    /// The cached index of `name` on column `col` (0 = `F`, 1 = `T`), if
-    /// built.
-    pub fn index_of(&self, name: &str, col: usize) -> Option<&ColIndex> {
-        if col > 1 {
+    /// The index of `name` on column `col` (0 = `F`, 1 = `T`), if this
+    /// store is indexed ([`Database::build_indexes`]). A relation whose
+    /// cached entry was invalidated by [`Database::insert`] is re-indexed
+    /// here, lazily, so callers never observe a stale index.
+    pub fn index_of(&self, name: &str, col: usize) -> Option<Arc<ColIndex>> {
+        if col > 1 || !self.indexed {
             return None;
         }
-        self.indexes.get(name).map(|pair| &pair[col])
+        if let Some(pair) = read_lock(&self.indexes).get(name) {
+            return Some(Arc::clone(&pair[col]));
+        }
+        let rel = self.relations.get(name)?;
+        if rel.arity() < 2 {
+            return None;
+        }
+        let pair = [
+            Arc::new(ColIndex::build(rel, 0)),
+            Arc::new(ColIndex::build(rel, 1)),
+        ];
+        let got = Arc::clone(&pair[col]);
+        // A racing rebuild of the same relation produces an identical
+        // index; either insert order yields a correct cache.
+        write_lock(&self.indexes).insert(name.to_string(), pair);
+        Some(got)
     }
 
     /// Number of relations with cached edge indexes.
     pub fn indexed_relations(&self) -> usize {
-        self.indexes.len()
+        read_lock(&self.indexes).len()
+    }
+
+    /// Attach the shredder's per-node pre/post interval labels, replacing
+    /// any previous labels and dropping every cached interval view (views
+    /// are derived from the labels).
+    pub fn set_intervals(&mut self, labels: IntervalLabels) {
+        write_lock(&self.interval_views).clear();
+        self.intervals = Some(Arc::new(labels));
+    }
+
+    /// Whether this store carries interval labels (shredded from a
+    /// document and not mutated since) — the gate for the interval fast
+    /// path.
+    pub fn has_intervals(&self) -> bool {
+        self.intervals.is_some()
+    }
+
+    /// The per-node interval labels, if present.
+    pub fn intervals(&self) -> Option<&Arc<IntervalLabels>> {
+        self.intervals.as_ref()
+    }
+
+    /// The sorted interval view of `name`'s `T` column, building (or
+    /// lazily rebuilding, after an invalidation) on first use. `None` when
+    /// the store has no interval labels or no such relation.
+    pub fn interval_view(&self, name: &str) -> Option<Arc<IntervalView>> {
+        let labels = self.intervals.as_ref()?;
+        if let Some(view) = read_lock(&self.interval_views).get(name) {
+            return Some(Arc::clone(view));
+        }
+        let rel = self.relations.get(name)?;
+        let view = Arc::new(IntervalView::build(rel, labels));
+        write_lock(&self.interval_views).insert(name.to_string(), Arc::clone(&view));
+        Some(view)
     }
 }
 
@@ -197,6 +318,11 @@ pub struct ExecOptions {
     /// [`crate::lfp::PARALLEL_LFP_THRESHOLD`]) so tiny relations stay on the
     /// fast single-thread path.
     pub threads: usize,
+    /// Allow the interval fast path: when the prepared translation carries
+    /// an interval variant *and* the database has interval labels, run the
+    /// `IntervalJoin` program instead of the LFP program. Default true;
+    /// set false to force the pure LFP path (the bench ablation does).
+    pub interval: bool,
 }
 
 impl Default for ExecOptions {
@@ -205,6 +331,7 @@ impl Default for ExecOptions {
             naive_fixpoint: false,
             lazy: true,
             threads: 1,
+            interval: true,
         }
     }
 }
@@ -213,6 +340,12 @@ impl ExecOptions {
     /// These options with `threads` workers (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// These options with the interval fast path enabled or disabled.
+    pub fn with_interval(mut self, interval: bool) -> Self {
+        self.interval = interval;
         self
     }
 }
@@ -226,6 +359,11 @@ pub enum ExecError {
     UnknownTemp(TempId),
     /// Schema mismatch in a set operation.
     SchemaMismatch(String),
+    /// An [`Plan::IntervalJoin`] ran against a store without interval
+    /// labels (never shredded, or mutated since shredding). The engine
+    /// selects the LFP program for such stores; hitting this means a
+    /// caller executed an interval program against the wrong database.
+    MissingIntervals(String),
 }
 
 impl fmt::Display for ExecError {
@@ -234,6 +372,12 @@ impl fmt::Display for ExecError {
             ExecError::UnknownRelation(n) => write!(f, "unknown base relation {n}"),
             ExecError::UnknownTemp(t) => write!(f, "unknown temporary {t:?}"),
             ExecError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            ExecError::MissingIntervals(n) => {
+                write!(
+                    f,
+                    "interval join over {n} on a store without interval labels"
+                )
+            }
         }
     }
 }
@@ -416,7 +560,7 @@ pub fn eval_plan<'a>(
                 *kind,
                 ctx.opts.threads,
                 ctx.stats,
-                prebuilt,
+                prebuilt.as_deref(),
             )))
         }
         Plan::Union { inputs, distinct } => {
@@ -505,6 +649,7 @@ pub fn eval_plan<'a>(
         }
         Plan::Lfp(spec) => Ok(Cow::Owned(eval_lfp(spec, ctx)?)),
         Plan::MultiLfp(spec) => Ok(Cow::Owned(eval_multilfp(spec, ctx)?)),
+        Plan::IntervalJoin(spec) => Ok(Cow::Owned(eval_interval_join(spec, ctx)?)),
     }
 }
 
@@ -1011,16 +1156,71 @@ mod tests {
         }
     }
 
+    /// An insert must never leave a stale index observable: the replaced
+    /// relation's index rebuilds lazily on next use, so the first lookup
+    /// after the mutation already reflects the new rows.
     #[test]
     fn insert_invalidates_stale_index() {
         let mut db = db_with("A", rel2(["F", "T"], &[(1, 2)]));
         db.build_indexes();
         assert!(db.index_of("A", 0).is_some());
         db.insert("A", rel2(["F", "T"], &[(5, 6)]));
-        assert!(db.index_of("A", 0).is_none(), "stale index dropped");
+        assert_eq!(db.indexed_relations(), 0, "cached entry dropped");
+        let idx = db.index_of("A", 0).expect("rebuilt lazily on next use");
+        assert!(idx.get(&Value::Id(5)).is_some(), "fresh rows indexed");
+        assert!(idx.get(&Value::Id(1)).is_none(), "no stale rows");
+        assert_eq!(db.indexed_relations(), 1, "lazy rebuild cached");
+    }
+
+    /// A store that never called `build_indexes` must not index lazily —
+    /// plain test databases keep exercising the index-free join path.
+    #[test]
+    fn never_indexed_store_stays_index_free() {
+        let mut db = db_with("A", rel2(["F", "T"], &[(1, 2)]));
+        assert!(db.index_of("A", 0).is_none());
+        db.insert("A", rel2(["F", "T"], &[(5, 6)]));
+        assert!(db.index_of("A", 0).is_none());
+        assert_eq!(db.indexed_relations(), 0);
+    }
+
+    /// A query against a mutated store must see the mutation — the join
+    /// result served through the lazily rebuilt index equals a fresh
+    /// index-free evaluation (the regression ISSUE 9 satellite pins).
+    #[test]
+    fn mutated_store_queries_are_fresh() {
+        let mut db = Database::new();
+        db.insert("A", rel2(["F", "T"], &[(1, 2), (1, 3)]));
+        db.insert("B", rel2(["F", "T"], &[(2, 9), (3, 8)]));
         db.build_indexes();
-        assert!(db.index_of("A", 0).unwrap().get(&Value::Id(5)).is_some());
-        assert!(db.index_of("A", 0).unwrap().get(&Value::Id(1)).is_none());
+        let p = Plan::Scan("A".into()).join_on(Plan::Scan("B".into()), 1, 0);
+        assert_eq!(run(&p, &db).len(), 2);
+        // replace B: old edge (2,9) gone, new edge (2,77) present
+        db.insert("B", rel2(["F", "T"], &[(2, 77)]));
+        let out = run(&p, &db);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out.row(0),
+            &[Value::Id(1), Value::Id(2), Value::Id(2), Value::Id(77)],
+            "the rebuilt index serves the mutated rows, not the stale ones"
+        );
+    }
+
+    /// Mutation drops interval labels and cached views: the fast path's
+    /// gate (`has_intervals`) closes, so interval programs can never run
+    /// against rows that carry no label.
+    #[test]
+    fn insert_drops_interval_labels() {
+        let mut db = db_with("A", rel2(["F", "T"], &[(0, 1)]));
+        let mut labels = IntervalLabels::with_len(2);
+        labels.set(0, 0, 30);
+        labels.set(1, 10, 20);
+        db.set_intervals(labels);
+        db.build_indexes();
+        assert!(db.has_intervals());
+        assert_eq!(db.interval_view("A").expect("view built").len(), 1);
+        db.insert("A", rel2(["F", "T"], &[(0, 1), (1, 2)]));
+        assert!(!db.has_intervals(), "mutation clears the labels");
+        assert!(db.interval_view("A").is_none(), "and the views");
     }
 
     #[test]

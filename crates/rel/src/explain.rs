@@ -165,6 +165,14 @@ fn explain_into(plan: &Plan, level: usize, out: &mut String) {
                 explain_into(&e.rel, level + 2, out);
             }
         }
+        Plan::IntervalJoin(spec) => {
+            let _ = writeln!(
+                out,
+                "{pad}IntervalJoin pre/post range (c{} ⊐ {}) [no fixpoint]",
+                spec.left_col, spec.right
+            );
+            explain_into(&spec.left, level + 1, out);
+        }
     }
 }
 

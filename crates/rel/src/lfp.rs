@@ -276,6 +276,7 @@ mod tests {
                 naive_fixpoint: naive,
                 lazy: true,
                 threads,
+                ..ExecOptions::default()
             },
             stats: &mut stats,
         };

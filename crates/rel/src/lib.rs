@@ -45,6 +45,7 @@ pub mod exec;
 pub mod explain;
 pub mod fxhash;
 pub mod intern;
+pub mod interval;
 pub mod lfp;
 pub mod multilfp;
 pub mod opt;
@@ -63,9 +64,12 @@ pub use dict::Dictionary;
 pub use exec::{ColIndex, Database, ExecError, ExecOptions, PARALLEL_JOIN_THRESHOLD};
 pub use explain::{explain_opt_report, explain_plan, explain_program};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use interval::{IntervalLabels, IntervalView, LABEL_GAP};
 pub use lfp::PARALLEL_LFP_THRESHOLD;
 pub use opt::{optimize, OptLevel, OptReport, OptStats};
-pub use plan::{JoinKind, LfpSpec, MultiLfpEdge, MultiLfpSpec, Plan, Pred, PushSpec};
+pub use plan::{
+    IntervalJoinSpec, JoinKind, LfpSpec, MultiLfpEdge, MultiLfpSpec, Plan, Pred, PushSpec,
+};
 pub use program::{OpCounts, Program, Stmt, TempId};
 pub use relation::Relation;
 pub use sql::{render_program, render_program_checked, SqlDialect};

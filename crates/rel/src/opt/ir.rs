@@ -14,7 +14,9 @@
 //! the DAG *shares* — everything else inlines into its single consumer, and
 //! anything the result does not reach is simply never visited.
 
-use crate::plan::{JoinKind, LfpSpec, MultiLfpEdge, MultiLfpSpec, Plan, Pred, PushSpec};
+use crate::plan::{
+    IntervalJoinSpec, JoinKind, LfpSpec, MultiLfpEdge, MultiLfpSpec, Plan, Pred, PushSpec,
+};
 use crate::program::{Program, TempId};
 use crate::relation::Relation;
 use std::collections::HashMap;
@@ -96,6 +98,16 @@ pub enum Node {
         /// Edge rules.
         edges: Vec<Edge>,
     },
+    /// Pre/post interval descendant join (the instance fast path that
+    /// replaces an `LFP(descendant)` closure on labeled stores).
+    IntervalJoin {
+        /// Probe side: node producing the ancestor candidates.
+        left: NodeId,
+        /// Column of `left` holding the ancestor node ids.
+        left_col: usize,
+        /// Base relation whose sorted interval view supplies descendants.
+        right: String,
+    },
 }
 
 /// Pushed selection of an LFP node (mirrors [`PushSpec`]).
@@ -155,6 +167,7 @@ impl Node {
                 .map(|(_, n)| *n)
                 .chain(edges.iter().map(|e| e.rel))
                 .collect(),
+            Node::IntervalJoin { left, .. } => vec![*left],
         }
     }
 
@@ -224,6 +237,15 @@ impl Node {
                         rel: f(e.rel),
                     })
                     .collect(),
+            },
+            Node::IntervalJoin {
+                left,
+                left_col,
+                right,
+            } => Node::IntervalJoin {
+                left: f(left),
+                left_col,
+                right,
             },
         }
     }
@@ -435,6 +457,11 @@ impl ProgramIr {
                 }
                 Node::MultiLfp { init, edges }
             }
+            Plan::IntervalJoin(spec) => Node::IntervalJoin {
+                left: self.intern_plan(&spec.left, env)?,
+                left_col: spec.left_col,
+                right: spec.right.clone(),
+            },
         };
         Some(self.intern_counting(node))
     }
@@ -490,16 +517,21 @@ impl ProgramIr {
             Node::Diff { left, .. } | Node::Intersect { left, .. } => self.arity(*left),
             Node::Lfp { .. } => Some(2),
             Node::MultiLfp { .. } => Some(3),
+            Node::IntervalJoin { .. } => Some(2),
         }
     }
 
     /// Whether a node's output is duplicate-free by construction (closure
-    /// results are sets, distinct unions and `Distinct` dedup explicitly) —
-    /// a `Distinct` directly above such a node is redundant.
+    /// results are sets, distinct unions and `Distinct` dedup explicitly,
+    /// interval joins emit each (ancestor, descendant) pair once) — a
+    /// `Distinct` directly above such a node is redundant.
     pub fn is_set_producing(&self, id: NodeId) -> bool {
         matches!(
             self.node(id),
-            Node::Distinct(_) | Node::Union { distinct: true, .. } | Node::Lfp { .. }
+            Node::Distinct(_)
+                | Node::Union { distinct: true, .. }
+                | Node::Lfp { .. }
+                | Node::IntervalJoin { .. }
         )
     }
 
@@ -683,6 +715,15 @@ impl ProgramIr {
                         rel: self.emit(e.rel, uses, prog, temp_of),
                     })
                     .collect(),
+            }),
+            Node::IntervalJoin {
+                left,
+                left_col,
+                right,
+            } => Plan::IntervalJoin(IntervalJoinSpec {
+                left: Box::new(self.emit(*left, uses, prog, temp_of)),
+                left_col: *left_col,
+                right: right.clone(),
             }),
         };
         let node = self.node(id);

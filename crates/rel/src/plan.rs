@@ -124,6 +124,30 @@ pub struct MultiLfpEdge {
     pub rel: Plan,
 }
 
+/// The interval-encoded descendant join — the instance fast path for
+/// `rec(A, B)`. Where the schema-level translation must run `Φ(R)` (it only
+/// knows the DTD), a loaded [`crate::Database`] carries pre/post interval
+/// labels assigned at shred time, and strict ancestorship reduces to a pure
+/// range predicate: `x` is a proper ancestor of `y` iff
+/// `start(x) < start(y) < end(x)` (XPath-accelerator encoding).
+///
+/// Output schema `(F, T)`: pairs `(x, y)` where `x` is drawn from
+/// `left_col` of the `left` plan, `y` from the `T` column of the base
+/// relation `right`, and `x` is a proper ancestor of `y` in the shredded
+/// document. Evaluation is a sort-merge sweep over the database's
+/// pre-sorted interval view of `right`, with an index-nested-loop fallback
+/// when the ancestor side is small ([`crate::exec`]).
+#[derive(Clone, Debug)]
+pub struct IntervalJoinSpec {
+    /// Plan producing candidate ancestor nodes.
+    pub left: Box<Plan>,
+    /// Column of `left` holding the ancestor node ids.
+    pub left_col: usize,
+    /// Base relation whose `T` column (column 1) holds the candidate
+    /// descendants — conventionally the shredded `R_B` of the target type.
+    pub right: String,
+}
+
 /// The multi-relation fixpoint `φ(R, R₁…R_k)` (§3.1 Eq. 1) behind SQL'99
 /// `WITH…RECURSIVE`: each iteration runs *k* joins and *k* unions inside the
 /// recursion. Tuples are `(S, T, Rid)`: origin node, reached node, and the
@@ -198,6 +222,8 @@ pub enum Plan {
     Lfp(LfpSpec),
     /// Multi-relation fixpoint `φ(R, R₁…R_k)` (SQLGen-R only).
     MultiLfp(MultiLfpSpec),
+    /// Pre/post interval range join (instance fast path for `rec(A, B)`).
+    IntervalJoin(IntervalJoinSpec),
 }
 
 impl Plan {
@@ -289,6 +315,7 @@ impl Plan {
                     e.rel.visit(f);
                 }
             }
+            Plan::IntervalJoin(spec) => spec.left.visit(f),
         }
     }
 

@@ -165,7 +165,7 @@ impl Program {
                     c.fixpoint_joins += spec.edges.len();
                     c.fixpoint_unions += spec.edges.len() + spec.init.len().saturating_sub(1);
                 }
-                Plan::Join { .. } => c.joins += 1,
+                Plan::Join { .. } | Plan::IntervalJoin(_) => c.joins += 1,
                 Plan::Union { inputs, .. } => c.unions += inputs.len().saturating_sub(1),
                 Plan::Select { .. }
                 | Plan::Project { .. }

@@ -157,6 +157,24 @@ pub fn render_plan(plan: &Plan, dialect: SqlDialect, level: usize) -> String {
         ),
         Plan::Lfp(spec) => render_lfp(spec, dialect, level),
         Plan::MultiLfp(spec) => render_multilfp(spec, dialect, level),
+        // Interval fast path: a pure range predicate against the backend's
+        // interval-label side table (the XPath-accelerator encoding — the
+        // same `Interval_start`/`Interval_end` comparisons the SNIPPETS
+        // exemplar generates). `R__intervals(node, pre, post)` holds one
+        // row per labeled node; descendant-of is strict containment of the
+        // descendant's `pre` in the ancestor's `(pre, post)` window.
+        Plan::IntervalJoin(spec) => {
+            let pad = indent(level);
+            format!(
+                "{pad}SELECT DISTINCT a.c{col} AS c0, d.c1 AS c1\
+                 \n{pad}FROM (\n{}\n{pad}) a, R__intervals ai, {right} d, R__intervals di\
+                 \n{pad}WHERE ai.node = a.c{col} AND di.node = d.c1\
+                 \n{pad}  AND di.pre > ai.pre AND di.pre < ai.post",
+                render_plan(&spec.left, dialect, level + 1),
+                col = spec.left_col,
+                right = spec.right,
+            )
+        }
     }
 }
 

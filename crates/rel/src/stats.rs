@@ -80,6 +80,13 @@ pub struct Stats {
     /// Serving layer: HTTP body chunks written by streaming result
     /// encoders (answer sets leave in bounded chunks, never one buffer).
     pub stream_chunks: usize,
+    /// `LFP(descendant)` closures answered by the interval fast path
+    /// ([`crate::plan::Plan::IntervalJoin`]) instead of a fixpoint — one
+    /// per rewritten recursion variable per run.
+    pub interval_rewrites: usize,
+    /// Pre-sorted interval-view entries examined by interval joins (the
+    /// fast path's analogue of closure tuples materialized).
+    pub interval_rows_scanned: u64,
 }
 
 impl Stats {
@@ -112,6 +119,8 @@ impl Stats {
         self.requests_rejected += other.requests_rejected;
         self.requests_coalesced += other.requests_coalesced;
         self.stream_chunks += other.stream_chunks;
+        self.interval_rewrites += other.interval_rewrites;
+        self.interval_rows_scanned += other.interval_rows_scanned;
     }
 }
 
@@ -152,6 +161,8 @@ pub struct SharedStats {
     requests_rejected: AtomicU64,
     requests_coalesced: AtomicU64,
     stream_chunks: AtomicU64,
+    interval_rewrites: AtomicU64,
+    interval_rows_scanned: AtomicU64,
 }
 
 impl SharedStats {
@@ -262,6 +273,10 @@ impl SharedStats {
             .fetch_add(s.requests_coalesced as u64, Ordering::Relaxed);
         self.stream_chunks
             .fetch_add(s.stream_chunks as u64, Ordering::Relaxed);
+        self.interval_rewrites
+            .fetch_add(s.interval_rewrites as u64, Ordering::Relaxed);
+        self.interval_rows_scanned
+            .fetch_add(s.interval_rows_scanned, Ordering::Relaxed);
     }
 
     /// Record the pass-level counters of one optimized translation (the
@@ -306,6 +321,8 @@ impl SharedStats {
             requests_rejected: self.requests_rejected.load(Ordering::Relaxed) as usize,
             requests_coalesced: self.requests_coalesced.load(Ordering::Relaxed) as usize,
             stream_chunks: self.stream_chunks.load(Ordering::Relaxed) as usize,
+            interval_rewrites: self.interval_rewrites.load(Ordering::Relaxed) as usize,
+            interval_rows_scanned: self.interval_rows_scanned.load(Ordering::Relaxed),
         }
     }
 
@@ -338,6 +355,8 @@ impl SharedStats {
         self.requests_rejected.store(0, Ordering::Relaxed);
         self.requests_coalesced.store(0, Ordering::Relaxed);
         self.stream_chunks.store(0, Ordering::Relaxed);
+        self.interval_rewrites.store(0, Ordering::Relaxed);
+        self.interval_rows_scanned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -345,7 +364,7 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed peak={} idx={} analyzed={}({} warns) sat={}/{}-pruned serve={}+{}-rej/{}-coal/{}-chunks",
+            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed peak={} idx={} analyzed={}({} warns) sat={}/{}-pruned serve={}+{}-rej/{}-coal/{}-chunks interval={}/{}-scanned",
             self.joins,
             self.unions,
             self.lfp_invocations,
@@ -370,6 +389,8 @@ impl fmt::Display for Stats {
             self.requests_rejected,
             self.requests_coalesced,
             self.stream_chunks,
+            self.interval_rewrites,
+            self.interval_rows_scanned,
         )
     }
 }

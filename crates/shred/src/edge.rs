@@ -7,7 +7,7 @@
 //! across the whole database — our arena `NodeId`s already are.
 
 use x2s_dtd::{Dtd, ElemId};
-use x2s_rel::{Database, Relation, Value};
+use x2s_rel::{Database, IntervalLabels, Relation, Value, LABEL_GAP};
 use x2s_xml::Tree;
 
 /// The base-relation name for an element type: `R_<name>`.
@@ -37,9 +37,11 @@ pub const ALL_NODES: &str = "R__nodes";
 ///
 /// The produced store is *execution-ready*: every text value is encoded
 /// through the database's load-time string dictionary (so the executor
-/// compares `u32` codes, not strings), and the per-relation base-edge
-/// indexes (`F` → rows, `T` → rows) are built before the store is returned
-/// — both are immutable once the database goes behind an `Arc`.
+/// compares `u32` codes, not strings), per-node pre/post interval labels
+/// are assigned in the same traversal (the XPath-accelerator encoding: the
+/// interval fast path answers `//` with a range predicate instead of a
+/// fixpoint), and the per-relation base-edge indexes (`F` → rows, `T` →
+/// rows) plus sorted interval views are built before the store is returned.
 pub fn edge_database(tree: &Tree, dtd: &Dtd) -> Database {
     let mut db = Database::new();
     let mut rels: Vec<Relation> = (0..dtd.len()).map(|_| Relation::edge_schema()).collect();
@@ -62,8 +64,42 @@ pub fn edge_database(tree: &Tree, dtd: &Dtd) -> Database {
         db.insert(&table_name(dtd, id), std::mem::take(&mut rels[id.index()]));
     }
     db.insert(ALL_NODES, all);
+    db.set_intervals(interval_labels(tree));
     db.build_indexes();
     db
+}
+
+/// Assign every node a `(start, end)` interval from one DFS over `tree`:
+/// one monotone tick counter, incremented at each node entry *and* exit,
+/// so `x` is a proper ancestor of `y` iff `start(x) < start(y) < end(x)`.
+/// Ticks are gap-spaced by [`LABEL_GAP`] so a future incremental pass can
+/// label inserted nodes without relabeling the document.
+pub fn interval_labels(tree: &Tree) -> IntervalLabels {
+    let mut labels = IntervalLabels::with_len(tree.len());
+    if tree.is_empty() {
+        return labels;
+    }
+    let mut tick: u64 = 0;
+    let mut starts = vec![0u64; tree.len()];
+    // iterative DFS over the arena: (node, next-child index)
+    let mut stack: Vec<(x2s_xml::NodeId, usize)> = vec![(tree.root(), 0)];
+    while let Some(&mut (node, ref mut ci)) = stack.last_mut() {
+        if *ci == 0 {
+            starts[node.0 as usize] = tick * LABEL_GAP;
+            tick += 1;
+        }
+        let kids = tree.children(node);
+        if *ci < kids.len() {
+            let c = kids[*ci];
+            *ci += 1;
+            stack.push((c, 0));
+        } else {
+            labels.set(node.0, starts[node.0 as usize], tick * LABEL_GAP);
+            tick += 1;
+            stack.pop();
+        }
+    }
+    labels
 }
 
 /// A shredded store bundling the database with its provenance.
@@ -183,6 +219,41 @@ mod tests {
         let db2 = edge_database(&t2, &d);
         assert_eq!(db2.get("R_course").unwrap().len(), 0);
         assert!(db.get("R_zzz").is_none());
+    }
+
+    #[test]
+    fn shredded_store_carries_interval_labels() {
+        let (d, t) = table1();
+        let db = edge_database(&t, &d);
+        assert!(db.has_intervals());
+        let labels = db.intervals().expect("labels set");
+        assert_eq!(labels.len(), t.len());
+        // the labels agree with tree ancestorship, exactly
+        for x in t.node_ids() {
+            for y in t.node_ids() {
+                let mut anc = false;
+                let mut p = t.parent(y);
+                while let Some(q) = p {
+                    if q == x {
+                        anc = true;
+                        break;
+                    }
+                    p = t.parent(q);
+                }
+                assert_eq!(labels.is_ancestor(x.0, y.0), anc, "({x:?},{y:?})");
+            }
+        }
+        // gap spacing: every tick is a LABEL_GAP multiple with room between
+        for n in t.node_ids() {
+            let (s, e) = labels.get(n.0).expect("labeled");
+            assert_eq!(s % x2s_rel::LABEL_GAP, 0);
+            assert_eq!(e % x2s_rel::LABEL_GAP, 0);
+            assert!(s < e, "start strictly before end");
+        }
+        // sorted views exist alongside the hash indexes
+        let view = db.interval_view("R_course").expect("view built at load");
+        assert_eq!(view.len(), db.get("R_course").unwrap().len());
+        assert!(view.entries().windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -130,6 +130,9 @@ impl<'a> SqlGenR<'a> {
             extended: tr.query,
             program,
             opt,
+            // SQLGen-R models the black-box WITH…RECURSIVE baseline; it
+            // never gets the interval fast path
+            interval: None,
         })
     }
 

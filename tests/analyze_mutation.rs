@@ -126,6 +126,7 @@ fn for_each_plan_mut(plan: &mut Plan, f: &mut dyn FnMut(&mut Plan)) {
                 for_each_plan_mut(&mut e.rel, f);
             }
         }
+        Plan::IntervalJoin(spec) => for_each_plan_mut(&mut spec.left, f),
     }
 }
 

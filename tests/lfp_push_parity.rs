@@ -62,6 +62,7 @@ fn closure(
                 naive_fixpoint: naive,
                 lazy: true,
                 threads,
+                ..ExecOptions::default()
             },
             &mut stats,
         )
