@@ -309,6 +309,7 @@ fn serving_json(r: &LoadReport, indent: &str) -> String {
     field("flights", r.flights.to_string(), false);
     field("sat_checked", r.sat_checks.to_string(), false);
     field("sat_pruned", r.pruned.to_string(), false);
+    field("timed_out", r.timed_out.to_string(), false);
     field("coalesce_rate", format!("{:.4}", r.coalesce_rate), true);
     out.push_str(&format!("{indent}}}"));
     out
@@ -491,6 +492,7 @@ mod tests {
             flights: 40,
             sat_checks: 40,
             pruned: 0,
+            timed_out: 0,
             coalesce_rate: 0.6,
         };
         let json = bench_json(&[], 0.1, 1, 1, Some(&report));
@@ -499,6 +501,7 @@ mod tests {
         assert!(json.contains("\"p99_ms\": 4.000"));
         assert!(json.contains("\"coalesce_rate\": 0.6000"));
         assert!(json.contains("\"rejected\": 0"));
+        assert!(json.contains("\"timed_out\": 0"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -146,6 +146,10 @@ pub struct LoadConfig {
     /// Optional flight hold — widens the coalescing window (testing knob,
     /// see [`QueryService::with_hold`]).
     pub flight_hold: Option<Duration>,
+    /// Optional per-request execution deadline (see
+    /// [`QueryService::deadline`]); expiries are reported as
+    /// [`timed_out`](LoadReport::timed_out).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for LoadConfig {
@@ -155,6 +159,7 @@ impl Default for LoadConfig {
             duration: Duration::from_millis(500),
             mode: LoadMode::Closed,
             flight_hold: None,
+            deadline: None,
         }
     }
 }
@@ -190,8 +195,10 @@ pub struct LoadReport {
     pub rejected: u64,
     /// Requests that joined another request's flight.
     pub coalesced: u64,
-    /// Executor flights actually run (plan-cache hits + misses delta:
-    /// only flight leaders prepare).
+    /// Executor flights that ran to completion (plan-cache hits + misses
+    /// delta — only flight leaders prepare — minus the flights whose
+    /// execution hit its deadline, which are reported as
+    /// [`timed_out`](LoadReport::timed_out) instead).
     pub flights: u64,
     /// Satisfiability checks run over the load (gate delta: pruned
     /// requests plus flight leaders that passed the gate).
@@ -199,6 +206,11 @@ pub struct LoadReport {
     /// Requests the satisfiability gate answered statically (∅ against the
     /// DTD) without occupying a flight.
     pub pruned: u64,
+    /// Flights whose execution aborted on the cooperative deadline
+    /// (`exec_timeouts` delta). Every request led a completed flight,
+    /// led a timed-out one, joined one, or was pruned:
+    /// `coalesced + flights + pruned + timed_out == total_requests`.
+    pub timed_out: u64,
     /// `coalesced / total_requests` (0 when idle).
     pub coalesce_rate: f64,
 }
@@ -214,10 +226,13 @@ fn ns_to_ms(ns: u64) -> f64 {
 pub fn run_load(engine: &Engine<'_>, queries: &[&str], cfg: &LoadConfig) -> LoadReport {
     assert!(!queries.is_empty(), "need at least one query");
     let workers = cfg.workers.max(1);
-    let service = match cfg.flight_hold {
+    let mut service = match cfg.flight_hold {
         Some(hold) => QueryService::with_hold(engine, hold),
         None => QueryService::new(engine),
     };
+    if let Some(deadline) = cfg.deadline {
+        service = service.deadline(deadline);
+    }
     let before = engine.stats();
     let histogram = Mutex::new(Histogram::new());
     let errors = AtomicUsize::new(0);
@@ -290,8 +305,13 @@ pub fn run_load(engine: &Engine<'_>, queries: &[&str], cfg: &LoadConfig) -> Load
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let total = completed.load(Ordering::Relaxed) as u64;
     let coalesced = (after.requests_coalesced - before.requests_coalesced) as u64;
+    let timed_out = (after.exec_timeouts - before.exec_timeouts) as u64;
+    // A timed-out leader still prepared its plan, so subtract expiries from
+    // the plan-cache delta to count only flights that ran to completion —
+    // keeping the per-request accounting exact (see `LoadReport::timed_out`).
     let flights = ((after.plan_cache_hits + after.plan_cache_misses)
-        - (before.plan_cache_hits + before.plan_cache_misses)) as u64;
+        - (before.plan_cache_hits + before.plan_cache_misses)) as u64
+        - timed_out;
     let sat_checks = (after.sat_checked - before.sat_checked) as u64;
     let pruned = (after.sat_pruned - before.sat_pruned) as u64;
     LoadReport {
@@ -315,6 +335,7 @@ pub fn run_load(engine: &Engine<'_>, queries: &[&str], cfg: &LoadConfig) -> Load
         flights,
         sat_checks,
         pruned,
+        timed_out,
         coalesce_rate: if total > 0 {
             coalesced as f64 / total as f64
         } else {
@@ -341,6 +362,7 @@ pub fn quick_load(scale: f64, workers: usize) -> LoadReport {
         duration: Duration::from_millis(300),
         mode: LoadMode::Closed,
         flight_hold: Some(Duration::from_millis(5)),
+        deadline: None,
     };
     run_load(&engine, &["a//d", "a/b//c/d"], &cfg)
 }
@@ -402,19 +424,54 @@ mod tests {
             duration: Duration::from_millis(200),
             mode: LoadMode::Closed,
             flight_hold: None,
+            deadline: None,
         };
         // `a/d` is statically empty on the cross DTD (no a→d edge): those
         // requests are answered by the admission gate, not by flights.
         let report = run_load(&engine, &["a//d", "a/b//c/d", "a/d"], &cfg);
         assert!(report.total_requests > 0);
         assert_eq!(report.errors, 0);
+        assert_eq!(report.timed_out, 0, "ungoverned run never times out");
         assert!(report.pruned > 0, "the statically-empty query was pruned");
         assert_eq!(
-            report.coalesced + report.flights + report.pruned,
+            report.coalesced + report.flights + report.pruned + report.timed_out,
             report.total_requests,
-            "every request led a flight, joined one, or was pruned"
+            "every request led a flight, joined one, was pruned, or timed out"
         );
         assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.p99_ms);
+    }
+
+    #[test]
+    fn governed_run_reports_timeouts_and_accounting_stays_exact() {
+        let dtd = samples::cross();
+        let ds = crate::harness::dataset(&dtd, 8, 3, Some(2_000), 23);
+        let mut engine = x2s_core::Engine::builder(&dtd)
+            .exec_options(ExecOptions::default())
+            .build();
+        engine.load_shared(Arc::new(ds.db));
+        let cfg = LoadConfig {
+            workers: 4,
+            duration: Duration::from_millis(150),
+            mode: LoadMode::Closed,
+            flight_hold: None,
+            // Already-expired deadline: every flight aborts at its first
+            // cancellation checkpoint.
+            deadline: Some(Duration::ZERO),
+        };
+        let report = run_load(&engine, &["a//d", "a/b//c/d", "a/d"], &cfg);
+        assert!(report.total_requests > 0);
+        assert!(report.timed_out > 0, "expired deadline must abort flights");
+        assert_eq!(report.flights, 0, "no flight ran to completion");
+        assert_eq!(
+            report.errors,
+            report.coalesced + report.timed_out,
+            "every timed-out leader and every follower saw the typed error"
+        );
+        assert_eq!(
+            report.coalesced + report.flights + report.pruned + report.timed_out,
+            report.total_requests,
+            "governed accounting is exact"
+        );
     }
 
     #[test]
@@ -430,6 +487,7 @@ mod tests {
             duration: Duration::from_millis(400),
             mode: LoadMode::Open { target_qps: 50.0 },
             flight_hold: None,
+            deadline: None,
         };
         let report = run_load(&engine, &["a//d"], &cfg);
         // ~20 arrivals scheduled in 400ms at 50/s; allow wide slop for CI

@@ -453,7 +453,7 @@ pub fn load_harness(scale: f64, workers: usize) -> Vec<Table> {
     let all_queries = ["a//d", "a/b//c/d", "a[//c]//d", "a[not //c]", "a//a", "a/d"];
 
     let mut rows = Vec::new();
-    let mut run = |mode: LoadMode, k: usize, hold: Option<Duration>| {
+    let mut run = |mode: LoadMode, k: usize, hold: Option<Duration>, deadline: Option<Duration>| {
         let mut engine = x2s_core::Engine::builder(&d)
             .exec_options(ExecOptions::default())
             .build();
@@ -463,6 +463,7 @@ pub fn load_harness(scale: f64, workers: usize) -> Vec<Table> {
             duration: Duration::from_millis(300),
             mode,
             flight_hold: hold,
+            deadline,
         };
         let r = run_load(&engine, &all_queries[..k], &cfg);
         let mode_label = match r.mode {
@@ -482,17 +483,22 @@ pub fn load_harness(scale: f64, workers: usize) -> Vec<Table> {
             r.coalesced.to_string(),
             r.sat_checks.to_string(),
             r.pruned.to_string(),
+            r.timed_out.to_string(),
             format!("{:.0}%", r.coalesce_rate * 100.0),
         ]);
     };
     // K ≪ M with a small hold: flights per wave ≈ K, the rest coalesce.
     let hold = Some(Duration::from_millis(5));
-    run(LoadMode::Closed, 1, hold);
-    run(LoadMode::Closed, 2, hold);
+    run(LoadMode::Closed, 1, hold, None);
+    run(LoadMode::Closed, 2, hold, None);
     // Full mix, no hold: natural (racy) coalescing only.
-    run(LoadMode::Closed, all_queries.len(), None);
+    run(LoadMode::Closed, all_queries.len(), None, None);
     // Open loop at a modest arrival rate: latency includes queueing delay.
-    run(LoadMode::Open { target_qps: 200.0 }, 2, None);
+    run(LoadMode::Open { target_qps: 200.0 }, 2, None, None);
+    // Governed run with an already-expired deadline: every flight aborts
+    // at its first cancellation checkpoint, populating the timed_out
+    // column — the resource-governance path under full load.
+    run(LoadMode::Closed, 2, None, Some(Duration::ZERO));
 
     vec![Table {
         title: format!(
@@ -512,14 +518,18 @@ pub fn load_harness(scale: f64, workers: usize) -> Vec<Table> {
             "coalesced".into(),
             "sat_checked".into(),
             "pruned".into(),
+            "timed_out".into(),
             "coalesce%".into(),
         ],
         rows,
-        note: "M workers cycle through K distinct queries; flights = plan-cache \
-               hits+misses delta (only single-flight leaders prepare), so \
-               flights + coalesced + pruned = requests; K ≪ M drives the \
-               coalesce rate up; pruned requests were answered by the \
-               satisfiability gate without a flight"
+        note: "M workers cycle through K distinct queries; flights = completed \
+               executor flights (plan-cache hits+misses delta minus deadline \
+               expiries — only single-flight leaders prepare), so \
+               flights + coalesced + pruned + timed_out = requests; K ≪ M \
+               drives the coalesce rate up; pruned requests were answered by \
+               the satisfiability gate without a flight; the last row runs \
+               under an expired execution deadline, so every flight aborts \
+               cooperatively and lands in timed_out"
             .into(),
     }]
 }

@@ -103,6 +103,18 @@ pub enum EngineError {
     Translate(TranslateError),
     /// The translated program failed to execute.
     Exec(ExecError),
+    /// Execution hit its cooperative deadline
+    /// ([`ExecOptions::deadline`]) and aborted at a checkpoint. Serving
+    /// layers answer this with `503 Retry-After`.
+    DeadlineExceeded,
+    /// Execution exhausted a tuple or closure-memory budget
+    /// ([`ExecOptions::tuple_budget`] / [`ExecOptions::closure_budget`]).
+    BudgetExceeded(String),
+    /// A worker panicked while executing the query and the panic was
+    /// contained (the worker survived). Produced by the serving layer's
+    /// flight isolation, never by the engine itself; every coalesced
+    /// caller of the poisoned flight receives this error.
+    ExecutionPanicked,
     /// The static plan analyzer rejected the translated program on the
     /// prepare path ([`x2s_rel::analyze`]).
     Analyze(AnalyzeError),
@@ -118,6 +130,11 @@ impl fmt::Display for EngineError {
             EngineError::Validate(e) => write!(f, "document does not conform to the DTD: {e}"),
             EngineError::Translate(e) => write!(f, "translation error: {e}"),
             EngineError::Exec(e) => write!(f, "execution error: {e}"),
+            EngineError::DeadlineExceeded => write!(f, "execution deadline exceeded"),
+            EngineError::BudgetExceeded(m) => write!(f, "execution budget exceeded: {m}"),
+            EngineError::ExecutionPanicked => {
+                write!(f, "query execution panicked (contained; worker survived)")
+            }
             EngineError::Analyze(e) => {
                 write!(f, "static analysis rejected the translated program: {e}")
             }
@@ -140,6 +157,9 @@ impl std::error::Error for EngineError {
             EngineError::Translate(e) => Some(e),
             EngineError::Exec(e) => Some(e),
             EngineError::Analyze(e) => Some(e),
+            EngineError::DeadlineExceeded
+            | EngineError::BudgetExceeded(_)
+            | EngineError::ExecutionPanicked => None,
             EngineError::NoDocument => None,
         }
     }
@@ -167,7 +187,13 @@ impl From<TranslateError> for EngineError {
 }
 impl From<ExecError> for EngineError {
     fn from(e: ExecError) -> Self {
-        EngineError::Exec(e)
+        match e {
+            // Governance aborts are first-class outcomes, not generic
+            // execution failures: the serving layer maps them to 503.
+            ExecError::DeadlineExceeded => EngineError::DeadlineExceeded,
+            ExecError::BudgetExceeded(m) => EngineError::BudgetExceeded(m),
+            e => EngineError::Exec(e),
+        }
     }
 }
 impl From<AnalyzeError> for EngineError {
@@ -440,6 +466,13 @@ impl<'d> Engine<'d> {
     /// The default rendering dialect.
     pub fn dialect(&self) -> SqlDialect {
         self.dialect
+    }
+
+    /// The configured execution options — the base a serving layer extends
+    /// with a per-request deadline ([`ExecOptions::with_deadline`]) before
+    /// calling [`PreparedQuery::execute_with`].
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec_options
     }
 
     /// Shred `tree` into the engine's edge store, replacing any previous
@@ -755,7 +788,18 @@ impl PreparedQuery<'_, '_> {
         let mut stats = Stats::default();
         let result = translation.try_run(db, opts, &mut stats);
         self.engine.record(&stats);
-        Ok(result?)
+        match result {
+            Ok(answers) => Ok(answers),
+            Err(ExecError::DeadlineExceeded) => {
+                self.engine.stats.exec_timeout();
+                Err(EngineError::DeadlineExceeded)
+            }
+            Err(ExecError::BudgetExceeded(m)) => {
+                self.engine.stats.budget_abort();
+                Err(EngineError::BudgetExceeded(m))
+            }
+            Err(e) => Err(EngineError::Exec(e)),
+        }
     }
 
     /// Render the cached program as SQL in `dialect`. A statically-empty
@@ -1033,5 +1077,44 @@ mod tests {
         assert!(cache.get(&key("dept/course")).is_some());
         assert!(cache.get(&key("dept//project")).is_none(), "LRU evicted");
         assert!(cache.get(&key("dept//course")).is_some());
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_as_engine_error_and_counts() {
+        let d = samples::dept_simplified();
+        let mut engine = Engine::new(&d);
+        engine
+            .load_xml("<dept><course><project/></course></dept>")
+            .unwrap();
+        let prepared = engine.prepare("dept//project").unwrap();
+        let opts = engine
+            .exec_options()
+            .with_deadline(std::time::Instant::now());
+        assert_eq!(
+            prepared.execute_with(opts).unwrap_err(),
+            EngineError::DeadlineExceeded
+        );
+        assert_eq!(engine.stats().exec_timeouts, 1);
+        assert_eq!(engine.stats().budget_aborts, 0);
+        // The engine stays serviceable: the same prepared query succeeds
+        // under the ungoverned default options.
+        assert!(!prepared.execute().unwrap().is_empty());
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_as_engine_error_and_counts() {
+        let d = samples::dept_simplified();
+        let mut engine = Engine::new(&d);
+        engine
+            .load_xml("<dept><course><project/></course><course><project/></course></dept>")
+            .unwrap();
+        let prepared = engine.prepare("dept//project").unwrap();
+        let opts = engine.exec_options().with_tuple_budget(1);
+        assert!(matches!(
+            prepared.execute_with(opts).unwrap_err(),
+            EngineError::BudgetExceeded(_)
+        ));
+        assert_eq!(engine.stats().budget_aborts, 1);
+        assert!(!prepared.execute().unwrap().is_empty());
     }
 }

@@ -301,7 +301,16 @@ impl Database {
 }
 
 /// Execution options.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// Besides strategy knobs, the options carry the **cooperative
+/// cancellation/budget token**: an optional wall-clock deadline, a tuple
+/// budget, and a closure-memory budget. The executor polls the token at
+/// natural loop boundaries — per-round LFP frontiers, hash-join entry,
+/// interval-sweep chunks, statement boundaries — and aborts with a typed
+/// [`ExecError::DeadlineExceeded`] / [`ExecError::BudgetExceeded`] instead
+/// of running away. Checks are cooperative (no preemption): a single
+/// operator invocation between two checkpoints bounds the overshoot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecOptions {
     /// Use naive (full re-join) instead of semi-naive (delta) fixpoint
     /// iteration. Default false: semi-naive, which is what production
@@ -323,6 +332,19 @@ pub struct ExecOptions {
     /// `IntervalJoin` program instead of the LFP program. Default true;
     /// set false to force the pure LFP path (the bench ablation does).
     pub interval: bool,
+    /// Cooperative wall-clock deadline: execution aborts with
+    /// [`ExecError::DeadlineExceeded`] at the next checkpoint once this
+    /// instant has passed. `None` (the default) never times out.
+    pub deadline: Option<std::time::Instant>,
+    /// Cooperative tuple budget: execution aborts with
+    /// [`ExecError::BudgetExceeded`] once more than this many tuples have
+    /// been emitted across all operators ([`Stats::tuples_emitted`]).
+    /// `None` (the default) is unbounded.
+    pub tuple_budget: Option<u64>,
+    /// Cooperative closure-memory budget: a fixpoint aborts with
+    /// [`ExecError::BudgetExceeded`] once its materialized closure (pair
+    /// set) exceeds this many entries. `None` (the default) is unbounded.
+    pub closure_budget: Option<usize>,
 }
 
 impl Default for ExecOptions {
@@ -332,6 +354,9 @@ impl Default for ExecOptions {
             lazy: true,
             threads: 1,
             interval: true,
+            deadline: None,
+            tuple_budget: None,
+            closure_budget: None,
         }
     }
 }
@@ -347,6 +372,76 @@ impl ExecOptions {
     pub fn with_interval(mut self, interval: bool) -> Self {
         self.interval = interval;
         self
+    }
+
+    /// These options with a cooperative wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// These options with a deadline `timeout` from now.
+    pub fn with_timeout(self, timeout: std::time::Duration) -> Self {
+        self.with_deadline(std::time::Instant::now() + timeout)
+    }
+
+    /// These options with a cooperative tuple budget.
+    pub fn with_tuple_budget(mut self, budget: u64) -> Self {
+        self.tuple_budget = Some(budget);
+        self
+    }
+
+    /// These options with a cooperative closure-memory budget (entries).
+    pub fn with_closure_budget(mut self, budget: usize) -> Self {
+        self.closure_budget = Some(budget);
+        self
+    }
+
+    /// Whether any governance limit (deadline or budget) is set — lets hot
+    /// loops skip per-chunk checks entirely in the common unbounded case.
+    #[inline]
+    pub fn governed(&self) -> bool {
+        self.deadline.is_some() || self.tuple_budget.is_some() || self.closure_budget.is_some()
+    }
+
+    /// Poll the cancellation token: deadline first, then the tuple budget
+    /// against `stats`. Called at executor loop boundaries.
+    #[inline]
+    pub fn check_cancel(&self, stats: &Stats) -> Result<(), ExecError> {
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(ExecError::DeadlineExceeded);
+            }
+        }
+        self.check_tuples(stats.tuples_emitted)
+    }
+
+    /// Check an emitted-tuple count against the tuple budget (used by
+    /// operators that stage output before folding it into [`Stats`]).
+    #[inline]
+    pub fn check_tuples(&self, emitted: u64) -> Result<(), ExecError> {
+        if let Some(budget) = self.tuple_budget {
+            if emitted > budget {
+                return Err(ExecError::BudgetExceeded(format!(
+                    "tuple budget: {emitted} tuples emitted > {budget} allowed"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Check a fixpoint's materialized closure size against the
+    /// closure-memory budget.
+    #[inline]
+    pub fn check_closure(&self, len: usize) -> Result<(), ExecError> {
+        if let Some(budget) = self.closure_budget {
+            if len > budget {
+                return Err(ExecError::BudgetExceeded(format!(
+                    "closure budget: {len} pairs materialized > {budget} allowed"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -364,6 +459,13 @@ pub enum ExecError {
     /// selects the LFP program for such stores; hitting this means a
     /// caller executed an interval program against the wrong database.
     MissingIntervals(String),
+    /// The cooperative deadline ([`ExecOptions::deadline`]) passed; the
+    /// executor aborted at the next checkpoint instead of running away.
+    DeadlineExceeded,
+    /// A resource budget ([`ExecOptions::tuple_budget`] or
+    /// [`ExecOptions::closure_budget`]) was exhausted; the message names
+    /// the budget and the observed value.
+    BudgetExceeded(String),
 }
 
 impl fmt::Display for ExecError {
@@ -378,6 +480,8 @@ impl fmt::Display for ExecError {
                     "interval join over {n} on a store without interval labels"
                 )
             }
+            ExecError::DeadlineExceeded => write!(f, "execution deadline exceeded"),
+            ExecError::BudgetExceeded(m) => write!(f, "execution budget exceeded: {m}"),
         }
     }
 }
@@ -394,6 +498,14 @@ pub struct ExecCtx<'a> {
     pub opts: ExecOptions,
     /// Statistics accumulator.
     pub stats: &'a mut Stats,
+}
+
+impl ExecCtx<'_> {
+    /// Poll this execution's cancellation token (deadline + tuple budget).
+    #[inline]
+    pub fn check_cancel(&self) -> Result<(), ExecError> {
+        self.opts.check_cancel(self.stats)
+    }
 }
 
 /// A predicate compiled against the database dictionary: string literals
@@ -544,6 +656,10 @@ pub fn eval_plan<'a>(
             on,
             kind,
         } => {
+            // Join boundary: the cheapest place to poll the token before
+            // committing to a potentially large build/probe.
+            ctx.check_cancel()?;
+            crate::failpoint::hit("exec-panic");
             let l = eval_plan(left, ctx)?;
             // Cached-index fast path: a single-column join whose build side
             // is a raw base-table scan on an indexed column reuses the

@@ -146,6 +146,12 @@ impl IntervalView {
 /// view.
 const INL_RATIO: usize = 16;
 
+/// View entries scanned between cooperative cancellation checks inside
+/// [`eval_interval_join`]: large sweeps poll the deadline/budget token once
+/// per chunk, so a single scan can overshoot a deadline by at most one
+/// chunk's worth of work.
+const CANCEL_CHECK_CHUNK: u64 = 4_096;
+
 /// Evaluate a [`Plan::IntervalJoin`](crate::plan::Plan::IntervalJoin):
 /// all `(x, y)` with `x` drawn from the left
 /// input's `left_col`, `y` a `T`-column node of the `right` base relation,
@@ -195,6 +201,7 @@ pub fn eval_interval_join<'a>(
     let entries = view.entries();
     let mut out = Relation::new(vec!["F".into(), "T".into()]);
     let mut scanned: u64 = 0;
+    let governed = ctx.opts.governed();
     if lefts.len() <= entries.len() / INL_RATIO {
         // Index-nested-loop: every view entry whose start lies strictly
         // inside (ls, le) is a proper descendant (nesting guarantees its
@@ -206,6 +213,11 @@ pub fn eval_interval_join<'a>(
                     break;
                 }
                 scanned += 1;
+                if governed && scanned.is_multiple_of(CANCEL_CHECK_CHUNK) {
+                    ctx.check_cancel()?;
+                    ctx.opts
+                        .check_tuples(ctx.stats.tuples_emitted + out.len() as u64)?;
+                }
                 out.push_row(&[Value::Id(x), Value::Id(y)]);
             }
         }
@@ -219,6 +231,11 @@ pub fn eval_interval_join<'a>(
         let mut li = 0;
         for &(s, _, y) in entries {
             scanned += 1;
+            if governed && scanned.is_multiple_of(CANCEL_CHECK_CHUNK) {
+                ctx.check_cancel()?;
+                ctx.opts
+                    .check_tuples(ctx.stats.tuples_emitted + out.len() as u64)?;
+            }
             while li < lefts.len() && lefts[li].0 < s {
                 let l = lefts[li];
                 li += 1;

@@ -124,6 +124,12 @@ fn semi_naive_closure(
     }
     let threads = ctx.opts.threads.max(1);
     while !frontier.is_empty() {
+        // Per-round frontier boundary: the cancellation checkpoint the
+        // inflationary-fixpoint analysis calls for — one round bounds the
+        // overshoot past a deadline or budget.
+        ctx.check_cancel()?;
+        ctx.opts.check_closure(closure.len())?;
+        crate::failpoint::hit("lfp-round-sleep");
         ctx.stats.lfp_iterations += 1;
         ctx.stats.joins += 1; // one join per iteration: Δ ⋈ R0
         ctx.stats.unions += 1; // one union per iteration: R ∪ new
@@ -208,6 +214,9 @@ fn naive_closure(
         }
     }
     loop {
+        ctx.check_cancel()?;
+        ctx.opts.check_closure(closure.len())?;
+        crate::failpoint::hit("lfp-round-sleep");
         ctx.stats.lfp_iterations += 1;
         ctx.stats.joins += 1;
         ctx.stats.unions += 1;
@@ -510,6 +519,60 @@ mod tests {
                     .collect();
                 assert_eq!(pairs_of(&bwd), expect, "backward naive={naive}");
             }
+        }
+    }
+
+    /// The cooperative token aborts the fixpoint at a round boundary: an
+    /// already-expired deadline, a closure budget, and a tuple budget each
+    /// produce their typed error instead of a completed closure — in both
+    /// semi-naive and naive modes.
+    #[test]
+    fn cancellation_token_aborts_closure() {
+        let mut db = Database::new();
+        db.insert("E", edge_rel(&[(1, 2), (2, 3), (3, 1)]));
+        let spec = LfpSpec {
+            // Select(True) re-emits the edges so `tuples_emitted` is
+            // non-zero before the first round check.
+            input: Box::new(Plan::Scan("E".into()).select(crate::plan::Pred::True)),
+            from_col: 0,
+            to_col: 1,
+            push: None,
+        };
+        let env: Map<TempId, Relation> = Map::new();
+        let run = |opts: ExecOptions| {
+            let mut stats = Stats::default();
+            let mut ctx = ExecCtx {
+                db: &db,
+                env: &env,
+                opts,
+                stats: &mut stats,
+            };
+            eval_lfp(&spec, &mut ctx)
+        };
+        for naive in [false, true] {
+            let base = ExecOptions {
+                naive_fixpoint: naive,
+                ..ExecOptions::default()
+            };
+            let err = run(base.with_deadline(std::time::Instant::now())).unwrap_err();
+            assert_eq!(err, crate::ExecError::DeadlineExceeded, "naive={naive}");
+            let err = run(base.with_closure_budget(1)).unwrap_err();
+            assert!(
+                matches!(err, crate::ExecError::BudgetExceeded(_)),
+                "naive={naive}: closure budget"
+            );
+            let err = run(base.with_tuple_budget(1)).unwrap_err();
+            assert!(
+                matches!(err, crate::ExecError::BudgetExceeded(_)),
+                "naive={naive}: tuple budget"
+            );
+            // generous limits don't disturb the result
+            let ok = run(base
+                .with_timeout(std::time::Duration::from_secs(60))
+                .with_tuple_budget(1 << 30)
+                .with_closure_budget(1 << 20))
+            .unwrap();
+            assert_eq!(pairs_of(&ok), reference_closure(&[(1, 2), (2, 3), (3, 1)]));
         }
     }
 

@@ -82,6 +82,10 @@ pub fn eval_multilfp<'a>(
 
     let naive = ctx.opts.naive_fixpoint;
     while !frontier.is_empty() {
+        // Per-round boundary: same cooperative checkpoint as the simple LFP.
+        ctx.check_cancel()?;
+        ctx.opts.check_closure(result.len())?;
+        crate::failpoint::hit("lfp-round-sleep");
         ctx.stats.multilfp_iterations += 1;
         let mut next: Vec<(u32, u32, u32)> = Vec::new();
         // k joins + k unions per iteration — the cost model of Fig. 2.

@@ -128,6 +128,10 @@ impl Program {
             stats.stmts_skipped += self.stmts.len() - stats.stmts_evaluated.min(self.stmts.len());
         } else {
             for stmt in &self.stmts {
+                // Statement boundary: poll the cancellation token between
+                // statements so a multi-statement program cannot outlive its
+                // deadline by more than one statement.
+                opts.check_cancel(stats)?;
                 // into_owned inside the scope: a statement that is a bare
                 // Scan/Temp clones (it must own its entry), everything else
                 // is already owned
@@ -200,6 +204,8 @@ fn materialize(
     if env.contains_key(&id) {
         return Ok(());
     }
+    // Statement boundary (lazy path): see the eager loop in `execute`.
+    opts.check_cancel(stats)?;
     let stmt = *by_target.get(&id).ok_or(ExecError::UnknownTemp(id))?;
     for dep in stmt.plan.referenced_temps() {
         materialize(dep, by_target, db, opts, env, stats)?;
@@ -288,6 +294,25 @@ mod tests {
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.row(0), &[Value::Id(1), Value::Id(3)]);
+    }
+
+    /// An expired deadline aborts at the statement boundary in both lazy
+    /// and eager modes, with the typed error (not a hang or a panic).
+    #[test]
+    fn expired_deadline_aborts_program() {
+        let mut prog = Program::new();
+        let t = prog.push(Plan::Scan("E".into()), "scan");
+        prog.result = Some(t);
+        for lazy in [true, false] {
+            let opts = ExecOptions {
+                lazy,
+                ..ExecOptions::default()
+            }
+            .with_deadline(std::time::Instant::now());
+            let mut stats = Stats::default();
+            let err = prog.execute(&db(), opts, &mut stats).unwrap_err();
+            assert_eq!(err, ExecError::DeadlineExceeded, "lazy={lazy}");
+        }
     }
 
     #[test]

@@ -87,6 +87,18 @@ pub struct Stats {
     /// Pre-sorted interval-view entries examined by interval joins (the
     /// fast path's analogue of closure tuples materialized).
     pub interval_rows_scanned: u64,
+    /// Executions aborted by the cooperative deadline
+    /// ([`crate::ExecError::DeadlineExceeded`]).
+    pub exec_timeouts: usize,
+    /// Executions aborted by a tuple or closure-memory budget
+    /// ([`crate::ExecError::BudgetExceeded`]).
+    pub budget_aborts: usize,
+    /// Panics caught and contained by the serving layer (a flight leader
+    /// that unwound; followers got a typed error, the worker survived).
+    pub panics_contained: usize,
+    /// Serving layer: requests answered `503 Retry-After` because their
+    /// execution deadline expired (the worker returned to the pool).
+    pub requests_timed_out: usize,
 }
 
 impl Stats {
@@ -121,6 +133,10 @@ impl Stats {
         self.stream_chunks += other.stream_chunks;
         self.interval_rewrites += other.interval_rewrites;
         self.interval_rows_scanned += other.interval_rows_scanned;
+        self.exec_timeouts += other.exec_timeouts;
+        self.budget_aborts += other.budget_aborts;
+        self.panics_contained += other.panics_contained;
+        self.requests_timed_out += other.requests_timed_out;
     }
 }
 
@@ -163,6 +179,10 @@ pub struct SharedStats {
     stream_chunks: AtomicU64,
     interval_rewrites: AtomicU64,
     interval_rows_scanned: AtomicU64,
+    exec_timeouts: AtomicU64,
+    budget_aborts: AtomicU64,
+    panics_contained: AtomicU64,
+    requests_timed_out: AtomicU64,
 }
 
 impl SharedStats {
@@ -218,6 +238,26 @@ impl SharedStats {
     /// Count `n` streamed result chunks written by a response encoder.
     pub fn add_stream_chunks(&self, n: usize) {
         self.stream_chunks.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Count one execution aborted by the cooperative deadline.
+    pub fn exec_timeout(&self) {
+        self.exec_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one execution aborted by a tuple/closure budget.
+    pub fn budget_abort(&self) {
+        self.budget_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one panic caught and contained by the serving layer.
+    pub fn panic_contained(&self) {
+        self.panics_contained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request answered 503 because its deadline expired.
+    pub fn request_timed_out(&self) {
+        self.requests_timed_out.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Add a finished run's counters (the lock-free analogue of
@@ -277,6 +317,14 @@ impl SharedStats {
             .fetch_add(s.interval_rewrites as u64, Ordering::Relaxed);
         self.interval_rows_scanned
             .fetch_add(s.interval_rows_scanned, Ordering::Relaxed);
+        self.exec_timeouts
+            .fetch_add(s.exec_timeouts as u64, Ordering::Relaxed);
+        self.budget_aborts
+            .fetch_add(s.budget_aborts as u64, Ordering::Relaxed);
+        self.panics_contained
+            .fetch_add(s.panics_contained as u64, Ordering::Relaxed);
+        self.requests_timed_out
+            .fetch_add(s.requests_timed_out as u64, Ordering::Relaxed);
     }
 
     /// Record the pass-level counters of one optimized translation (the
@@ -323,6 +371,10 @@ impl SharedStats {
             stream_chunks: self.stream_chunks.load(Ordering::Relaxed) as usize,
             interval_rewrites: self.interval_rewrites.load(Ordering::Relaxed) as usize,
             interval_rows_scanned: self.interval_rows_scanned.load(Ordering::Relaxed),
+            exec_timeouts: self.exec_timeouts.load(Ordering::Relaxed) as usize,
+            budget_aborts: self.budget_aborts.load(Ordering::Relaxed) as usize,
+            panics_contained: self.panics_contained.load(Ordering::Relaxed) as usize,
+            requests_timed_out: self.requests_timed_out.load(Ordering::Relaxed) as usize,
         }
     }
 
@@ -357,6 +409,10 @@ impl SharedStats {
         self.stream_chunks.store(0, Ordering::Relaxed);
         self.interval_rewrites.store(0, Ordering::Relaxed);
         self.interval_rows_scanned.store(0, Ordering::Relaxed);
+        self.exec_timeouts.store(0, Ordering::Relaxed);
+        self.budget_aborts.store(0, Ordering::Relaxed);
+        self.panics_contained.store(0, Ordering::Relaxed);
+        self.requests_timed_out.store(0, Ordering::Relaxed);
     }
 }
 
@@ -364,7 +420,7 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed peak={} idx={} analyzed={}({} warns) sat={}/{}-pruned serve={}+{}-rej/{}-coal/{}-chunks interval={}/{}-scanned",
+            "joins={} unions={} lfp={}({} iters) multilfp={}({} iters) tuples={} stmts={}+{} skipped cache={}/{} hit/miss opt={}-stmts/{}-cse/{}-pushed peak={} idx={} analyzed={}({} warns) sat={}/{}-pruned serve={}+{}-rej/{}-coal/{}-chunks interval={}/{}-scanned govern={}-timeout/{}-budget/{}-panic/{}-503",
             self.joins,
             self.unions,
             self.lfp_invocations,
@@ -391,6 +447,10 @@ impl fmt::Display for Stats {
             self.stream_chunks,
             self.interval_rewrites,
             self.interval_rows_scanned,
+            self.exec_timeouts,
+            self.budget_aborts,
+            self.panics_contained,
+            self.requests_timed_out,
         )
     }
 }
@@ -524,6 +584,29 @@ mod tests {
         assert_eq!(merged.requests_admitted, 6);
         assert_eq!(merged.stream_chunks, 10);
         assert!(merged.to_string().contains("serve="));
+        shared.reset();
+        assert_eq!(shared.snapshot(), Stats::default());
+    }
+
+    #[test]
+    fn governance_counters_round_trip() {
+        let shared = SharedStats::new();
+        shared.exec_timeout();
+        shared.exec_timeout();
+        shared.budget_abort();
+        shared.panic_contained();
+        shared.request_timed_out();
+        let snap = shared.snapshot();
+        assert_eq!(snap.exec_timeouts, 2);
+        assert_eq!(snap.budget_aborts, 1);
+        assert_eq!(snap.panics_contained, 1);
+        assert_eq!(snap.requests_timed_out, 1);
+        let mut merged = Stats::default();
+        merged.merge(&snap);
+        merged.merge(&snap);
+        assert_eq!(merged.exec_timeouts, 4);
+        assert_eq!(merged.panics_contained, 2);
+        assert!(merged.to_string().contains("govern="));
         shared.reset();
         assert_eq!(shared.snapshot(), Stats::default());
     }

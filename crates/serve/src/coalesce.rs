@@ -7,8 +7,14 @@
 //! turns an N-client thundering herd on a cold plan cache into exactly one
 //! translation + one execution, which is why the concurrency tests can pin
 //! `plan_cache_misses == 1` for N identical first-time queries.
+//!
+//! Leaders run under [`std::panic::catch_unwind`]: a panicking leader marks
+//! its flight [poisoned](FlightPoisoned) and wakes every follower with a
+//! typed error instead of stranding them on a result that will never
+//! arrive. The worker thread that led the flight survives.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Whether a call led its flight or joined an existing one.
@@ -21,8 +27,27 @@ pub enum Outcome {
     Joined,
 }
 
+/// Error returned to every caller of a flight whose leader panicked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightPoisoned {
+    /// `true` for the caller whose own `exec` panicked (the leader). Each
+    /// poisoned flight has exactly one such caller — the right place to
+    /// count a contained panic exactly once.
+    pub led: bool,
+}
+
+/// What a flight's shared slot holds while it is in the air.
+enum Slot<V> {
+    /// The leader is still executing.
+    Pending,
+    /// The leader published its result.
+    Done(V),
+    /// The leader panicked before publishing; no result will ever arrive.
+    Poisoned,
+}
+
 struct Flight<V> {
-    result: Mutex<Option<V>>,
+    result: Mutex<Slot<V>>,
     done: Condvar,
 }
 
@@ -55,15 +80,16 @@ impl<V: Clone> SingleFlight<V> {
     /// Run `exec` under single-flight semantics for `key`.
     ///
     /// If no flight for `key` is in the air this caller becomes the leader:
-    /// it runs `exec`, publishes the result to the flight, and removes the
-    /// flight from the map. Otherwise the caller joins the existing flight
-    /// and blocks until the leader publishes.
+    /// it runs `exec` under [`catch_unwind`], publishes the result to the
+    /// flight, and removes the flight from the map. Otherwise the caller
+    /// joins the existing flight and blocks until the leader publishes.
     ///
-    /// `exec` must not panic: a leader that unwinds would strand its
-    /// followers (they recover via poison-tolerant locking but would wait
-    /// for a result that never arrives). The serving layer satisfies this
-    /// by executing through the engine's typed-error API.
-    pub fn run<F>(&self, key: &str, exec: F) -> (V, Outcome)
+    /// A panicking `exec` does not strand followers: the flight is marked
+    /// poisoned, every waiter wakes with [`FlightPoisoned`], the flight is
+    /// removed from the map (so the next arrival starts fresh), and the
+    /// leader's own call returns the error instead of unwinding — the
+    /// worker thread survives.
+    pub fn run<F>(&self, key: &str, exec: F) -> Result<(V, Outcome), FlightPoisoned>
     where
         F: FnOnce() -> V,
     {
@@ -73,7 +99,7 @@ impl<V: Clone> SingleFlight<V> {
                 Some(f) => (Arc::clone(f), false),
                 None => {
                     let f = Arc::new(Flight {
-                        result: Mutex::new(None),
+                        result: Mutex::new(Slot::Pending),
                         done: Condvar::new(),
                     });
                     flights.insert(key.to_string(), Arc::clone(&f));
@@ -83,24 +109,37 @@ impl<V: Clone> SingleFlight<V> {
         };
 
         if leader {
-            let value = exec();
-            // Publish before removing the flight from the map: a follower
-            // holding the Arc must find the result; a caller arriving after
-            // the removal simply starts a fresh flight.
-            *lock(&flight.result) = Some(value.clone());
-            flight.done.notify_all();
-            lock(&self.flights).remove(key);
-            (value, Outcome::Led)
+            match catch_unwind(AssertUnwindSafe(exec)) {
+                Ok(value) => {
+                    // Publish before removing the flight from the map: a
+                    // follower holding the Arc must find the result; a
+                    // caller arriving after the removal simply starts a
+                    // fresh flight.
+                    *lock(&flight.result) = Slot::Done(value.clone());
+                    flight.done.notify_all();
+                    lock(&self.flights).remove(key);
+                    Ok((value, Outcome::Led))
+                }
+                Err(_panic) => {
+                    *lock(&flight.result) = Slot::Poisoned;
+                    flight.done.notify_all();
+                    lock(&self.flights).remove(key);
+                    Err(FlightPoisoned { led: true })
+                }
+            }
         } else {
             let mut slot = lock(&flight.result);
             loop {
-                if let Some(value) = slot.as_ref() {
-                    return (value.clone(), Outcome::Joined);
+                match &*slot {
+                    Slot::Done(value) => return Ok((value.clone(), Outcome::Joined)),
+                    Slot::Poisoned => return Err(FlightPoisoned { led: false }),
+                    Slot::Pending => {
+                        slot = flight
+                            .done
+                            .wait(slot)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
                 }
-                slot = flight
-                    .done
-                    .wait(slot)
-                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
@@ -123,7 +162,7 @@ mod tests {
     #[test]
     fn lone_caller_leads() {
         let sf = SingleFlight::new();
-        let (v, outcome) = sf.run("k", || 42);
+        let (v, outcome) = sf.run("k", || 42).unwrap();
         assert_eq!(v, 42);
         assert_eq!(outcome, Outcome::Led);
         assert_eq!(sf.in_flight(), 0, "flight removed after completion");
@@ -140,13 +179,15 @@ mod tests {
                 .map(|_| {
                     s.spawn(|| {
                         barrier.wait();
-                        let (v, o) = sf.run("same", || {
-                            executions.fetch_add(1, Ordering::SeqCst);
-                            // hold the flight open long enough for every
-                            // thread to join it
-                            thread::sleep(Duration::from_millis(100));
-                            7
-                        });
+                        let (v, o) = sf
+                            .run("same", || {
+                                executions.fetch_add(1, Ordering::SeqCst);
+                                // hold the flight open long enough for every
+                                // thread to join it
+                                thread::sleep(Duration::from_millis(100));
+                                7
+                            })
+                            .unwrap();
                         assert_eq!(v, 7);
                         o
                     })
@@ -170,7 +211,8 @@ mod tests {
                     sf.run(key, || {
                         executions.fetch_add(1, Ordering::SeqCst);
                         key.len()
-                    });
+                    })
+                    .unwrap();
                 });
             }
         });
@@ -180,9 +222,48 @@ mod tests {
     #[test]
     fn sequential_calls_each_lead() {
         let sf = SingleFlight::new();
-        let (_, first) = sf.run("k", || 1);
-        let (_, second) = sf.run("k", || 2);
+        let (_, first) = sf.run("k", || 1).unwrap();
+        let (_, second) = sf.run("k", || 2).unwrap();
         assert_eq!(first, Outcome::Led);
         assert_eq!(second, Outcome::Led, "flight was torn down in between");
+    }
+
+    /// Regression test for the poisoned-flight hazard: a leader that
+    /// panics mid-flight must wake every follower with a typed error —
+    /// none may hang — and the group must stay usable afterwards.
+    #[test]
+    fn panicking_leader_poisons_flight_and_wakes_all_followers() {
+        const N: usize = 8;
+        let sf: SingleFlight<i32> = SingleFlight::new();
+        let barrier = Barrier::new(N);
+        let results: Vec<Result<(i32, Outcome), FlightPoisoned>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..N)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        sf.run("doomed", || {
+                            // Hold the flight open so every other thread
+                            // joins it, then unwind.
+                            thread::sleep(Duration::from_millis(100));
+                            panic!("injected leader panic");
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            results.iter().all(Result::is_err),
+            "every caller gets the typed error, none hang"
+        );
+        let leaders = results
+            .iter()
+            .filter(|r| matches!(r, Err(FlightPoisoned { led: true })))
+            .count();
+        assert_eq!(leaders, 1, "exactly one caller contained the panic");
+        assert_eq!(sf.in_flight(), 0, "poisoned flight removed from the map");
+        // The group recovers: the next arrival starts a fresh flight.
+        let (v, o) = sf.run("doomed", || 9).unwrap();
+        assert_eq!((v, o), (9, Outcome::Led));
     }
 }

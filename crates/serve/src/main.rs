@@ -3,6 +3,7 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--dtd NAME] [--xml FILE | --elements N --seed N]
 //!       [--workers N] [--queue N] [--hold-ms N] [--rows-per-chunk N]
+//!       [--deadline-ms N]
 //! ```
 //!
 //! Endpoints: `GET /query?q=<xpath>` (chunked streaming answer ids),
@@ -27,6 +28,7 @@ struct Args {
     queue: usize,
     hold_ms: Option<u64>,
     rows_per_chunk: usize,
+    deadline_ms: Option<u64>,
 }
 
 fn fail(msg: &str) -> ! {
@@ -45,6 +47,7 @@ fn parse_args() -> Args {
         queue: 64,
         hold_ms: None,
         rows_per_chunk: 4096,
+        deadline_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,11 +67,14 @@ fn parse_args() -> Args {
             "--rows-per-chunk" => {
                 args.rows_per_chunk = parse_num(&value("--rows-per-chunk"), "--rows-per-chunk")
             }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(parse_num(&value("--deadline-ms"), "--deadline-ms"))
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: serve [--addr HOST:PORT] [--dtd NAME] [--xml FILE] \
                      [--elements N] [--seed N] [--workers N] [--queue N] \
-                     [--hold-ms N] [--rows-per-chunk N]\n\
+                     [--hold-ms N] [--rows-per-chunk N] [--deadline-ms N]\n\
                      DTDs: dept, dept_simplified, cross, gedml, bioml"
                 );
                 std::process::exit(0);
@@ -134,6 +140,7 @@ fn main() -> ExitCode {
         queue_capacity: args.queue,
         rows_per_chunk: args.rows_per_chunk,
         flight_hold: args.hold_ms.map(Duration::from_millis),
+        query_deadline: args.deadline_ms.map(Duration::from_millis),
         ..ServeConfig::default()
     };
     let server = match Server::bind(&args.addr, config) {

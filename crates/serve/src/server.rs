@@ -41,6 +41,11 @@ pub struct ServeConfig {
     /// that widens the coalescing window (see
     /// [`QueryService::with_hold`]).
     pub flight_hold: Option<Duration>,
+    /// Cooperative execution deadline applied to every `/query` request
+    /// (see [`QueryService::deadline`]). Expiry answers `503` with
+    /// `Retry-After` and counts `requests_timed_out`. `None` (the
+    /// default) leaves queries ungoverned.
+    pub query_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +56,7 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             rows_per_chunk: 4096,
             flight_hold: None,
+            query_deadline: None,
         }
     }
 }
@@ -115,10 +121,13 @@ impl Server {
     /// threads are scoped inside, so on return every admitted connection
     /// has received a complete response and the pool is joined.
     pub fn run(&self, engine: &Engine<'_>) -> io::Result<()> {
-        let service = match self.config.flight_hold {
+        let mut service = match self.config.flight_hold {
             Some(hold) => QueryService::with_hold(engine, hold),
             None => QueryService::new(engine),
         };
+        if let Some(deadline) = self.config.query_deadline {
+            service = service.deadline(deadline);
+        }
         let queue: Bounded<TcpStream> = Bounded::new(self.config.queue_capacity);
         let shutdown_handle = self.shutdown_handle()?;
 
@@ -221,7 +230,11 @@ pub fn stats_json(stats: &Stats) -> String {
             "  \"analyze_checked\": {},\n",
             "  \"analyze_warnings\": {},\n",
             "  \"sat_checked\": {},\n",
-            "  \"sat_pruned\": {}\n",
+            "  \"sat_pruned\": {},\n",
+            "  \"exec_timeouts\": {},\n",
+            "  \"budget_aborts\": {},\n",
+            "  \"panics_contained\": {},\n",
+            "  \"requests_timed_out\": {}\n",
             "}}\n"
         ),
         stats.requests_admitted,
@@ -251,6 +264,10 @@ pub fn stats_json(stats: &Stats) -> String {
         stats.analyze_warnings,
         stats.sat_checked,
         stats.sat_pruned,
+        stats.exec_timeouts,
+        stats.budget_aborts,
+        stats.panics_contained,
+        stats.requests_timed_out,
     )
 }
 
@@ -329,17 +346,37 @@ fn serve_query(
         }
     };
     // Per-request hold override widens the coalescing window on demand
-    // (used by the CI smoke test to pin a deterministic coalesce).
+    // (used by the CI smoke test to pin a deterministic coalesce). The
+    // knob lets a client stall a worker at will, so it only exists in
+    // `failpoints` builds — release servers ignore the parameter.
+    #[cfg(feature = "failpoints")]
     let hold = request
         .param("delay_ms")
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_millis);
+    #[cfg(not(feature = "failpoints"))]
+    let hold: Option<Duration> = None;
 
     let outcome = match service.query_with_hold(&xpath, hold.or(config.flight_hold)) {
         Ok(outcome) => outcome,
         Err(EngineError::Xpath(e)) => {
             let body = format!("xpath error: {e}\n");
             return write_simple(conn, 400, "Bad Request", "text/plain", &[], &body);
+        }
+        Err(EngineError::DeadlineExceeded) => {
+            // The query hit its cooperative deadline and aborted at a
+            // checkpoint; the worker is already back in the pool. Tell
+            // the client when to retry, like queue rejections do.
+            service.engine().shared_stats().request_timed_out();
+            let retry_after = config.retry_after_secs.to_string();
+            return write_simple(
+                conn,
+                503,
+                "Service Unavailable",
+                "text/plain",
+                &[("Retry-After", &retry_after)],
+                "query deadline exceeded\n",
+            );
         }
         Err(e) => {
             let body = format!("engine error: {e}\n");
@@ -382,6 +419,10 @@ mod tests {
             stream_chunks: 7,
             sat_checked: 4,
             sat_pruned: 1,
+            exec_timeouts: 6,
+            budget_aborts: 8,
+            panics_contained: 9,
+            requests_timed_out: 10,
             ..Stats::default()
         };
         let json = stats_json(&stats);
@@ -392,5 +433,9 @@ mod tests {
         assert!(json.contains("\"plan_cache_hits\": 0"));
         assert!(json.contains("\"sat_checked\": 4"));
         assert!(json.contains("\"sat_pruned\": 1"));
+        assert!(json.contains("\"exec_timeouts\": 6"));
+        assert!(json.contains("\"budget_aborts\": 8"));
+        assert!(json.contains("\"panics_contained\": 9"));
+        assert!(json.contains("\"requests_timed_out\": 10"));
     }
 }

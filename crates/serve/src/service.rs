@@ -40,6 +40,7 @@ pub struct QueryService<'e, 'd> {
     engine: &'e Engine<'d>,
     flights: SingleFlight<FlightResult>,
     hold: Option<Duration>,
+    deadline: Option<Duration>,
 }
 
 impl<'e, 'd> QueryService<'e, 'd> {
@@ -49,6 +50,7 @@ impl<'e, 'd> QueryService<'e, 'd> {
             engine,
             flights: SingleFlight::new(),
             hold: None,
+            deadline: None,
         }
     }
 
@@ -62,7 +64,18 @@ impl<'e, 'd> QueryService<'e, 'd> {
             engine,
             flights: SingleFlight::new(),
             hold: Some(hold),
+            deadline: None,
         }
+    }
+
+    /// Give every request a cooperative execution deadline of `deadline`
+    /// from its arrival (more precisely: from flight entry — a follower
+    /// inherits its leader's deadline). Expiry surfaces as
+    /// [`EngineError::DeadlineExceeded`], which the HTTP layer answers
+    /// with `503 Retry-After`.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// The engine this service executes against.
@@ -103,15 +116,38 @@ impl<'e, 'd> QueryService<'e, 'd> {
         }
         let key = canon.to_string();
 
-        let (result, outcome) = self.flights.run(&key, || {
+        // Stamp the deadline before entering the flight so queue/hold time
+        // counts against it; the tuple/closure budgets come from the
+        // engine's configured options.
+        let opts = match self.deadline {
+            Some(d) => self.engine.exec_options().with_timeout(d),
+            None => self.engine.exec_options(),
+        };
+        let run = self.flights.run(&key, || {
             if let Some(d) = hold {
                 std::thread::sleep(d);
             }
+            // Chaos site: after the hold (so followers have joined), let
+            // the chaos suite unwind the leader mid-flight.
+            x2s_rel::failpoint::hit("flight-poison");
             self.engine
                 .prepare_path(&canon)
-                .and_then(|p| p.execute())
+                .and_then(|p| p.execute_with(opts))
                 .map(Arc::new)
         });
+        let (result, outcome) = match run {
+            Ok(r) => r,
+            Err(poisoned) => {
+                // Exactly one caller led the poisoned flight; it counts
+                // the contained panic. Every caller — leader and
+                // followers alike — reports the typed error (a 500 at the
+                // HTTP layer); nobody hangs and the worker survives.
+                if poisoned.led {
+                    self.engine.shared_stats().panic_contained();
+                }
+                return Err(EngineError::ExecutionPanicked);
+            }
+        };
 
         let coalesced = outcome == Outcome::Joined;
         if coalesced {
@@ -198,5 +234,52 @@ mod tests {
             N - 1,
             "everyone else joined the leader's flight"
         );
+    }
+
+    #[test]
+    fn per_request_deadline_aborts_and_service_recovers() {
+        let e = engine();
+        let governed = QueryService::new(&e).deadline(Duration::ZERO);
+        let err = governed.query("dept//project").unwrap_err();
+        assert_eq!(err, EngineError::DeadlineExceeded);
+        assert_eq!(e.stats().exec_timeouts, 1);
+        // The engine is untouched by the abort: an ungoverned service over
+        // the same engine answers immediately.
+        let healthy = QueryService::new(&e);
+        assert!(!healthy.query("dept//project").unwrap().answers.is_empty());
+    }
+
+    /// With the `flight-poison` failpoint armed, every caller of the
+    /// poisoned flight gets the typed panic error, the panic counts once,
+    /// and the service stays usable after the site is disarmed.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn poisoned_flight_broadcasts_typed_error_and_counts_once() {
+        use x2s_rel::failpoint;
+        const N: usize = 4;
+        let e = engine();
+        let svc = QueryService::with_hold(&e, Duration::from_millis(100));
+        failpoint::configure("flight-poison", failpoint::Action::Panic);
+        let barrier = Barrier::new(N);
+        let errors: Vec<EngineError> = thread::scope(|s| {
+            let handles: Vec<_> = (0..N)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        svc.query("dept//project").unwrap_err()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        failpoint::remove("flight-poison");
+        assert!(
+            errors.iter().all(|e| *e == EngineError::ExecutionPanicked),
+            "every coalesced caller got the typed error: {errors:?}"
+        );
+        assert_eq!(e.stats().panics_contained, 1, "counted exactly once");
+        // The worker (this thread) survived and the flight map is clean:
+        // the same query now succeeds.
+        assert!(!svc.query("dept//project").unwrap().answers.is_empty());
     }
 }

@@ -33,6 +33,15 @@ impl<'w> ChunkedWriter<'w> {
         if data.is_empty() {
             return Ok(());
         }
+        if x2s_rel::failpoint::hit("stream-write-error") {
+            // Chaos site: simulate the client vanishing mid-stream. The
+            // caller must treat this like any other socket error — drop
+            // the connection, keep the worker.
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "failpoint stream-write-error: injected mid-stream write failure",
+            ));
+        }
         write!(self.out, "{:x}\r\n", data.len())?;
         self.out.write_all(data)?;
         self.out.write_all(b"\r\n")?;

@@ -148,6 +148,7 @@ fn generated_documents_agree_across_exec_options() {
                             // this suite measures the fixpoint path; keep
                             // the interval rewrite out of the way
                             interval: false,
+                            ..ExecOptions::default()
                         },
                         &mut stats,
                     )

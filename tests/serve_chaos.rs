@@ -1,0 +1,282 @@
+//! Chaos suite: fault injection against the serving stack (requires the
+//! `failpoints` feature — `cargo test --features failpoints`).
+//!
+//! Each scenario arms a named failpoint (`xpath2sql::rel::failpoint`),
+//! drives the HTTP server through the fault, and asserts the containment
+//! contract: clients get typed error responses (never hangs or torn
+//! workers), the governance counters record the event, and the very next
+//! healthy request succeeds — proof the worker pool survived.
+//!
+//! The failpoint registry is process-global, so the scenarios serialize on
+//! a mutex and disarm everything on both entry and exit.
+#![cfg(feature = "failpoints")]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use xpath2sql::core::Engine;
+use xpath2sql::dtd::{samples, Dtd};
+use xpath2sql::rel::{failpoint, ExecOptions};
+use xpath2sql::serve::{ServeConfig, Server};
+use xpath2sql::xml::{Generator, GeneratorConfig, Tree};
+
+/// Serialize chaos scenarios: armed sites are visible process-wide.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    failpoint::clear_all();
+    guard
+}
+
+/// An adversarial deep-recursion document on the Cross DTD: deep nesting
+/// drives many LFP rounds, which is where the cancellation checkpoints
+/// (and the `lfp-round-sleep` site) live.
+fn deep_recursion_doc(dtd: &Dtd) -> Tree {
+    (0..16)
+        .map(|s| {
+            Generator::new(
+                dtd,
+                GeneratorConfig::shaped(14, 3, Some(4_000)).with_seed(101 + s),
+            )
+            .generate()
+        })
+        .find(|t| t.len() >= 1_000)
+        .expect("some seed yields a deep non-trivial document")
+}
+
+fn raw_http(addr: &str, request: &str) -> String {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    conn.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    let _ = conn.read_to_string(&mut response);
+    response
+}
+
+fn get(addr: &str, target: &str) -> String {
+    raw_http(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+/// An injected leader panic must fan out as complete `500` responses to
+/// every coalesced caller — none may hang — the panic counts once, and the
+/// pool keeps serving.
+#[test]
+fn leader_panic_broadcasts_500_to_all_followers_and_pool_survives() {
+    const CLIENTS: usize = 6;
+    let _guard = chaos_lock();
+    let dtd = Box::leak(Box::new(samples::dept_simplified()));
+    let mut engine = Engine::new(dtd);
+    engine
+        .load_xml("<dept><course><course><project/></course><project/></course></dept>")
+        .unwrap();
+    let config = ServeConfig {
+        workers: CLIENTS,
+        // Leaders hold the flight open so every client joins before the
+        // armed panic fires (the site triggers after the hold).
+        flight_hold: Some(Duration::from_millis(150)),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle().unwrap();
+
+    failpoint::configure("flight-poison", failpoint::Action::Panic);
+    thread::scope(|s| {
+        let server = &server;
+        let engine = &engine;
+        s.spawn(move || server.run(engine).unwrap());
+
+        let responses: Vec<String> = thread::scope(|cs| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    let addr = addr.clone();
+                    cs.spawn(move || get(&addr, "/query?q=dept//project"))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        failpoint::remove("flight-poison");
+
+        for r in &responses {
+            assert!(
+                r.starts_with("HTTP/1.1 500 "),
+                "every caller of the poisoned flight gets a complete 500, got: {:?}",
+                r.lines().next().unwrap_or("")
+            );
+            assert!(r.contains("panicked"), "typed panic error in the body");
+        }
+        // The flights were coalesced, so the contained panics number far
+        // fewer than the failing responses (exactly 1 when all six joined
+        // one flight; racy stragglers may have led their own).
+        let stats = engine.stats();
+        assert!(
+            (1..=CLIENTS).contains(&stats.panics_contained),
+            "panic counted: {stats:?}"
+        );
+
+        // Pool recovery: the same query (site disarmed) now succeeds.
+        let healthy = get(&addr, "/query?q=dept//project");
+        assert!(healthy.starts_with("HTTP/1.1 200 "), "{healthy}");
+        shutdown.trigger();
+    });
+}
+
+/// Acceptance scenario: a 50 ms deadline against a deep-recursion document
+/// (LFP rounds slowed by `lfp-round-sleep`) aborts within 2× the deadline
+/// with `503` + `Retry-After`, and the single worker immediately serves
+/// the next healthy query.
+#[test]
+fn deadline_expiry_mid_lfp_answers_503_within_twice_the_deadline() {
+    const DEADLINE: Duration = Duration::from_millis(50);
+    let _guard = chaos_lock();
+    let dtd = samples::cross();
+    let tree = deep_recursion_doc(&dtd);
+    let mut engine = Engine::builder(&dtd)
+        // Force the pure-LFP program: the point is to abort *between
+        // fixpoint rounds*, not to let the interval fast path finish early.
+        .exec_options(ExecOptions::default().with_interval(false))
+        .build();
+    engine.load(&tree);
+    let config = ServeConfig {
+        workers: 1,
+        query_deadline: Some(DEADLINE),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle().unwrap();
+
+    // Every LFP round stalls 20 ms: the deadline must expire between
+    // rounds no matter how fast the machine is.
+    failpoint::configure(
+        "lfp-round-sleep",
+        failpoint::Action::Sleep(Duration::from_millis(20)),
+    );
+    thread::scope(|s| {
+        let server = &server;
+        let engine = &engine;
+        s.spawn(move || server.run(engine).unwrap());
+
+        let started = Instant::now();
+        let resp = get(&addr, "/query?q=a//d");
+        let elapsed = started.elapsed();
+        failpoint::remove("lfp-round-sleep");
+
+        assert!(resp.starts_with("HTTP/1.1 503 "), "{resp}");
+        assert!(resp.contains("Retry-After:"), "{resp}");
+        assert!(resp.contains("deadline exceeded"), "{resp}");
+        assert!(
+            elapsed < DEADLINE * 2,
+            "cooperative abort within 2x the deadline, took {elapsed:?}"
+        );
+        let stats = engine.stats();
+        assert!(stats.exec_timeouts >= 1, "executor counted the expiry");
+        assert!(stats.requests_timed_out >= 1, "HTTP layer counted the 503");
+
+        // The lone worker is back in the pool: the same query (site
+        // disarmed, rounds at full speed) completes within the deadline.
+        let healthy = get(&addr, "/query?q=a//d");
+        assert!(healthy.starts_with("HTTP/1.1 200 "), "{healthy}");
+        shutdown.trigger();
+    });
+}
+
+/// A tuple budget must abort an adversarial closure-heavy query with a
+/// typed error while leaving cheap queries (and the worker) untouched.
+#[test]
+fn budget_abort_on_adversarial_document_leaves_pool_serviceable() {
+    let _guard = chaos_lock();
+    let dtd = samples::cross();
+    let tree = deep_recursion_doc(&dtd);
+    let mut engine = Engine::builder(&dtd)
+        // Tight tuple budget: the `a//d` closure over the deep document
+        // blows through it; the statically-empty probe stays under it.
+        .exec_options(
+            ExecOptions::default()
+                .with_interval(false)
+                .with_tuple_budget(64),
+        )
+        .build();
+    engine.load(&tree);
+    let config = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle().unwrap();
+
+    thread::scope(|s| {
+        let server = &server;
+        let engine = &engine;
+        s.spawn(move || server.run(engine).unwrap());
+
+        let resp = get(&addr, "/query?q=a//d");
+        assert!(resp.starts_with("HTTP/1.1 500 "), "{resp}");
+        assert!(resp.contains("budget exceeded"), "typed abort: {resp}");
+        assert!(engine.stats().budget_aborts >= 1);
+
+        // Same worker, next request: the admission gate answers the
+        // impossible query without executing — the pool is serviceable.
+        let healthy = get(&addr, "/query?q=a/d");
+        assert!(healthy.starts_with("HTTP/1.1 200 "), "{healthy}");
+        shutdown.trigger();
+    });
+}
+
+/// A mid-stream write error (client vanished) must cost only that
+/// response: the body is torn, the worker survives and serves the next
+/// connection to a complete answer.
+#[test]
+fn mid_stream_write_error_keeps_the_worker_alive() {
+    let _guard = chaos_lock();
+    let dtd = Box::leak(Box::new(samples::dept_simplified()));
+    let mut engine = Engine::new(dtd);
+    let tree = (0..16)
+        .map(|s| {
+            Generator::new(
+                dtd,
+                GeneratorConfig::shaped(8, 3, Some(3_000)).with_seed(7 + s),
+            )
+            .generate()
+        })
+        .find(|t| t.len() >= 500)
+        .unwrap();
+    engine.load(&tree);
+    let config = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle().unwrap();
+
+    failpoint::configure("stream-write-error", failpoint::Action::Return);
+    thread::scope(|s| {
+        let server = &server;
+        let engine = &engine;
+        s.spawn(move || server.run(engine).unwrap());
+
+        let torn = get(&addr, "/query?q=dept//project");
+        failpoint::remove("stream-write-error");
+        assert!(torn.starts_with("HTTP/1.1 200 "), "head went out: {torn}");
+        assert!(
+            !torn.ends_with("0\r\n\r\n"),
+            "body must be torn mid-stream, not terminated: {torn:?}"
+        );
+
+        // The lone worker took the write error and went back to the pool:
+        // the next connection streams a complete chunked body.
+        let healthy = get(&addr, "/query?q=dept//project");
+        assert!(healthy.starts_with("HTTP/1.1 200 "), "{healthy}");
+        assert!(healthy.ends_with("0\r\n\r\n"), "terminated chunked body");
+        shutdown.trigger();
+    });
+}
